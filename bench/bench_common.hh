@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries (one per paper
+ * table/figure).  Each bench prints the measured values next to the
+ * paper's reported numbers; see EXPERIMENTS.md for the comparison
+ * discussion.
+ */
+
+#ifndef SNAPEA_BENCH_BENCH_COMMON_HH
+#define SNAPEA_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/result_cache.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace snapea::bench {
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &experiment, const std::string &description)
+{
+    std::printf("=== SnaPEA reproduction: %s ===\n%s\n\n",
+                experiment.c_str(), description.c_str());
+}
+
+/** Epsilon used for all "predictive mode" headline results. */
+inline constexpr double kEpsilon = 0.03;
+
+} // namespace snapea::bench
+
+#endif // SNAPEA_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fig. 1: fraction of activation-layer inputs (convolution outputs)
+ * that are negative, per network.  The paper reports 42%-68% across
+ * the four CNNs; the synthetic weight calibration targets per-network
+ * values inside that band (see DESIGN.md).
+ */
+
+#include "bench/bench_common.hh"
+#include "nn/models/model_zoo.hh"
+#include "util/random.hh"
+#include "workload/dataset.hh"
+#include "workload/evaluator.hh"
+#include "workload/weight_init.hh"
+
+using namespace snapea;
+
+int
+main()
+{
+    bench::banner("Fig. 1 — negative inputs to activation layers",
+                  "Measured on held-out synthetic images (not the "
+                  "calibration images).  Paper band: 42%-68%.");
+
+    Table t({"Network", "Negative fraction", "Calibration target",
+             "Min layer", "Max layer"});
+    std::vector<double> overall;
+    for (ModelId id : kAllModels) {
+        const ModelInfo &info = modelInfo(id);
+        auto net = buildModel(id);
+        Rng rng(42);
+        DatasetSpec cspec;
+        cspec.num_classes = 4;
+        cspec.images_per_class = 1;
+        Rng crng = rng.fork(1);
+        Dataset calib = makeDataset(crng, net->inputShape(), cspec);
+        WeightInitSpec wspec;
+        wspec.neg_fraction = info.neg_fraction_target;
+        Rng wrng = rng.fork(2);
+        initializeWeights(*net, wrng, calib.images, wspec);
+
+        DatasetSpec espec;
+        espec.num_classes = 4;
+        espec.images_per_class = 1;
+        Rng erng = rng.fork(99);  // held-out images
+        Dataset eval = makeDataset(erng, net->inputShape(), espec);
+        NegativeStats ns = measureNegativeFraction(*net, eval.images);
+
+        double lo = 1.0, hi = 0.0;
+        for (double f : ns.layer_fraction) {
+            lo = std::min(lo, f);
+            hi = std::max(hi, f);
+        }
+        overall.push_back(ns.overall_fraction);
+        t.addRow({info.name, Table::percent(ns.overall_fraction),
+                  Table::percent(info.neg_fraction_target),
+                  Table::percent(lo), Table::percent(hi)});
+    }
+    t.print();
+    std::printf("\nAverage across networks: %.1f%% (paper band: "
+                "42%%-68%%)\n", mean(overall) * 100.0);
+    return 0;
+}

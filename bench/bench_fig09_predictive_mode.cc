@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig. 9: predictive-mode speedup and energy reduction over EYERISS
+ * with classification accuracy kept within 3% of baseline.  Paper:
+ * ~1.9x average speedup, GoogLeNet the maximum at 2.08x speedup and
+ * 1.63x energy reduction; SqueezeNet (statically pruned) still gains
+ * 1.80x / 1.42x.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace snapea;
+using namespace snapea::bench;
+
+int
+main()
+{
+    banner("Fig. 9 — predictive mode vs EYERISS (accuracy drop <= 3%)",
+           "Speculation parameters from Algorithm 1 at epsilon = 3%.");
+
+    const double paper_speedup[] = {1.90, 2.08, 1.80, 1.85};
+    const double paper_energy[] = {1.50, 1.63, 1.42, 1.45};
+
+    Table t({"Network", "Speedup", "Paper", "Energy red.", "Paper",
+             "MAC ratio", "Accuracy"});
+    std::vector<double> sp, er;
+    int i = 0;
+    for (ModelId id : kAllModels) {
+        ModeResult r =
+            BenchContext::instance().predictive(id, kEpsilon);
+        sp.push_back(r.speedup());
+        er.push_back(r.energyReduction());
+        t.addRow({r.model_name, Table::ratio(r.speedup()),
+                  Table::ratio(paper_speedup[i]),
+                  Table::ratio(r.energyReduction()),
+                  Table::ratio(paper_energy[i]),
+                  Table::num(r.mac_ratio, 3),
+                  Table::percent(r.accuracy)});
+        ++i;
+    }
+    t.addRow({"Geomean", Table::ratio(geomean(sp)), "1.90x",
+              Table::ratio(geomean(er)), "1.50x", "", ""});
+    t.print();
+    std::printf("\n(Fig. 9 paper bars for AlexNet/VGGNet are not "
+                "numerically quoted in the text; the reference "
+                "values are read off the figure.)\n");
+    return 0;
+}

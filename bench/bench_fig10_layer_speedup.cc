@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fig. 10: per-convolution-layer speedup distribution in predictive
+ * mode (accuracy drop <= 3%).  Paper: the widest range is GoogLeNet,
+ * max 3.59x at inception_4e/1x1, min 1.17x at
+ * inception_4e/5x5_reduce.
+ */
+
+#include <algorithm>
+
+#include "bench/bench_common.hh"
+
+using namespace snapea;
+using namespace snapea::bench;
+
+int
+main()
+{
+    banner("Fig. 10 — per-layer speedup in predictive mode (<= 3%)",
+           "Distribution of conv-layer speedups over EYERISS; the "
+           "paper's box plot is summarized as min / median / max "
+           "plus the extreme layers.");
+
+    Table t({"Network", "Min", "Median", "Max", "Slowest layer",
+             "Fastest layer"});
+    for (ModelId id : kAllModels) {
+        ModeResult r =
+            BenchContext::instance().predictive(id, kEpsilon);
+        std::vector<double> sp;
+        const LayerComparison *lo = nullptr, *hi = nullptr;
+        for (const auto &lc : r.layers) {
+            sp.push_back(lc.speedup());
+            if (!lo || lc.speedup() < lo->speedup())
+                lo = &lc;
+            if (!hi || lc.speedup() > hi->speedup())
+                hi = &lc;
+        }
+        t.addRow({r.model_name, Table::ratio(quantile(sp, 0.0)),
+                  Table::ratio(quantile(sp, 0.5)),
+                  Table::ratio(quantile(sp, 1.0)),
+                  lo ? lo->name : "-", hi ? hi->name : "-"});
+    }
+    t.print();
+    std::printf("\nPaper extremes (GoogLeNet): max 3.59x "
+                "(inception_4e/1x1), min 1.17x "
+                "(inception_4e/5x5_reduce).\n\n");
+
+    // Full GoogLeNet per-layer series (the paper's densest column).
+    ModeResult g = BenchContext::instance().predictive(
+        ModelId::GoogLeNet, kEpsilon);
+    Table gt({"GoogLeNet layer", "Speedup", "Predictive"});
+    for (const auto &lc : g.layers) {
+        gt.addRow({lc.name, Table::ratio(lc.speedup()),
+                   lc.predictive ? "yes" : "no"});
+    }
+    gt.print();
+    return 0;
+}

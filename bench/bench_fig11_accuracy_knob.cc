@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fig. 11: speedup as the acceptable classification-accuracy loss is
+ * relaxed from 0% (pure exact mode) through 1%, 2%, and 3%
+ * (predictive mode).  Paper geomeans: 1.28x / 1.38x / 1.63x / 1.9x.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace snapea;
+using namespace snapea::bench;
+
+int
+main()
+{
+    banner("Fig. 11 — speedup vs accuracy-loss knob",
+           "Each column relaxes the epsilon constraint of "
+           "Algorithm 1; 0% disables speculation entirely.");
+
+    const double eps_levels[] = {0.0, 0.01, 0.02, 0.03};
+    Table t({"Network", "0% loss", "1% loss", "2% loss", "3% loss"});
+    std::vector<std::vector<double>> per_eps(4);
+    for (ModelId id : kAllModels) {
+        std::vector<std::string> row{modelInfo(id).name};
+        for (int e = 0; e < 4; ++e) {
+            ModeResult r = eps_levels[e] == 0.0
+                ? BenchContext::instance().exact(id)
+                : BenchContext::instance().predictive(id,
+                                                      eps_levels[e]);
+            per_eps[e].push_back(r.speedup());
+            row.push_back(Table::ratio(r.speedup()));
+        }
+        t.addRow(row);
+    }
+    std::vector<std::string> gm{"Geomean"};
+    for (int e = 0; e < 4; ++e)
+        gm.push_back(Table::ratio(geomean(per_eps[e])));
+    t.addRow(std::move(gm));
+    t.addRow({"Paper geomean", "1.28x", "1.38x", "1.63x", "1.90x"});
+    t.print();
+    return 0;
+}

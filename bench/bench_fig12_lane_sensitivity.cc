@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fig. 12: sensitivity of the predictive-mode speedup (<= 3%) to the
+ * number of compute lanes per PE, at constant peak throughput
+ * (256 MACs; the PE count scales inversely).  Paper: the default 4
+ * lanes is best; 0.5x lanes loses ~26%, 2x loses ~36%, 4x loses
+ * ~45%.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace snapea;
+using namespace snapea::bench;
+
+int
+main()
+{
+    banner("Fig. 12 — compute lanes per PE (<= 3%)",
+           "Speedup over EYERISS when the lane count is halved, "
+           "doubled, and quadrupled at equal peak throughput.");
+
+    const int lane_counts[] = {2, 4, 8, 16};
+    Table t({"Network", "0.5x (2 lanes)", "Default (4)",
+             "2x (8 lanes)", "4x (16 lanes)"});
+    std::vector<std::vector<double>> per(4);
+    for (ModelId id : kAllModels) {
+        ModeResult base =
+            BenchContext::instance().predictive(id, kEpsilon);
+        const double eyeriss =
+            static_cast<double>(base.eyeriss_sim.total_cycles);
+        std::vector<std::string> row{modelInfo(id).name};
+        for (int i = 0; i < 4; ++i) {
+            const uint64_t cycles =
+                BenchContext::instance().snapeaCyclesWithLanes(
+                    id, kEpsilon, lane_counts[i]);
+            const double sp = cycles ? eyeriss / cycles : 0.0;
+            per[i].push_back(sp);
+            row.push_back(Table::ratio(sp));
+        }
+        t.addRow(row);
+    }
+    std::vector<std::string> gm{"Geomean"};
+    for (int i = 0; i < 4; ++i)
+        gm.push_back(Table::ratio(geomean(per[i])));
+    t.addRow(std::move(gm));
+    t.print();
+    std::printf("\nPaper: default best; 0.5x/2x/4x lose ~26%%/36%%/"
+                "45%% (their model's synchronization costs differ; "
+                "see EXPERIMENTS.md).\n");
+    return 0;
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the functional-simulation
+ * primitives: plain convolution, exact-mode walk, predictive walk,
+ * and the reordering passes.  These gate the wall-clock cost of the
+ * whole experiment suite.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "nn/conv.hh"
+#include "snapea/engine.hh"
+#include "snapea/reorder.hh"
+#include "util/random.hh"
+
+using namespace snapea;
+
+namespace {
+
+struct Fixture
+{
+    Conv2D conv;
+    Tensor input;
+    PreparedKernel exact;
+    PreparedKernel predictive;
+
+    Fixture()
+        : conv("bench", ConvSpec{32, 1, 3, 1, 1, 1}),
+          input({32, 32, 32})
+    {
+        Rng rng(7);
+        for (size_t i = 0; i < conv.weights().size(); ++i)
+            conv.weights()[i] = static_cast<float>(rng.gaussian());
+        conv.bias()[0] = -0.5f;
+        for (size_t i = 0; i < input.size(); ++i)
+            input[i] = static_cast<float>(rng.uniform());
+
+        exact = prepareKernel(conv, 0, makeExactPlan(conv, 0));
+        computeInteriorOffsets(exact, 32, 32);
+        SpeculationParams p;
+        p.n_groups = 16;
+        p.th = 0.0f;
+        predictive =
+            prepareKernel(conv, 0, makePredictivePlan(conv, 0, p));
+        computeInteriorOffsets(predictive, 32, 32);
+    }
+};
+
+Fixture &
+fixture()
+{
+    static Fixture f;
+    return f;
+}
+
+void
+BM_PlainConvForward(benchmark::State &state)
+{
+    Fixture &f = fixture();
+    for (auto _ : state) {
+        Tensor out = f.conv.forward({&f.input});
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * f.conv.macCount(f.input.shape()));
+}
+BENCHMARK(BM_PlainConvForward);
+
+void
+BM_ExactWalk(benchmark::State &state)
+{
+    Fixture &f = fixture();
+    for (auto _ : state) {
+        uint64_t ops = 0;
+        for (int y = 0; y < 30; ++y)
+            for (int x = 0; x < 30; ++x)
+                ops += walkWindow(f.exact, f.input, y, x, false).ops;
+        benchmark::DoNotOptimize(ops);
+    }
+}
+BENCHMARK(BM_ExactWalk);
+
+void
+BM_PredictiveWalk(benchmark::State &state)
+{
+    Fixture &f = fixture();
+    for (auto _ : state) {
+        uint64_t ops = 0;
+        for (int y = 0; y < 30; ++y)
+            for (int x = 0; x < 30; ++x)
+                ops += walkWindow(f.predictive, f.input, y, x,
+                                  false).ops;
+        benchmark::DoNotOptimize(ops);
+    }
+}
+BENCHMARK(BM_PredictiveWalk);
+
+void
+BM_PrefixSum(benchmark::State &state)
+{
+    Fixture &f = fixture();
+    for (auto _ : state) {
+        float acc = 0.0f;
+        for (int y = 0; y < 30; ++y)
+            for (int x = 0; x < 30; ++x)
+                acc += prefixSum(f.predictive, f.input, y, x);
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_PrefixSum);
+
+void
+BM_ExactReorder(benchmark::State &state)
+{
+    Fixture &f = fixture();
+    for (auto _ : state) {
+        KernelPlan plan = makeExactPlan(f.conv, 0);
+        benchmark::DoNotOptimize(plan.order.data());
+    }
+}
+BENCHMARK(BM_ExactReorder);
+
+void
+BM_PredictiveReorder(benchmark::State &state)
+{
+    Fixture &f = fixture();
+    SpeculationParams p;
+    p.n_groups = 16;
+    for (auto _ : state) {
+        KernelPlan plan = makePredictivePlan(f.conv, 0, p);
+        benchmark::DoNotOptimize(plan.order.data());
+    }
+}
+BENCHMARK(BM_PredictiveReorder);
+
+} // namespace
+
+BENCHMARK_MAIN();

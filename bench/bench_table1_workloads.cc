@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Table I: evaluated networks — release year, model size, layer
+ * counts, and baseline classification accuracy — next to the
+ * properties of the scaled reproductions this repository actually
+ * runs.
+ */
+
+#include "bench/bench_common.hh"
+#include "nn/models/model_zoo.hh"
+
+using namespace snapea;
+
+int
+main()
+{
+    bench::banner("Table I — workloads",
+                  "Paper columns from Table I; 'built' columns are "
+                  "the scaled models this reproduction simulates "
+                  "(self-labeled baseline accuracy is 100% by "
+                  "construction; see DESIGN.md).");
+
+    Table t({"Network", "Year", "Size(MB) paper", "Conv paper",
+             "FC paper", "Acc paper", "Conv built", "FC built",
+             "Weights built", "Conv MACs built"});
+    for (ModelId id : kAllModels) {
+        const ModelInfo &info = modelInfo(id);
+        auto net = buildModel(id);
+        int fc = 0;
+        for (int i = 0; i < net->numLayers(); ++i)
+            if (net->layer(i).kind() == LayerKind::FullyConnected)
+                ++fc;
+        t.addRow({info.name, std::to_string(info.year),
+                  Table::num(info.model_size_mb_paper, 0),
+                  std::to_string(info.conv_layers_paper),
+                  std::to_string(info.fc_layers_paper),
+                  Table::num(info.accuracy_paper, 1) + "%",
+                  std::to_string(net->convLayers().size()),
+                  std::to_string(fc),
+                  Table::num(net->totalWeights() / 1e3, 0) + "K",
+                  Table::num(net->totalConvMacs() / 1e6, 1) + "M"});
+    }
+    t.print();
+    return 0;
+}

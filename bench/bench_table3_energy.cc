@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Table III: absolute and relative energy costs of the architecture
+ * components — the constants the cycle-level simulators consume.
+ */
+
+#include "bench/bench_common.hh"
+#include "sim/energy.hh"
+
+using namespace snapea;
+
+int
+main()
+{
+    bench::banner("Table III — component energy costs",
+                  "pJ/bit constants (paper's published values; the "
+                  "20 KB per-PE I/O SRAM is this reproduction's "
+                  "CACTI-style estimate).");
+
+    const EnergyCosts c;
+    Table t({"Operation", "Energy (pJ/bit)", "Relative cost",
+             "Paper (pJ/bit)"});
+    const double base = c.rf;
+    t.addRow({"Register file access", Table::num(c.rf, 2),
+              Table::num(c.rf / base, 1), "0.20"});
+    t.addRow({"16-bit fixed point PE", Table::num(c.mac, 2),
+              Table::num(c.mac / base, 1), "0.30"});
+    t.addRow({"Inter-PE communication", Table::num(c.inter_pe, 2),
+              Table::num(c.inter_pe / base, 1), "0.40"});
+    t.addRow({"Per-PE 20KB I/O SRAM", Table::num(c.io_sram, 2),
+              Table::num(c.io_sram / base, 1), "(estimate)"});
+    t.addRow({"Global buffer access", Table::num(c.global_buffer, 2),
+              Table::num(c.global_buffer / base, 1), "1.20"});
+    t.addRow({"DDR4 memory access", Table::num(c.dram, 2),
+              Table::num(c.dram / base, 1), "15.00"});
+    t.print();
+    return 0;
+}

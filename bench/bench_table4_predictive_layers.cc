@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Table IV: the percentage of convolution layers that operate in the
+ * predictive mode at epsilon = 3%, and the average speedup / energy
+ * reduction across exactly those layers.  Paper: 60.0/84.2/65.4/61.5
+ * percent of layers; average 2.02x speedup and 1.89x energy
+ * reduction across them.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace snapea;
+using namespace snapea::bench;
+
+int
+main()
+{
+    banner("Table IV — layers operating in predictive mode (<= 3%)",
+           "A layer 'operates in predictive mode' when the optimizer "
+           "left at least one of its kernels speculating.");
+
+    const double paper_pct[] = {60.0, 84.21, 65.38, 61.50};
+    const double paper_sp[] = {2.11, 2.17, 1.94, 1.87};
+    const double paper_er[] = {1.97, 2.04, 1.84, 1.73};
+
+    Table t({"Network", "% conv layers", "Paper", "Avg speedup",
+             "Paper", "Avg energy red.", "Paper"});
+    std::vector<double> pcts, sps, ers;
+    int i = 0;
+    for (ModelId id : kAllModels) {
+        ModeResult r =
+            BenchContext::instance().predictive(id, kEpsilon);
+        int pred = 0;
+        std::vector<double> sp, er;
+        for (const auto &lc : r.layers) {
+            if (!lc.predictive)
+                continue;
+            ++pred;
+            sp.push_back(lc.speedup());
+            er.push_back(lc.energyReduction());
+        }
+        const double pct = r.layers.empty()
+            ? 0.0 : 100.0 * pred / r.layers.size();
+        pcts.push_back(pct);
+        if (!sp.empty()) {
+            sps.push_back(mean(sp));
+            ers.push_back(mean(er));
+        }
+        t.addRow({r.model_name, Table::num(pct, 1) + "%",
+                  Table::num(paper_pct[i], 1) + "%",
+                  sp.empty() ? "-" : Table::ratio(mean(sp)),
+                  Table::ratio(paper_sp[i]),
+                  er.empty() ? "-" : Table::ratio(mean(er)),
+                  Table::ratio(paper_er[i])});
+        ++i;
+    }
+    t.addRow({"Average", Table::num(mean(pcts), 1) + "%", "67.8%",
+              sps.empty() ? "-" : Table::ratio(mean(sps)), "2.02x",
+              ers.empty() ? "-" : Table::ratio(mean(ers)), "1.89x"});
+    t.print();
+    return 0;
+}

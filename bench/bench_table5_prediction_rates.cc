@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table V: true-negative and false-negative rates of the predictive
+ * mode at epsilon = 3%.  Paper averages: TN 56.26%, FN 20.41%, and
+ * more than 86% of errors land on small positive values.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace snapea;
+using namespace snapea::bench;
+
+int
+main()
+{
+    banner("Table V — prediction accuracy (<= 3%)",
+           "TN: share of truly-negative windows the speculative "
+           "check catches.  FN: share of positive windows wrongly "
+           "squashed.  'FN small': share of those errors below the "
+           "layer's median positive value.");
+
+    const double paper_tn[] = {61.84, 66.36, 49.32, 47.54};
+    const double paper_fn[] = {21.39, 28.37, 16.69, 15.21};
+
+    Table t({"Network", "TN rate", "Paper", "FN rate", "Paper",
+             "FN small"});
+    std::vector<double> tns, fns, smalls;
+    int i = 0;
+    for (ModelId id : kAllModels) {
+        ModeResult r =
+            BenchContext::instance().predictive(id, kEpsilon);
+        tns.push_back(r.tn_rate);
+        fns.push_back(r.fn_rate);
+        smalls.push_back(r.fn_small_fraction);
+        t.addRow({r.model_name, Table::percent(r.tn_rate),
+                  Table::num(paper_tn[i], 1) + "%",
+                  Table::percent(r.fn_rate),
+                  Table::num(paper_fn[i], 1) + "%",
+                  Table::percent(r.fn_small_fraction)});
+        ++i;
+    }
+    t.addRow({"Average", Table::percent(mean(tns)), "56.3%",
+              Table::percent(mean(fns)), "20.4%",
+              Table::percent(mean(smalls))});
+    t.print();
+    std::printf("\nPaper: >86%% of errors occur on small positive "
+                "values (filtered by max pooling).\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Scenario: navigating the accuracy/performance knob.
+ *
+ * The predictive mode's defining feature is a user-visible dial: how
+ * much classification accuracy to trade for speed.  This example
+ * runs Algorithm 1 on AlexNet at several epsilon budgets and prints
+ * the resulting operating points — the decision table a deployment
+ * engineer would consult.
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+#include "util/table.hh"
+
+using namespace snapea;
+
+int
+main()
+{
+    std::printf("Predictive early activation: the accuracy knob\n"
+                "==============================================\n\n");
+
+    HarnessConfig cfg;
+    cfg.cache_dir = "";
+    cfg.input_size_override = 48;
+    cfg.trace_images = 2;
+    cfg.opt_cfg.local_images = 12;
+    Experiment exp(ModelId::AlexNet, cfg);
+
+    Table t({"Budget", "Accuracy", "MAC ratio", "Speedup",
+             "Energy red.", "Predictive layers"});
+
+    const ModeResult exact = exp.runExact();
+    t.addRow({"0% (exact)", Table::percent(exact.accuracy),
+              Table::num(exact.mac_ratio, 3),
+              Table::ratio(exact.speedup()),
+              Table::ratio(exact.energyReduction()), "0/5"});
+
+    for (double eps : {0.01, 0.03, 0.05}) {
+        const ModeResult r = exp.runPredictive(eps);
+        int pred = 0;
+        for (const auto &lc : r.layers)
+            pred += lc.predictive;
+        t.addRow({Table::percent(eps, 0), Table::percent(r.accuracy),
+                  Table::num(r.mac_ratio, 3),
+                  Table::ratio(r.speedup()),
+                  Table::ratio(r.energyReduction()),
+                  std::to_string(pred) + "/5"});
+    }
+    t.print();
+
+    std::printf("\nEach row is a deployable operating point; the "
+                "optimizer re-targets (Th, N) per kernel for every "
+                "budget.\n");
+    return 0;
+}

@@ -1,0 +1,345 @@
+#include "harness/experiment.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "nn/dense.hh"
+#include "snapea/engine.hh"
+#include "snapea/reorder.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+#include "workload/evaluator.hh"
+#include "workload/weight_init.hh"
+
+namespace snapea {
+
+struct Experiment::Impl
+{
+    ModelId id;
+    HarnessConfig cfg;
+    std::unique_ptr<Network> net;
+    Dataset data;
+    std::vector<FcWork> fc_work;
+    uint64_t input_bytes = 0;
+    std::unique_ptr<SpeculationOptimizer> optimizer;
+
+    Impl(ModelId id_, const HarnessConfig &cfg_)
+        : id(id_), cfg(cfg_)
+    {
+        const ModelInfo &info = modelInfo(id);
+        ModelScale scale = defaultScale(id);
+        if (cfg.input_size_override > 0)
+            scale.input_size = cfg.input_size_override;
+        net = buildModel(id, scale);
+        const double in_res = net->inputShape()[1];
+        const double reuse = (cfg.reference_input / in_res)
+            * (cfg.reference_input / in_res);
+        cfg.snapea_cfg.weight_reuse = reuse;
+        cfg.eyeriss_cfg.weight_reuse = reuse;
+
+        Rng rng(cfg.seed);
+        DatasetSpec calib_spec;
+        calib_spec.num_classes = 4;
+        calib_spec.images_per_class = 1;
+        Rng calib_rng = rng.fork(1);
+        Dataset calib = makeDataset(calib_rng, net->inputShape(),
+                                    calib_spec);
+        WeightInitSpec wspec;
+        wspec.neg_fraction = info.neg_fraction_target;
+        Rng weight_rng = rng.fork(2);
+        initializeWeights(*net, weight_rng, calib.images, wspec);
+
+        DatasetSpec dspec;
+        dspec.num_classes = cfg.opt_classes;
+        dspec.images_per_class = cfg.opt_images_per_class;
+        Rng data_rng = rng.fork(3);
+        data = makeDataset(data_rng, net->inputShape(), dspec);
+        selfLabel(*net, data);
+        filterByMargin(*net, data, cfg.keep_fraction);
+
+        for (int i = 0; i < net->numLayers(); ++i) {
+            if (net->layer(i).kind() != LayerKind::FullyConnected)
+                continue;
+            const auto &fc =
+                static_cast<const FullyConnected &>(net->layer(i));
+            fc_work.push_back({fc.name(), fc.macCount(),
+                               fc.weights().size()
+                                   * (cfg.snapea_cfg.bits_per_value
+                                      / 8u)});
+        }
+        input_bytes = Tensor::elemCount(net->inputShape())
+            * (cfg.snapea_cfg.bits_per_value / 8u);
+    }
+
+    std::string
+    cachePath(double epsilon) const
+    {
+        std::ostringstream os;
+        os << cfg.cache_dir << "/" << modelInfo(id).name << "_eps"
+           << static_cast<int>(epsilon * 1000 + 0.5) << "_seed"
+           << cfg.seed << ".params";
+        return os.str();
+    }
+
+    bool
+    loadParams(double epsilon, OptimizerResult &out) const
+    {
+        if (cfg.cache_dir.empty())
+            return false;
+        std::ifstream in(cachePath(epsilon));
+        if (!in)
+            return false;
+        std::string line;
+        while (std::getline(in, line)) {
+            std::istringstream ls(line);
+            std::string tag;
+            ls >> tag;
+            if (tag == "stats") {
+                ls >> out.stats.global_iterations
+                   >> out.stats.initial_err >> out.stats.final_err
+                   >> out.stats.predictive_layers
+                   >> out.stats.total_conv_layers;
+            } else if (tag == "layer") {
+                int idx, count;
+                ls >> idx >> count;
+                std::vector<SpeculationParams> ps(count);
+                for (auto &p : ps)
+                    ls >> p.n_groups >> p.th;
+                if (!ls)
+                    return false;
+                out.params[idx] = std::move(ps);
+            }
+        }
+        return !out.params.empty();
+    }
+
+    void
+    saveParams(double epsilon, const OptimizerResult &res) const
+    {
+        if (cfg.cache_dir.empty())
+            return;
+        std::error_code ec;
+        std::filesystem::create_directories(cfg.cache_dir, ec);
+        std::ofstream out(cachePath(epsilon));
+        if (!out) {
+            warn("cannot write optimizer cache %s",
+                 cachePath(epsilon).c_str());
+            return;
+        }
+        out << "stats " << res.stats.global_iterations << " "
+            << res.stats.initial_err << " " << res.stats.final_err
+            << " " << res.stats.predictive_layers << " "
+            << res.stats.total_conv_layers << "\n";
+        for (const auto &[idx, ps] : res.params) {
+            out << "layer " << idx << " " << ps.size();
+            for (const auto &p : ps)
+                out << " " << p.n_groups << " " << p.th;
+            out << "\n";
+        }
+    }
+
+    OptimizerResult
+    optimize(double epsilon)
+    {
+        OptimizerResult cached;
+        if (loadParams(epsilon, cached))
+            return cached;
+        if (!optimizer) {
+            optimizer = std::make_unique<SpeculationOptimizer>(
+                *net, data, cfg.opt_cfg);
+        }
+        OptimizerResult res = optimizer->run(epsilon);
+        saveParams(epsilon, res);
+        return res;
+    }
+
+    /** Instrumented run over the trace images. */
+    void
+    collectTraces(SnapeaEngine &engine)
+    {
+        engine.setMode(ExecMode::Instrumented);
+        engine.setCollectTraces(true);
+        const int n = std::min<int>(cfg.trace_images,
+                                    static_cast<int>(data.images.size()));
+        for (int i = 0; i < n; ++i) {
+            engine.beginImage();
+            net->forward(data.images[i], &engine);
+        }
+    }
+
+    ModeResult
+    runMode(const std::map<int, std::vector<SpeculationParams>> &params,
+            double epsilon, const OptimizerStats &opt_stats)
+    {
+        ModeResult res;
+        res.model_name = modelInfo(id).name;
+        res.epsilon = epsilon;
+        res.params = params;
+        res.opt_stats = opt_stats;
+
+        NetworkPlan plan = params.empty()
+            ? makeExactNetworkPlan(*net)
+            : makeNetworkPlan(*net, params);
+
+        // Accuracy over the full dataset (fast path).
+        {
+            SnapeaEngine fast(*net, plan);
+            fast.setMode(ExecMode::Fast);
+            res.accuracy = accuracy(*net, data, &fast);
+        }
+
+        // Instrumented traces + statistics.
+        SnapeaEngine engine(*net, plan);
+        collectTraces(engine);
+
+        size_t full = 0, perf = 0, tn = 0, fn = 0, aneg = 0, apos = 0;
+        size_t fn_small = 0, fn_total = 0;
+        for (const auto &[l, st] : engine.stats()) {
+            full += st.macs_full;
+            perf += st.macs_performed;
+            tn += st.true_negative;
+            fn += st.false_negative;
+            aneg += st.actual_negative;
+            apos += st.actual_positive;
+            if (!st.fn_values.empty() && !st.pos_sample.empty()) {
+                std::vector<double> pos(st.pos_sample.begin(),
+                                        st.pos_sample.end());
+                const double med = quantile(pos, 0.5);
+                for (float v : st.fn_values)
+                    if (v < med)
+                        ++fn_small;
+                fn_total += st.fn_values.size();
+            }
+        }
+        res.mac_ratio = full ? static_cast<double>(perf) / full : 1.0;
+        res.tn_rate = aneg ? static_cast<double>(tn) / aneg : 0.0;
+        res.fn_rate = apos ? static_cast<double>(fn) / apos : 0.0;
+        res.fn_small_fraction =
+            fn_total ? static_cast<double>(fn_small) / fn_total : 0.0;
+
+        // Cycle simulation of both accelerators over the traces.
+        SnapeaAccelSim snapea_sim(cfg.snapea_cfg);
+        EyerissSim eyeriss_sim(cfg.eyeriss_cfg);
+        for (const ImageTrace &trace : engine.traces()) {
+            res.snapea_sim +=
+                snapea_sim.simulate(trace, fc_work, input_bytes);
+            res.eyeriss_sim +=
+                eyeriss_sim.simulate(trace, fc_work, input_bytes);
+        }
+
+        // Per-layer comparison (conv layers only; FC entries trail).
+        const size_t n_conv =
+            engine.traces().empty()
+                ? 0 : engine.traces()[0].conv_layers.size();
+        for (size_t i = 0; i < n_conv; ++i) {
+            LayerComparison lc;
+            lc.name = res.snapea_sim.layers[i].name;
+            lc.predictive = engine.traces()[0].conv_layers[i].predictive;
+            lc.snapea_cycles = res.snapea_sim.layers[i].cycles;
+            lc.eyeriss_cycles = res.eyeriss_sim.layers[i].cycles;
+            lc.snapea_energy_pj =
+                res.snapea_sim.layers[i].energy.total();
+            lc.eyeriss_energy_pj =
+                res.eyeriss_sim.layers[i].energy.total();
+            res.layers.push_back(std::move(lc));
+        }
+        return res;
+    }
+};
+
+Experiment::Experiment(ModelId id, const HarnessConfig &cfg)
+    : impl_(std::make_unique<Impl>(id, cfg))
+{
+}
+
+Experiment::~Experiment() = default;
+
+Network &
+Experiment::net()
+{
+    return *impl_->net;
+}
+
+const Dataset &
+Experiment::data() const
+{
+    return impl_->data;
+}
+
+const HarnessConfig &
+Experiment::config() const
+{
+    return impl_->cfg;
+}
+
+ModeResult
+Experiment::runExact()
+{
+    return impl_->runMode({}, 0.0, OptimizerStats{});
+}
+
+ModeResult
+Experiment::runPredictive(double epsilon)
+{
+    OptimizerResult opt = impl_->optimize(epsilon);
+    return impl_->runMode(opt.params, epsilon, opt.stats);
+}
+
+std::map<int, std::vector<SpeculationParams>>
+Experiment::predictiveParams(double epsilon)
+{
+    return impl_->optimize(epsilon).params;
+}
+
+SimResult
+Experiment::simulateHardware(
+    const std::map<int, std::vector<SpeculationParams>> &params,
+    const SnapeaConfig &hw)
+{
+    return simulateHardwareSweep(params, {hw}).front();
+}
+
+std::vector<SimResult>
+Experiment::simulateHardwareSweep(
+    const std::map<int, std::vector<SpeculationParams>> &params,
+    const std::vector<SnapeaConfig> &hws)
+{
+    NetworkPlan plan = params.empty()
+        ? makeExactNetworkPlan(*impl_->net)
+        : makeNetworkPlan(*impl_->net, params);
+    SnapeaEngine engine(*impl_->net, plan);
+    impl_->collectTraces(engine);
+
+    std::vector<SimResult> out;
+    out.reserve(hws.size());
+    for (const SnapeaConfig &hw : hws) {
+        SnapeaAccelSim sim(hw);
+        SimResult total;
+        for (const ImageTrace &trace : engine.traces()) {
+            total += sim.simulate(trace, impl_->fc_work,
+                                  impl_->input_bytes);
+        }
+        out.push_back(std::move(total));
+    }
+    return out;
+}
+
+SimResult
+Experiment::simulateEyeriss()
+{
+    NetworkPlan plan = makeExactNetworkPlan(*impl_->net);
+    SnapeaEngine engine(*impl_->net, plan);
+    impl_->collectTraces(engine);
+
+    EyerissSim sim(impl_->cfg.eyeriss_cfg);
+    SimResult total;
+    for (const ImageTrace &trace : engine.traces()) {
+        total += sim.simulate(trace, impl_->fc_work,
+                              impl_->input_bytes);
+    }
+    return total;
+}
+
+} // namespace snapea

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * End-to-end experiment driver shared by the benchmark binaries.
+ *
+ * One Experiment owns a network, its calibrated synthetic weights,
+ * and the optimization/evaluation dataset, and can produce
+ * measurements for the exact mode and for the predictive mode at any
+ * epsilon.  Optimizer outputs are cached on disk keyed by (model,
+ * epsilon, seed), so the bench binaries — one per table/figure — can
+ * share one optimizer run instead of each repeating Algorithm 1.
+ */
+
+#ifndef SNAPEA_HARNESS_EXPERIMENT_HH
+#define SNAPEA_HARNESS_EXPERIMENT_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/models/model_zoo.hh"
+#include "sim/eyeriss.hh"
+#include "sim/snapea_accel.hh"
+#include "snapea/optimizer.hh"
+#include "workload/dataset.hh"
+
+namespace snapea {
+
+/** Experiment-wide configuration. */
+struct HarnessConfig
+{
+    uint64_t seed = 42;
+    /** Override the model's default input resolution (0 = default). */
+    int input_size_override = 0;
+    /** Dataset D: generated classes x images, filtered by margin. */
+    int opt_classes = 40;
+    int opt_images_per_class = 10;
+    double keep_fraction = 0.25;   ///< Margin filter (see dataset.hh).
+    /** Images used for instrumented traces and cycle simulation. */
+    int trace_images = 3;
+    /** Directory for cached optimizer parameters ("" disables). */
+    std::string cache_dir = "snapea_cache";
+    OptimizerConfig opt_cfg;
+    SnapeaConfig snapea_cfg;
+    EyerissConfig eyeriss_cfg;
+    /**
+     * Reference input resolution for the weight-reuse compensation
+     * (see SnapeaConfig::weight_reuse): the constructor sets both
+     * simulators' weight_reuse to (reference_input / input)^2.
+     */
+    int reference_input = 224;
+};
+
+/** Per-conv-layer comparison between the two accelerators. */
+struct LayerComparison
+{
+    std::string name;
+    bool predictive = false;      ///< Layer had speculating kernels.
+    uint64_t snapea_cycles = 0;
+    uint64_t eyeriss_cycles = 0;
+    double snapea_energy_pj = 0.0;
+    double eyeriss_energy_pj = 0.0;
+
+    double speedup() const
+    {
+        return snapea_cycles
+            ? static_cast<double>(eyeriss_cycles) / snapea_cycles : 1.0;
+    }
+    double energyReduction() const
+    {
+        return snapea_energy_pj > 0.0
+            ? eyeriss_energy_pj / snapea_energy_pj : 1.0;
+    }
+};
+
+/** Everything a bench needs about one (model, mode) measurement. */
+struct ModeResult
+{
+    std::string model_name;
+    double epsilon = 0.0;        ///< 0 for the exact mode.
+    double accuracy = 1.0;       ///< Top-1 vs self-labels.
+    double mac_ratio = 1.0;      ///< Performed / full MACs.
+    double tn_rate = 0.0;        ///< Table V.
+    double fn_rate = 0.0;        ///< Table V.
+    double fn_small_fraction = 0.0;  ///< Share of FN below the median
+                                     ///< positive value.
+    SimResult snapea_sim;        ///< Summed over trace images.
+    SimResult eyeriss_sim;
+    std::vector<LayerComparison> layers;
+    OptimizerStats opt_stats;    ///< Meaningful in predictive mode.
+    std::map<int, std::vector<SpeculationParams>> params;
+
+    double speedup() const
+    {
+        return snapea_sim.total_cycles
+            ? static_cast<double>(eyeriss_sim.total_cycles)
+                  / snapea_sim.total_cycles
+            : 1.0;
+    }
+    double energyReduction() const
+    {
+        const double s = snapea_sim.energy.total();
+        return s > 0.0 ? eyeriss_sim.energy.total() / s : 1.0;
+    }
+};
+
+/**
+ * One model's full experiment context.  Construction builds the
+ * network, calibrates weights, and prepares the dataset; mode runs
+ * are computed (and cached) on demand.
+ */
+class Experiment
+{
+  public:
+    explicit Experiment(ModelId id, const HarnessConfig &cfg = {});
+    ~Experiment();
+
+    Network &net();
+    const Dataset &data() const;
+    const HarnessConfig &config() const;
+
+    /** Exact mode: sign-based reordering only, zero accuracy loss. */
+    ModeResult runExact();
+
+    /** Predictive mode at the given accuracy budget. */
+    ModeResult runPredictive(double epsilon);
+
+    /**
+     * Only the speculation parameters for @p epsilon (loaded from
+     * the optimizer cache, running Algorithm 1 on a miss) — used for
+     * hardware sweeps that re-simulate without re-measuring.
+     */
+    std::map<int, std::vector<SpeculationParams>>
+    predictiveParams(double epsilon);
+
+    /**
+     * Cycle-simulate the SnaPEA accelerator under a different
+     * hardware configuration using the given parameters (Fig. 12's
+     * lane sweep).  Pass empty params for the exact mode.
+     */
+    SimResult simulateHardware(
+        const std::map<int, std::vector<SpeculationParams>> &params,
+        const SnapeaConfig &hw);
+
+    /**
+     * Sweep several hardware configurations over one set of
+     * parameters.  The instrumented traces — by far the dominant
+     * cost — are collected once and replayed through each
+     * configuration's simulator.
+     */
+    std::vector<SimResult> simulateHardwareSweep(
+        const std::map<int, std::vector<SpeculationParams>> &params,
+        const std::vector<SnapeaConfig> &hws);
+
+    /** The EYERISS baseline simulation (independent of params). */
+    SimResult simulateEyeriss();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace snapea
+
+#endif // SNAPEA_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Process-wide and on-disk sharing of experiment measurements.
+ *
+ * The benchmark suite is one binary per table/figure; several of them
+ * need the same (model, mode) measurement.  BenchContext keeps live
+ * Experiment objects for the current process and serializes finished
+ * ModeResults to the cache directory, so the whole suite pays for
+ * Algorithm 1 and the instrumented runs exactly once.
+ *
+ * Cache location: $SNAPEA_CACHE_DIR, or "snapea_cache" under the
+ * working directory.  Delete the directory to force recomputation.
+ */
+
+#ifndef SNAPEA_HARNESS_RESULT_CACHE_HH
+#define SNAPEA_HARNESS_RESULT_CACHE_HH
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "harness/experiment.hh"
+
+namespace snapea {
+
+/** Resolve the cache directory (env override or default). */
+std::string cacheDir();
+
+/** Default harness configuration used by every bench binary. */
+HarnessConfig benchHarnessConfig();
+
+/**
+ * Lazily-constructed, cached access to experiment measurements for
+ * the bench binaries.
+ */
+class BenchContext
+{
+  public:
+    /** The per-process singleton. */
+    static BenchContext &instance();
+
+    /** Exact-mode measurement (cached). */
+    ModeResult exact(ModelId id);
+
+    /** Predictive-mode measurement at @p epsilon (cached). */
+    ModeResult predictive(ModelId id, double epsilon);
+
+    /**
+     * SnaPEA total cycles with a different lane count (Fig. 12),
+     * cached per (model, epsilon, lanes).  A miss computes the whole
+     * lane sweep at once (the instrumented traces dominate and are
+     * shared across lane counts).
+     */
+    uint64_t snapeaCyclesWithLanes(ModelId id, double epsilon,
+                                   int lanes);
+
+    /** Lane counts computed together on a snapeaCyclesWithLanes miss. */
+    static constexpr int kLaneSweep[4] = {2, 4, 8, 16};
+
+    /** The live experiment (constructs it if needed). */
+    Experiment &experiment(ModelId id);
+
+  private:
+    BenchContext() = default;
+
+    ModeResult runMode(ModelId id, double epsilon);
+
+    HarnessConfig cfg_ = benchHarnessConfig();
+    std::map<ModelId, std::unique_ptr<Experiment>> experiments_;
+};
+
+} // namespace snapea
+
+#endif // SNAPEA_HARNESS_RESULT_CACHE_HH

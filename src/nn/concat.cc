@@ -1,0 +1,43 @@
+#include "nn/concat.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace snapea {
+
+std::vector<int>
+Concat::outputShape(const std::vector<std::vector<int>> &in_shapes) const
+{
+    SNAPEA_ASSERT(in_shapes.size() >= 1);
+    int channels = 0;
+    for (const auto &s : in_shapes) {
+        SNAPEA_ASSERT(s.size() == 3);
+        if (s[1] != in_shapes[0][1] || s[2] != in_shapes[0][2]) {
+            fatal("concat layer %s: mismatched spatial dims %dx%d vs %dx%d",
+                  name().c_str(), s[1], s[2],
+                  in_shapes[0][1], in_shapes[0][2]);
+        }
+        channels += s[0];
+    }
+    return {channels, in_shapes[0][1], in_shapes[0][2]};
+}
+
+Tensor
+Concat::forward(const std::vector<const Tensor *> &inputs) const
+{
+    std::vector<std::vector<int>> shapes;
+    shapes.reserve(inputs.size());
+    for (const Tensor *t : inputs)
+        shapes.push_back(t->shape());
+    Tensor out(outputShape(shapes));
+
+    float *dst = out.data();
+    for (const Tensor *t : inputs) {
+        std::memcpy(dst, t->data(), t->size() * sizeof(float));
+        dst += t->size();
+    }
+    return out;
+}
+
+} // namespace snapea

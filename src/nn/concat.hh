@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Channel-wise concatenation, used by GoogLeNet inception modules and
+ * SqueezeNet fire modules to merge parallel branches.
+ */
+
+#ifndef SNAPEA_NN_CONCAT_HH
+#define SNAPEA_NN_CONCAT_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.hh"
+
+namespace snapea {
+
+/** Concatenate >= 2 CHW tensors along the channel dimension. */
+class Concat : public Layer
+{
+  public:
+    explicit Concat(std::string name)
+        : Layer(std::move(name), LayerKind::Concat)
+    {}
+
+    Tensor forward(const std::vector<const Tensor *> &inputs) const override;
+
+    std::vector<int>
+    outputShape(const std::vector<std::vector<int>> &in_shapes) const override;
+};
+
+} // namespace snapea
+
+#endif // SNAPEA_NN_CONCAT_HH

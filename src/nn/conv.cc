@@ -1,0 +1,132 @@
+#include "nn/conv.hh"
+
+#include "util/logging.hh"
+
+namespace snapea {
+
+Conv2D::Conv2D(std::string name, const ConvSpec &spec)
+    : Layer(std::move(name), LayerKind::Conv),
+      spec_(spec)
+{
+    SNAPEA_ASSERT(spec_.in_channels > 0 && spec_.out_channels > 0);
+    SNAPEA_ASSERT(spec_.kernel > 0 && spec_.stride > 0 && spec_.pad >= 0);
+    SNAPEA_ASSERT(spec_.groups > 0);
+    SNAPEA_ASSERT(spec_.in_channels % spec_.groups == 0);
+    SNAPEA_ASSERT(spec_.out_channels % spec_.groups == 0);
+    weights_ = Tensor({spec_.out_channels, spec_.in_channels / spec_.groups,
+                       spec_.kernel, spec_.kernel});
+    bias_.assign(spec_.out_channels, 0.0f);
+}
+
+int
+Conv2D::kernelSize() const
+{
+    return (spec_.in_channels / spec_.groups) * spec_.kernel * spec_.kernel;
+}
+
+float
+Conv2D::weightAt(int out_ch, int idx) const
+{
+    return weights_[static_cast<size_t>(out_ch) * kernelSize() + idx];
+}
+
+void
+Conv2D::setWeightAt(int out_ch, int idx, float v)
+{
+    weights_[static_cast<size_t>(out_ch) * kernelSize() + idx] = v;
+}
+
+void
+Conv2D::decodeIndex(int idx, int &ic, int &ky, int &kx) const
+{
+    const int k = spec_.kernel;
+    kx = idx % k;
+    ky = (idx / k) % k;
+    ic = idx / (k * k);
+}
+
+int
+Conv2D::outDim(int n) const
+{
+    return (n + 2 * spec_.pad - spec_.kernel) / spec_.stride + 1;
+}
+
+size_t
+Conv2D::macCount(const std::vector<int> &in_shape) const
+{
+    SNAPEA_ASSERT(in_shape.size() == 3);
+    const size_t oh = outDim(in_shape[1]);
+    const size_t ow = outDim(in_shape[2]);
+    return oh * ow * spec_.out_channels * static_cast<size_t>(kernelSize());
+}
+
+std::vector<int>
+Conv2D::outputShape(const std::vector<std::vector<int>> &in_shapes) const
+{
+    SNAPEA_ASSERT(in_shapes.size() == 1);
+    const auto &s = in_shapes[0];
+    SNAPEA_ASSERT(s.size() == 3);
+    if (s[0] != spec_.in_channels) {
+        fatal("conv layer %s expects %d input channels, got %d",
+              name().c_str(), spec_.in_channels, s[0]);
+    }
+    const int oh = outDim(s[1]);
+    const int ow = outDim(s[2]);
+    if (oh <= 0 || ow <= 0) {
+        fatal("conv layer %s output would be empty for input %dx%d",
+              name().c_str(), s[1], s[2]);
+    }
+    return {spec_.out_channels, oh, ow};
+}
+
+Tensor
+Conv2D::forward(const std::vector<const Tensor *> &inputs) const
+{
+    SNAPEA_ASSERT(inputs.size() == 1);
+    const Tensor &in = *inputs[0];
+    Tensor out(outputShape({in.shape()}));
+
+    const int ih = in.dim(1), iw = in.dim(2);
+    const int oh = out.dim(1), ow = out.dim(2);
+    const int k = spec_.kernel;
+    const int cin_g = spec_.in_channels / spec_.groups;
+    const int cout_g = spec_.out_channels / spec_.groups;
+
+    for (int o = 0; o < spec_.out_channels; ++o) {
+        const int g = o / cout_g;
+        const int ic0 = g * cin_g;
+        const float *w = weights_.data()
+            + static_cast<size_t>(o) * kernelSize();
+        const float b = bias_[o];
+        for (int y = 0; y < oh; ++y) {
+            const int iy0 = y * spec_.stride - spec_.pad;
+            for (int x = 0; x < ow; ++x) {
+                const int ix0 = x * spec_.stride - spec_.pad;
+                float acc = b;
+                for (int ic = 0; ic < cin_g; ++ic) {
+                    const float *in_ch =
+                        in.data() + static_cast<size_t>(ic0 + ic) * ih * iw;
+                    const float *w_ch = w + static_cast<size_t>(ic) * k * k;
+                    for (int ky = 0; ky < k; ++ky) {
+                        const int iy = iy0 + ky;
+                        if (iy < 0 || iy >= ih)
+                            continue;
+                        const float *in_row = in_ch
+                            + static_cast<size_t>(iy) * iw;
+                        const float *w_row = w_ch + ky * k;
+                        for (int kx = 0; kx < k; ++kx) {
+                            const int ix = ix0 + kx;
+                            if (ix < 0 || ix >= iw)
+                                continue;
+                            acc += in_row[ix] * w_row[kx];
+                        }
+                    }
+                }
+                out.at(o, y, x) = acc;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace snapea

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * 2-D convolution layer.
+ *
+ * This is the layer SnaPEA transforms: each output channel ("kernel"
+ * in the paper's terminology) owns Cin/groups x Kh x Kw weights that
+ * the SnaPEA passes reorder, and whose per-window dot products the
+ * accelerator terminates early.  The layer therefore exposes flat
+ * per-kernel weight access in addition to plain forward().
+ */
+
+#ifndef SNAPEA_NN_CONV_HH
+#define SNAPEA_NN_CONV_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.hh"
+#include "nn/tensor.hh"
+
+namespace snapea {
+
+/** Static configuration of a convolution layer. */
+struct ConvSpec
+{
+    int in_channels = 0;    ///< Input channel count (C_in).
+    int out_channels = 0;   ///< Output channel / kernel count (C_out).
+    int kernel = 1;         ///< Square kernel width D_k.
+    int stride = 1;         ///< Stride in both dimensions.
+    int pad = 0;            ///< Zero padding on each border.
+    int groups = 1;         ///< Grouped convolution (AlexNet uses 2).
+};
+
+/**
+ * 2-D convolution with square kernels, symmetric padding, and
+ * optional channel groups.  Weights are OIHW, bias per output
+ * channel.
+ */
+class Conv2D : public Layer
+{
+  public:
+    /**
+     * @param name Layer name.
+     * @param spec Static configuration; validated on construction.
+     */
+    Conv2D(std::string name, const ConvSpec &spec);
+
+    /** Static configuration. */
+    const ConvSpec &spec() const { return spec_; }
+
+    /** Weights, OIHW, shape [C_out, C_in/groups, D_k, D_k]. */
+    Tensor &weights() { return weights_; }
+    const Tensor &weights() const { return weights_; }
+
+    /** Bias, one entry per output channel. */
+    std::vector<float> &bias() { return bias_; }
+    const std::vector<float> &bias() const { return bias_; }
+
+    /** Number of weights in one kernel: C_in/groups * D_k * D_k. */
+    int kernelSize() const;
+
+    /**
+     * Weight of kernel @p out_ch at flat kernel index @p idx, where
+     * the flat order is (in_channel, ky, kx) row-major.
+     */
+    float weightAt(int out_ch, int idx) const;
+
+    /** Mutable variant of weightAt (used by tests and generators). */
+    void setWeightAt(int out_ch, int idx, float v);
+
+    /**
+     * Decompose a flat kernel index into (in_channel_within_group,
+     * ky, kx).
+     */
+    void decodeIndex(int idx, int &ic, int &ky, int &kx) const;
+
+    /** MAC count of a full (unterminated) forward pass. */
+    size_t macCount(const std::vector<int> &in_shape) const;
+
+    Tensor forward(const std::vector<const Tensor *> &inputs) const override;
+
+    std::vector<int>
+    outputShape(const std::vector<std::vector<int>> &in_shapes) const override;
+
+    /** Output spatial size for one dimension of length n. */
+    int outDim(int n) const;
+
+  private:
+    ConvSpec spec_;
+    Tensor weights_;
+    std::vector<float> bias_;
+};
+
+} // namespace snapea
+
+#endif // SNAPEA_NN_CONV_HH

@@ -1,0 +1,57 @@
+#include "nn/dense.hh"
+
+#include "util/logging.hh"
+
+namespace snapea {
+
+FullyConnected::FullyConnected(std::string name, int in_features,
+                               int out_features)
+    : Layer(std::move(name), LayerKind::FullyConnected),
+      in_features_(in_features),
+      out_features_(out_features)
+{
+    SNAPEA_ASSERT(in_features > 0 && out_features > 0);
+    weights_ = Tensor({out_features, in_features});
+    bias_.assign(out_features, 0.0f);
+}
+
+size_t
+FullyConnected::macCount() const
+{
+    return static_cast<size_t>(in_features_) * out_features_;
+}
+
+std::vector<int>
+FullyConnected::outputShape(
+    const std::vector<std::vector<int>> &in_shapes) const
+{
+    SNAPEA_ASSERT(in_shapes.size() == 1);
+    const size_t flat = Tensor::elemCount(in_shapes[0]);
+    if (flat != static_cast<size_t>(in_features_)) {
+        fatal("fc layer %s expects %d input features, got %zu",
+              name().c_str(), in_features_, flat);
+    }
+    return {out_features_};
+}
+
+Tensor
+FullyConnected::forward(const std::vector<const Tensor *> &inputs) const
+{
+    SNAPEA_ASSERT(inputs.size() == 1);
+    const Tensor &in = *inputs[0];
+    SNAPEA_ASSERT(in.size() == static_cast<size_t>(in_features_));
+
+    Tensor out({out_features_});
+    const float *x = in.data();
+    for (int o = 0; o < out_features_; ++o) {
+        const float *w = weights_.data()
+            + static_cast<size_t>(o) * in_features_;
+        double acc = bias_[o];
+        for (int i = 0; i < in_features_; ++i)
+            acc += static_cast<double>(w[i]) * x[i];
+        out[o] = static_cast<float>(acc);
+    }
+    return out;
+}
+
+} // namespace snapea

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fully-connected (inner-product) layer.  Executed on the same
+ * hardware unit as convolutions in the SnaPEA architecture; in
+ * software it simply flattens its input.
+ */
+
+#ifndef SNAPEA_NN_DENSE_HH
+#define SNAPEA_NN_DENSE_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.hh"
+#include "nn/tensor.hh"
+
+namespace snapea {
+
+/** Dense layer: out = W * flatten(in) + b, weights OI. */
+class FullyConnected : public Layer
+{
+  public:
+    /**
+     * @param name Layer name.
+     * @param in_features Flattened input length.
+     * @param out_features Output length.
+     */
+    FullyConnected(std::string name, int in_features, int out_features);
+
+    int inFeatures() const { return in_features_; }
+    int outFeatures() const { return out_features_; }
+
+    /** Weights, shape [out_features, in_features]. */
+    Tensor &weights() { return weights_; }
+    const Tensor &weights() const { return weights_; }
+
+    /** Bias, one entry per output feature. */
+    std::vector<float> &bias() { return bias_; }
+    const std::vector<float> &bias() const { return bias_; }
+
+    /** MAC count of a forward pass. */
+    size_t macCount() const;
+
+    Tensor forward(const std::vector<const Tensor *> &inputs) const override;
+
+    std::vector<int>
+    outputShape(const std::vector<std::vector<int>> &in_shapes) const override;
+
+  private:
+    int in_features_;
+    int out_features_;
+    Tensor weights_;
+    std::vector<float> bias_;
+};
+
+} // namespace snapea
+
+#endif // SNAPEA_NN_DENSE_HH

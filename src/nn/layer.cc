@@ -1,0 +1,21 @@
+#include "nn/layer.hh"
+
+namespace snapea {
+
+const char *
+layerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Conv: return "Conv";
+      case LayerKind::ReLU: return "ReLU";
+      case LayerKind::MaxPool: return "MaxPool";
+      case LayerKind::AvgPool: return "AvgPool";
+      case LayerKind::LRN: return "LRN";
+      case LayerKind::Concat: return "Concat";
+      case LayerKind::FullyConnected: return "FullyConnected";
+      case LayerKind::Softmax: return "Softmax";
+    }
+    return "?";
+}
+
+} // namespace snapea

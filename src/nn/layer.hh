@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Layer interface for the CNN inference substrate.
+ *
+ * Every layer is a pure function from input tensors to one output
+ * tensor; networks own layers and wire them into a DAG (see
+ * network.hh).  Layers carry no batch dimension: the simulator
+ * processes one image at a time, which keeps memory bounded and
+ * matches the accelerator model (one inference at a time).
+ */
+
+#ifndef SNAPEA_NN_LAYER_HH
+#define SNAPEA_NN_LAYER_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hh"
+
+namespace snapea {
+
+/** Discriminator for quick layer-type checks without RTTI. */
+enum class LayerKind {
+    Conv,
+    ReLU,
+    MaxPool,
+    AvgPool,
+    LRN,
+    Concat,
+    FullyConnected,
+    Softmax,
+};
+
+/** Printable name of a layer kind. */
+const char *layerKindName(LayerKind kind);
+
+/**
+ * Abstract base for all layers.
+ *
+ * Subclasses implement forward() (functional semantics, no internal
+ * state mutation) and outputShape() (static shape inference used when
+ * a network is assembled).
+ */
+class Layer
+{
+  public:
+    /**
+     * @param name Unique name within the owning network, e.g.\
+     *        "conv4_2" or "inception_4e/1x1".
+     * @param kind Discriminator for the concrete subclass.
+     */
+    Layer(std::string name, LayerKind kind)
+        : name_(std::move(name)), kind_(kind)
+    {}
+
+    virtual ~Layer() = default;
+
+    Layer(const Layer &) = delete;
+    Layer &operator=(const Layer &) = delete;
+
+    /** Unique layer name within its network. */
+    const std::string &name() const { return name_; }
+
+    /** Concrete layer kind. */
+    LayerKind kind() const { return kind_; }
+
+    /**
+     * Compute the layer output.
+     *
+     * @param inputs Borrowed input tensors, one per declared input.
+     * @return The output tensor.
+     */
+    virtual Tensor forward(const std::vector<const Tensor *> &inputs) const = 0;
+
+    /**
+     * Infer the output shape from input shapes.  Called once when the
+     * network graph is finalized; also validates input arity/shapes.
+     */
+    virtual std::vector<int>
+    outputShape(const std::vector<std::vector<int>> &in_shapes) const = 0;
+
+  private:
+    std::string name_;
+    LayerKind kind_;
+};
+
+} // namespace snapea
+
+#endif // SNAPEA_NN_LAYER_HH

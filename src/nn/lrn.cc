@@ -1,0 +1,56 @@
+#include "nn/lrn.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace snapea {
+
+LRN::LRN(std::string name, const LrnSpec &spec)
+    : Layer(std::move(name), LayerKind::LRN),
+      spec_(spec)
+{
+    SNAPEA_ASSERT(spec_.local_size > 0);
+}
+
+std::vector<int>
+LRN::outputShape(const std::vector<std::vector<int>> &in_shapes) const
+{
+    SNAPEA_ASSERT(in_shapes.size() == 1);
+    SNAPEA_ASSERT(in_shapes[0].size() == 3);
+    return in_shapes[0];
+}
+
+Tensor
+LRN::forward(const std::vector<const Tensor *> &inputs) const
+{
+    SNAPEA_ASSERT(inputs.size() == 1);
+    const Tensor &in = *inputs[0];
+    Tensor out(in.shape());
+
+    const int c_n = in.dim(0), h = in.dim(1), w = in.dim(2);
+    const int half = spec_.local_size / 2;
+    const float scale = spec_.alpha / spec_.local_size;
+
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            for (int c = 0; c < c_n; ++c) {
+                const int lo = std::max(0, c - half);
+                const int hi = std::min(c_n - 1, c + half);
+                double sq = 0.0;
+                for (int cc = lo; cc <= hi; ++cc) {
+                    const float v = in.at(cc, y, x);
+                    sq += static_cast<double>(v) * v;
+                }
+                const double denom =
+                    std::pow(spec_.k + scale * sq, spec_.beta);
+                out.at(c, y, x) =
+                    static_cast<float>(in.at(c, y, x) / denom);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace snapea

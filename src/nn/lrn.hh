@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Local Response Normalization (across channels), as used by AlexNet
+ * and GoogLeNet.
+ */
+
+#ifndef SNAPEA_NN_LRN_HH
+#define SNAPEA_NN_LRN_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.hh"
+
+namespace snapea {
+
+/** Static configuration of an LRN layer (AlexNet defaults). */
+struct LrnSpec
+{
+    int local_size = 5;     ///< Number of adjacent channels summed.
+    float alpha = 1e-4f;    ///< Scale of the squared-sum term.
+    float beta = 0.75f;     ///< Exponent.
+    float k = 1.0f;         ///< Additive constant.
+};
+
+/**
+ * Across-channel LRN:
+ *   out[c] = in[c] / (k + alpha/n * sum_{c'} in[c']^2)^beta
+ * with the sum over a window of local_size channels centered on c.
+ */
+class LRN : public Layer
+{
+  public:
+    LRN(std::string name, const LrnSpec &spec = {});
+
+    const LrnSpec &spec() const { return spec_; }
+
+    Tensor forward(const std::vector<const Tensor *> &inputs) const override;
+
+    std::vector<int>
+    outputShape(const std::vector<std::vector<int>> &in_shapes) const override;
+
+  private:
+    LrnSpec spec_;
+};
+
+} // namespace snapea
+
+#endif // SNAPEA_NN_LRN_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * AlexNet topology (Krizhevsky et al., 2012), following the Caffe
+ * bvlc_alexnet deployment: 5 convolutions (conv2/4/5 grouped), two
+ * LRN stages, three max pools, and three fully-connected layers.
+ */
+
+#include "nn/models/builder.hh"
+
+namespace snapea::models {
+
+std::unique_ptr<Network>
+buildAlexNet(const ModelScale &scale)
+{
+    NetBuilder b("AlexNet", scale);
+
+    b.convRelu("conv1", 96, 11, 4, 2);
+    b.lrn("norm1");
+    b.maxPool("pool1", 3, 2);
+
+    b.convRelu("conv2", 256, 5, 1, 2, /*groups=*/2);
+    b.lrn("norm2");
+    b.maxPool("pool2", 3, 2);
+
+    b.convRelu("conv3", 384, 3, 1, 1);
+    b.convRelu("conv4", 384, 3, 1, 1, /*groups=*/2);
+    b.convRelu("conv5", 256, 3, 1, 1, /*groups=*/2);
+    b.maxPool("pool5", 3, 2);
+
+    b.fcRelu("fc6", 4096);
+    b.fcRelu("fc7", 4096);
+    b.fc("fc8", b.numClasses(), /*scaled=*/false);
+    b.softmax("prob");
+
+    return b.finish();
+}
+
+} // namespace snapea::models

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Internal helper for assembling model topologies tersely.  Not part
+ * of the public API; include only from model builder .cc files.
+ */
+
+#ifndef SNAPEA_NN_MODELS_BUILDER_HH
+#define SNAPEA_NN_MODELS_BUILDER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/concat.hh"
+#include "nn/conv.hh"
+#include "nn/dense.hh"
+#include "nn/lrn.hh"
+#include "nn/models/model_zoo.hh"
+#include "nn/network.hh"
+#include "nn/pooling.hh"
+#include "nn/relu.hh"
+#include "nn/softmax.hh"
+#include "nn/tensor.hh"
+
+namespace snapea::models {
+
+/**
+ * Thin fluent wrapper over Network used by the four topology
+ * builders.  Channel counts given to conv() are the *original*
+ * network's counts; the builder applies the scale.
+ */
+class NetBuilder
+{
+  public:
+    NetBuilder(std::string name, const ModelScale &scale)
+        : scale_(scale),
+          net_(std::make_unique<Network>(
+              std::move(name), std::vector<int>{3, scale.input_size,
+                                                scale.input_size}))
+    {}
+
+    Network &net() { return *net_; }
+
+    /** Finish and hand over the network. */
+    std::unique_ptr<Network> finish() { return std::move(net_); }
+
+    /** Channel count of a named source ("@input" or a layer name). */
+    int channelsOf(const std::string &src) const
+    {
+        if (src == "@input")
+            return net_->inputShape()[0];
+        return net_->outputShape(net_->layerIndex(src))[0];
+    }
+
+    /** Name of the most recently added layer ("@input" if none). */
+    const std::string &last() const { return last_; }
+
+    /**
+     * Add a convolution.  @p out_ch is the original channel count;
+     * scaling is applied here.  Returns the conv layer name.
+     */
+    std::string conv(const std::string &name, int out_ch, int k,
+                     int stride, int pad, int groups = 1,
+                     std::vector<std::string> inputs = {})
+    {
+        resolveInputs(inputs);
+        ConvSpec spec;
+        spec.in_channels = channelsOf(inputs[0]);
+        spec.out_channels = scaleChannels(out_ch, scale_.channel_scale);
+        spec.kernel = k;
+        spec.stride = stride;
+        spec.pad = pad;
+        spec.groups = groups;
+        net_->add(std::make_unique<Conv2D>(name, spec), inputs);
+        last_ = name;
+        return name;
+    }
+
+    /** Convolution followed by ReLU; returns the ReLU layer name. */
+    std::string convRelu(const std::string &name, int out_ch, int k,
+                         int stride, int pad, int groups = 1,
+                         std::vector<std::string> inputs = {})
+    {
+        conv(name, out_ch, k, stride, pad, groups, std::move(inputs));
+        return relu(name + "/relu");
+    }
+
+    /** ReLU on the previous (or named) layer. */
+    std::string relu(const std::string &name,
+                     std::vector<std::string> inputs = {})
+    {
+        resolveInputs(inputs);
+        net_->add(std::make_unique<ReLU>(name), inputs);
+        last_ = name;
+        return name;
+    }
+
+    std::string maxPool(const std::string &name, int k, int stride,
+                        int pad = 0, std::vector<std::string> inputs = {})
+    {
+        resolveInputs(inputs);
+        net_->add(std::make_unique<Pooling>(name, LayerKind::MaxPool,
+                                            PoolSpec{k, stride, pad}),
+                  inputs);
+        last_ = name;
+        return name;
+    }
+
+    std::string avgPool(const std::string &name, int k, int stride,
+                        int pad = 0, std::vector<std::string> inputs = {})
+    {
+        resolveInputs(inputs);
+        net_->add(std::make_unique<Pooling>(name, LayerKind::AvgPool,
+                                            PoolSpec{k, stride, pad}),
+                  inputs);
+        last_ = name;
+        return name;
+    }
+
+    /** Global average pooling (kernel = whole feature map). */
+    std::string globalAvgPool(const std::string &name,
+                              std::vector<std::string> inputs = {})
+    {
+        return avgPool(name, 0, 1, 0, std::move(inputs));
+    }
+
+    std::string lrn(const std::string &name,
+                    std::vector<std::string> inputs = {})
+    {
+        resolveInputs(inputs);
+        net_->add(std::make_unique<LRN>(name), inputs);
+        last_ = name;
+        return name;
+    }
+
+    std::string concat(const std::string &name,
+                       std::vector<std::string> inputs)
+    {
+        net_->add(std::make_unique<Concat>(name), inputs);
+        last_ = name;
+        return name;
+    }
+
+    /**
+     * Fully-connected layer.  @p out_features is the original width;
+     * pass scaled=false for the classifier layer whose width is
+     * num_classes and must not be scaled.
+     */
+    std::string fc(const std::string &name, int out_features,
+                   bool scaled = true, std::vector<std::string> inputs = {})
+    {
+        resolveInputs(inputs);
+        const auto &in_shape = inputs[0] == "@input"
+            ? net_->inputShape()
+            : net_->outputShape(net_->layerIndex(inputs[0]));
+        const int in_features =
+            static_cast<int>(Tensor::elemCount(in_shape));
+        const int out = scaled
+            ? scaleChannels(out_features, scale_.fc_scale)
+            : out_features;
+        net_->add(std::make_unique<FullyConnected>(name, in_features, out),
+                  inputs);
+        last_ = name;
+        return name;
+    }
+
+    /** FC followed by ReLU. */
+    std::string fcRelu(const std::string &name, int out_features,
+                       std::vector<std::string> inputs = {})
+    {
+        fc(name, out_features, true, std::move(inputs));
+        return relu(name + "/relu");
+    }
+
+    std::string softmax(const std::string &name,
+                        std::vector<std::string> inputs = {})
+    {
+        resolveInputs(inputs);
+        net_->add(std::make_unique<Softmax>(name), inputs);
+        last_ = name;
+        return name;
+    }
+
+    int numClasses() const { return scale_.num_classes; }
+
+  private:
+    void resolveInputs(std::vector<std::string> &inputs)
+    {
+        if (inputs.empty())
+            inputs.push_back(last_);
+    }
+
+    ModelScale scale_;
+    std::unique_ptr<Network> net_;
+    std::string last_ = "@input";
+};
+
+} // namespace snapea::models
+
+#endif // SNAPEA_NN_MODELS_BUILDER_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * GoogLeNet (Inception v1, Szegedy et al., 2015): stem of three
+ * convolutions, nine inception modules, global average pooling and
+ * one fully-connected classifier — 57 convolution layers total, as
+ * Table I of the paper counts.  Layer names follow Caffe's
+ * bvlc_googlenet so the paper's Fig. 10 labels (e.g.\
+ * "inception_4e/1x1") resolve directly.
+ */
+
+#include "nn/models/builder.hh"
+
+namespace snapea::models {
+
+namespace {
+
+/** Channel plan of one inception module (original counts). */
+struct InceptionSpec
+{
+    const char *name;
+    int c1x1;        ///< 1x1 branch.
+    int c3x3_reduce; ///< 1x1 reduction feeding the 3x3 branch.
+    int c3x3;        ///< 3x3 branch.
+    int c5x5_reduce; ///< 1x1 reduction feeding the 5x5 branch.
+    int c5x5;        ///< 5x5 branch.
+    int pool_proj;   ///< 1x1 projection after the 3x3 max pool.
+};
+
+/** Append one inception module reading from @p input. */
+std::string
+addInception(NetBuilder &b, const InceptionSpec &s, const std::string &input)
+{
+    const std::string p = std::string("inception_") + s.name;
+
+    const auto b1 = b.convRelu(p + "/1x1", s.c1x1, 1, 1, 0, 1, {input});
+
+    b.convRelu(p + "/3x3_reduce", s.c3x3_reduce, 1, 1, 0, 1, {input});
+    const auto b2 = b.convRelu(p + "/3x3", s.c3x3, 3, 1, 1);
+
+    b.convRelu(p + "/5x5_reduce", s.c5x5_reduce, 1, 1, 0, 1, {input});
+    const auto b3 = b.convRelu(p + "/5x5", s.c5x5, 5, 1, 2);
+
+    b.maxPool(p + "/pool", 3, 1, 1, {input});
+    const auto b4 = b.convRelu(p + "/pool_proj", s.pool_proj, 1, 1, 0);
+
+    return b.concat(p + "/output", {b1, b2, b3, b4});
+}
+
+} // namespace
+
+std::unique_ptr<Network>
+buildGoogLeNet(const ModelScale &scale)
+{
+    NetBuilder b("GoogLeNet", scale);
+
+    b.convRelu("conv1/7x7_s2", 64, 7, 2, 3);
+    b.maxPool("pool1/3x3_s2", 3, 2);
+    b.lrn("pool1/norm1");
+
+    b.convRelu("conv2/3x3_reduce", 64, 1, 1, 0);
+    b.convRelu("conv2/3x3", 192, 3, 1, 1);
+    b.lrn("conv2/norm2");
+    b.maxPool("pool2/3x3_s2", 3, 2);
+
+    std::string cur = b.last();
+    const InceptionSpec group3[] = {
+        {"3a", 64, 96, 128, 16, 32, 32},
+        {"3b", 128, 128, 192, 32, 96, 64},
+    };
+    for (const auto &s : group3)
+        cur = addInception(b, s, cur);
+    cur = b.maxPool("pool3/3x3_s2", 3, 2, 0, {cur});
+
+    const InceptionSpec group4[] = {
+        {"4a", 192, 96, 208, 16, 48, 64},
+        {"4b", 160, 112, 224, 24, 64, 64},
+        {"4c", 128, 128, 256, 24, 64, 64},
+        {"4d", 112, 144, 288, 32, 64, 64},
+        {"4e", 256, 160, 320, 32, 128, 128},
+    };
+    for (const auto &s : group4)
+        cur = addInception(b, s, cur);
+    cur = b.maxPool("pool4/3x3_s2", 3, 2, 0, {cur});
+
+    const InceptionSpec group5[] = {
+        {"5a", 256, 160, 320, 32, 128, 128},
+        {"5b", 384, 192, 384, 48, 128, 128},
+    };
+    for (const auto &s : group5)
+        cur = addInception(b, s, cur);
+
+    b.globalAvgPool("pool5/7x7_s1", {cur});
+    b.fc("loss3/classifier", b.numClasses(), /*scaled=*/false);
+    b.softmax("prob");
+
+    return b.finish();
+}
+
+} // namespace snapea::models

@@ -1,0 +1,92 @@
+#include "nn/models/model_zoo.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace snapea {
+
+namespace {
+
+// Table I facts plus the Fig. 1 negative-activation fraction used as
+// the calibration target for synthetic weights.  Fig. 1 reports the
+// band 42%-68%; per-network targets within that band are chosen so
+// GoogLeNet is the highest (the paper attributes its largest savings
+// to "a large fraction of the features are negative") and the
+// statically pruned SqueezeNet the lowest.
+const ModelInfo kModelInfos[] = {
+    {ModelId::AlexNet, "AlexNet", 2012, 224.0, 5, 3, 72.6, 0.55},
+    {ModelId::GoogLeNet, "GoogLeNet", 2015, 54.0, 57, 1, 84.4, 0.68},
+    {ModelId::SqueezeNet, "SqueezeNet", 2016, 6.0, 26, 1, 74.1, 0.42},
+    {ModelId::VGGNet, "VGGNet", 2014, 554.0, 13, 3, 83.0, 0.60},
+};
+
+} // namespace
+
+const ModelInfo &
+modelInfo(ModelId id)
+{
+    for (const auto &info : kModelInfos)
+        if (info.id == id)
+            return info;
+    panic("unknown model id %d", static_cast<int>(id));
+}
+
+ModelId
+modelByName(const std::string &name)
+{
+    for (const auto &info : kModelInfos)
+        if (name == info.name)
+            return info.id;
+    fatal("unknown model name %s", name.c_str());
+}
+
+ModelScale
+defaultScale(ModelId id)
+{
+    ModelScale scale;
+    if (id == ModelId::VGGNet) {
+        // VGGNet's unscaled conv volume (~15.5 GMAC) is an order of
+        // magnitude above the others; shrink channels further so the
+        // four networks cost comparable simulation time.
+        scale.channel_scale = 0.125f;
+        scale.fc_scale = 0.125f;
+    }
+    return scale;
+}
+
+std::unique_ptr<Network>
+buildModel(ModelId id, const ModelScale &scale)
+{
+    switch (id) {
+      case ModelId::AlexNet: return models::buildAlexNet(scale);
+      case ModelId::GoogLeNet: return models::buildGoogLeNet(scale);
+      case ModelId::SqueezeNet: return models::buildSqueezeNet(scale);
+      case ModelId::VGGNet: return models::buildVggNet(scale);
+    }
+    panic("unknown model id %d", static_cast<int>(id));
+}
+
+std::unique_ptr<Network>
+buildModel(ModelId id)
+{
+    return buildModel(id, defaultScale(id));
+}
+
+namespace models {
+
+int
+scaleChannels(int channels, float scale)
+{
+    SNAPEA_ASSERT(channels > 0 && scale > 0.0f);
+    const int scaled = static_cast<int>(std::lround(channels * scale));
+    // Round to a multiple of 8 so grouped convolutions stay divisible
+    // and the accelerator's kernel partitioning stays regular.
+    const int rounded = ((scaled + 7) / 8) * 8;
+    return std::max(8, rounded);
+}
+
+} // namespace models
+
+} // namespace snapea

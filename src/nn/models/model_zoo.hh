@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The four CNNs evaluated in the paper (Table I), built with faithful
+ * layer topologies and a uniform scaling knob.
+ *
+ * Scaling rationale (see DESIGN.md): the paper's results are relative
+ * (speedup/energy vs EYERISS at equal peak throughput), and SnaPEA's
+ * savings depend on layer structure and output-sign statistics, not
+ * on absolute resolution.  The default scales keep every layer, every
+ * kernel size, and every inception/fire module of the original
+ * networks while shrinking resolution/channels so the full experiment
+ * suite runs on a single CPU core.
+ */
+
+#ifndef SNAPEA_NN_MODELS_MODEL_ZOO_HH
+#define SNAPEA_NN_MODELS_MODEL_ZOO_HH
+
+#include <memory>
+#include <string>
+
+#include "nn/network.hh"
+
+namespace snapea {
+
+/** The networks of Table I. */
+enum class ModelId {
+    AlexNet,
+    GoogLeNet,
+    SqueezeNet,
+    VGGNet,
+};
+
+/** All model ids, in Table I order. */
+inline constexpr ModelId kAllModels[] = {
+    ModelId::AlexNet, ModelId::GoogLeNet, ModelId::SqueezeNet,
+    ModelId::VGGNet,
+};
+
+/** Scaling knob applied uniformly to a topology. */
+struct ModelScale
+{
+    int input_size = 80;        ///< Input is input_size x input_size RGB.
+    float channel_scale = 0.25f;///< Multiplier on every channel count.
+    float fc_scale = 0.25f;     ///< Multiplier on hidden FC widths.
+    int num_classes = 16;       ///< Classifier width.
+};
+
+/** Static facts about a model (paper values from Table I / Fig. 1). */
+struct ModelInfo
+{
+    ModelId id;
+    const char *name;             ///< Display name, e.g.\ "GoogLeNet".
+    int year;                     ///< Release year (Table I).
+    double model_size_mb_paper;   ///< Weight size in MB (Table I).
+    int conv_layers_paper;        ///< Convolution layer count (Table I).
+    int fc_layers_paper;          ///< FC layer count (Table I).
+    double accuracy_paper;        ///< Baseline accuracy % (Table I).
+    double neg_fraction_target;   ///< Fig. 1 negative-activation share
+                                  ///< used to calibrate synthetic weights.
+};
+
+/** Lookup of static model facts. */
+const ModelInfo &modelInfo(ModelId id);
+
+/** Model id by display name; fatal on unknown names. */
+ModelId modelByName(const std::string &name);
+
+/**
+ * Default experiment scale per model.  VGGNet gets a smaller channel
+ * scale because its unscaled conv volume is an order of magnitude
+ * above the other three networks.
+ */
+ModelScale defaultScale(ModelId id);
+
+/**
+ * Build a model with the given scale.  The returned network ends in a
+ * Softmax layer; convolution/FC weights are zero until a weight
+ * initializer (see workload/weight_init.hh) fills them.
+ */
+std::unique_ptr<Network> buildModel(ModelId id, const ModelScale &scale);
+
+/** Convenience: build at the default scale. */
+std::unique_ptr<Network> buildModel(ModelId id);
+
+namespace models {
+
+/** Round a scaled channel count to a positive multiple of 8. */
+int scaleChannels(int channels, float scale);
+
+/** Topology builders (one translation unit per network). */
+std::unique_ptr<Network> buildAlexNet(const ModelScale &scale);
+std::unique_ptr<Network> buildVggNet(const ModelScale &scale);
+std::unique_ptr<Network> buildGoogLeNet(const ModelScale &scale);
+std::unique_ptr<Network> buildSqueezeNet(const ModelScale &scale);
+
+} // namespace models
+
+} // namespace snapea
+
+#endif // SNAPEA_NN_MODELS_MODEL_ZOO_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * SqueezeNet v1.0 (Iandola et al., 2016): conv1, eight fire modules
+ * (squeeze 1x1 + parallel 1x1/3x3 expands), conv10, global average
+ * pooling — 26 convolution layers total, matching Table I.  The
+ * paper uses SqueezeNet as its statically pruned comparison point.
+ */
+
+#include "nn/models/builder.hh"
+
+namespace snapea::models {
+
+namespace {
+
+/** Append one fire module reading from @p input. */
+std::string
+addFire(NetBuilder &b, const std::string &name, int squeeze, int expand,
+        const std::string &input)
+{
+    b.convRelu(name + "/squeeze1x1", squeeze, 1, 1, 0, 1, {input});
+    const std::string sq = b.last();
+    const auto e1 = b.convRelu(name + "/expand1x1", expand, 1, 1, 0, 1, {sq});
+    const auto e3 = b.convRelu(name + "/expand3x3", expand, 3, 1, 1, 1, {sq});
+    return b.concat(name + "/concat", {e1, e3});
+}
+
+} // namespace
+
+std::unique_ptr<Network>
+buildSqueezeNet(const ModelScale &scale)
+{
+    NetBuilder b("SqueezeNet", scale);
+
+    b.convRelu("conv1", 96, 7, 2, 0);
+    b.maxPool("pool1", 3, 2);
+
+    std::string cur = b.last();
+    cur = addFire(b, "fire2", 16, 64, cur);
+    cur = addFire(b, "fire3", 16, 64, cur);
+    cur = addFire(b, "fire4", 32, 128, cur);
+    cur = b.maxPool("pool4", 3, 2, 0, {cur});
+    cur = addFire(b, "fire5", 32, 128, cur);
+    cur = addFire(b, "fire6", 48, 192, cur);
+    cur = addFire(b, "fire7", 48, 192, cur);
+    cur = addFire(b, "fire8", 64, 256, cur);
+    cur = b.maxPool("pool8", 3, 2, 0, {cur});
+    cur = addFire(b, "fire9", 64, 256, cur);
+
+    // conv10 is the classifier; its width is num_classes, unscaled.
+    ConvSpec spec;
+    spec.in_channels = b.channelsOf(cur);
+    spec.out_channels = b.numClasses();
+    spec.kernel = 1;
+    b.net().add(std::make_unique<Conv2D>("conv10", spec), {cur});
+    b.relu("conv10/relu", {"conv10"});
+    b.globalAvgPool("pool10");
+    b.softmax("prob");
+
+    return b.finish();
+}
+
+} // namespace snapea::models

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * VGGNet-16 topology (Simonyan & Zisserman, 2014): 13 3x3
+ * convolutions in five blocks separated by max pools, then three
+ * fully-connected layers.
+ */
+
+#include "nn/models/builder.hh"
+
+namespace snapea::models {
+
+std::unique_ptr<Network>
+buildVggNet(const ModelScale &scale)
+{
+    NetBuilder b("VGGNet", scale);
+
+    const struct { const char *block; int convs; int channels; }
+    blocks[] = {
+        {"conv1", 2, 64},
+        {"conv2", 2, 128},
+        {"conv3", 3, 256},
+        {"conv4", 3, 512},
+        {"conv5", 3, 512},
+    };
+
+    for (const auto &blk : blocks) {
+        for (int i = 1; i <= blk.convs; ++i) {
+            b.convRelu(std::string(blk.block) + "_" + std::to_string(i),
+                       blk.channels, 3, 1, 1);
+        }
+        b.maxPool(std::string("pool") + (blk.block + 4), 2, 2);
+    }
+
+    b.fcRelu("fc6", 4096);
+    b.fcRelu("fc7", 4096);
+    b.fc("fc8", b.numClasses(), /*scaled=*/false);
+    b.softmax("prob");
+
+    return b.finish();
+}
+
+} // namespace snapea::models

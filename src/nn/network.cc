@@ -1,0 +1,166 @@
+#include "nn/network.hh"
+
+#include "nn/dense.hh"
+#include "util/logging.hh"
+
+namespace snapea {
+
+Network::Network(std::string name, std::vector<int> input_shape)
+    : name_(std::move(name)),
+      input_shape_(std::move(input_shape))
+{
+    SNAPEA_ASSERT(input_shape_.size() == 3);
+}
+
+int
+Network::add(std::unique_ptr<Layer> layer,
+             const std::vector<std::string> &inputs)
+{
+    SNAPEA_ASSERT(layer != nullptr);
+    const int idx = numLayers();
+
+    std::vector<int> prods;
+    if (inputs.empty()) {
+        prods.push_back(idx == 0 ? kInput : idx - 1);
+    } else {
+        prods.reserve(inputs.size());
+        for (const auto &in_name : inputs) {
+            if (in_name == "@input") {
+                prods.push_back(kInput);
+            } else {
+                prods.push_back(layerIndex(in_name));
+            }
+        }
+    }
+
+    std::vector<std::vector<int>> in_shapes;
+    in_shapes.reserve(prods.size());
+    for (int p : prods)
+        in_shapes.push_back(p == kInput ? input_shape_ : out_shapes_[p]);
+
+    if (by_name_.count(layer->name())) {
+        fatal("network %s: duplicate layer name %s",
+              name_.c_str(), layer->name().c_str());
+    }
+
+    out_shapes_.push_back(layer->outputShape(in_shapes));
+    producers_.push_back(std::move(prods));
+    by_name_[layer->name()] = idx;
+    if (layer->kind() == LayerKind::Conv)
+        conv_layers_.push_back(idx);
+    layers_.push_back(std::move(layer));
+    return idx;
+}
+
+const Layer &
+Network::layer(int idx) const
+{
+    SNAPEA_ASSERT(idx >= 0 && idx < numLayers());
+    return *layers_[idx];
+}
+
+Layer &
+Network::layer(int idx)
+{
+    SNAPEA_ASSERT(idx >= 0 && idx < numLayers());
+    return *layers_[idx];
+}
+
+int
+Network::layerIndex(const std::string &name) const
+{
+    auto it = by_name_.find(name);
+    if (it == by_name_.end())
+        fatal("network %s: no layer named %s", name_.c_str(), name.c_str());
+    return it->second;
+}
+
+const std::vector<int> &
+Network::producers(int idx) const
+{
+    SNAPEA_ASSERT(idx >= 0 && idx < numLayers());
+    return producers_[idx];
+}
+
+const std::vector<int> &
+Network::outputShape(int idx) const
+{
+    SNAPEA_ASSERT(idx >= 0 && idx < numLayers());
+    return out_shapes_[idx];
+}
+
+size_t
+Network::totalConvMacs() const
+{
+    size_t total = 0;
+    for (int idx : conv_layers_) {
+        const auto &conv = static_cast<const Conv2D &>(*layers_[idx]);
+        const int prod = producers_[idx][0];
+        const auto &in_shape =
+            prod == kInput ? input_shape_ : out_shapes_[prod];
+        total += conv.macCount(in_shape);
+    }
+    return total;
+}
+
+size_t
+Network::totalWeights() const
+{
+    size_t total = 0;
+    for (const auto &l : layers_) {
+        if (l->kind() == LayerKind::Conv) {
+            total += static_cast<const Conv2D &>(*l).weights().size();
+        } else if (l->kind() == LayerKind::FullyConnected) {
+            total += static_cast<const FullyConnected &>(*l)
+                .weights().size();
+        }
+    }
+    return total;
+}
+
+std::vector<const Tensor *>
+Network::gatherInputs(int idx, const Tensor &in,
+                      const std::vector<Tensor> &acts) const
+{
+    std::vector<const Tensor *> ins;
+    ins.reserve(producers_[idx].size());
+    for (int p : producers_[idx])
+        ins.push_back(p == kInput ? &in : &acts[p]);
+    return ins;
+}
+
+Tensor
+Network::forward(const Tensor &in, ConvOverride *ov) const
+{
+    std::vector<Tensor> acts;
+    forwardAll(in, acts, ov, 0);
+    SNAPEA_ASSERT(!acts.empty());
+    return std::move(acts.back());
+}
+
+void
+Network::forwardAll(const Tensor &in, std::vector<Tensor> &acts,
+                    ConvOverride *ov, int from) const
+{
+    SNAPEA_ASSERT(in.shape() == input_shape_);
+    SNAPEA_ASSERT(from >= 0 && from <= numLayers());
+    SNAPEA_ASSERT(from == 0 || acts.size() >= static_cast<size_t>(from));
+    acts.resize(numLayers());
+
+    for (int idx = from; idx < numLayers(); ++idx) {
+        const auto ins = gatherInputs(idx, in, acts);
+        const Layer &l = *layers_[idx];
+        if (ov && l.kind() == LayerKind::Conv) {
+            const auto &conv = static_cast<const Conv2D &>(l);
+            Tensor out(out_shapes_[idx]);
+            SNAPEA_ASSERT(ins.size() == 1);
+            if (ov->runConv(idx, conv, *ins[0], out)) {
+                acts[idx] = std::move(out);
+                continue;
+            }
+        }
+        acts[idx] = l.forward(ins);
+    }
+}
+
+} // namespace snapea

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * A CNN as a DAG of layers executed in insertion (topological) order.
+ *
+ * Two facilities exist specifically for the SnaPEA reproduction:
+ *
+ *  - A ConvOverride hook lets the SnaPEA execution engine substitute
+ *    its early-termination convolution for the plain one while
+ *    keeping every other layer untouched.
+ *  - forwardAll() can resume from an arbitrary layer index given the
+ *    cached activations of earlier layers; Algorithm 1's Simulate()
+ *    uses this to avoid recomputing the unchanged prefix when only
+ *    one kernel's speculation parameters change.
+ */
+
+#ifndef SNAPEA_NN_NETWORK_HH
+#define SNAPEA_NN_NETWORK_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/conv.hh"
+#include "nn/layer.hh"
+#include "nn/tensor.hh"
+
+namespace snapea {
+
+/**
+ * Hook allowing a caller to take over execution of convolution
+ * layers (SnaPEA's reordered, early-terminating execution).
+ */
+class ConvOverride
+{
+  public:
+    virtual ~ConvOverride() = default;
+
+    /**
+     * Execute convolution layer @p layer_idx, or decline.
+     *
+     * @param layer_idx Index of the layer within the network.
+     * @param conv The layer being executed.
+     * @param in Its input activation tensor.
+     * @param out Output tensor to fill (pre-sized by the caller).
+     * @retval true The override produced @p out.
+     * @retval false Fall back to the plain Conv2D::forward().
+     */
+    virtual bool runConv(int layer_idx, const Conv2D &conv,
+                         const Tensor &in, Tensor &out) = 0;
+};
+
+/**
+ * A feed-forward CNN.  Layers are appended in topological order; each
+ * layer names its input layers (or the network input).  Shape
+ * inference runs at add() time so topology errors surface at
+ * construction.
+ */
+class Network
+{
+  public:
+    /** Sentinel input index meaning "the network input tensor". */
+    static constexpr int kInput = -1;
+
+    /**
+     * @param name Network name, e.g.\ "GoogLeNet".
+     * @param input_shape Shape of the input image, CHW.
+     */
+    Network(std::string name, std::vector<int> input_shape);
+
+    /** Network name. */
+    const std::string &name() const { return name_; }
+
+    /** Input image shape, CHW. */
+    const std::vector<int> &inputShape() const { return input_shape_; }
+
+    /**
+     * Append a layer.
+     *
+     * @param layer The layer; the network takes ownership.
+     * @param inputs Names of producer layers; empty means "the
+     *        previous layer" (or the network input for the first
+     *        layer).
+     * @return Index of the new layer.
+     */
+    int add(std::unique_ptr<Layer> layer,
+            const std::vector<std::string> &inputs = {});
+
+    /** Number of layers. */
+    int numLayers() const { return static_cast<int>(layers_.size()); }
+
+    /** Layer by index. */
+    const Layer &layer(int idx) const;
+    Layer &layer(int idx);
+
+    /** Index of the layer with the given name; fatal if absent. */
+    int layerIndex(const std::string &name) const;
+
+    /** Producer indices of layer @p idx (kInput for the image). */
+    const std::vector<int> &producers(int idx) const;
+
+    /** Inferred output shape of layer @p idx. */
+    const std::vector<int> &outputShape(int idx) const;
+
+    /** Indices of all convolution layers, in execution order. */
+    const std::vector<int> &convLayers() const { return conv_layers_; }
+
+    /** Sum of MAC counts over all convolution layers. */
+    size_t totalConvMacs() const;
+
+    /** Total weight count (conv + fc), for Table I's model size. */
+    size_t totalWeights() const;
+
+    /**
+     * Run the network and return the final layer's output.
+     *
+     * @param in Input image (must match inputShape()).
+     * @param ov Optional convolution override.
+     */
+    Tensor forward(const Tensor &in, ConvOverride *ov = nullptr) const;
+
+    /**
+     * Run the network, keeping every layer's output.
+     *
+     * @param in Input image.
+     * @param acts In/out: activation per layer.  Entries with index
+     *        < @p from must already hold valid activations of @p in.
+     * @param ov Optional convolution override.
+     * @param from First layer index to (re)compute.
+     */
+    void forwardAll(const Tensor &in, std::vector<Tensor> &acts,
+                    ConvOverride *ov = nullptr, int from = 0) const;
+
+  private:
+    /** Gather borrowed input tensors for layer idx. */
+    std::vector<const Tensor *>
+    gatherInputs(int idx, const Tensor &in,
+                 const std::vector<Tensor> &acts) const;
+
+    std::string name_;
+    std::vector<int> input_shape_;
+    std::vector<std::unique_ptr<Layer>> layers_;
+    std::vector<std::vector<int>> producers_;
+    std::vector<std::vector<int>> out_shapes_;
+    std::unordered_map<std::string, int> by_name_;
+    std::vector<int> conv_layers_;
+};
+
+} // namespace snapea
+
+#endif // SNAPEA_NN_NETWORK_HH

@@ -1,0 +1,86 @@
+#include "nn/pooling.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace snapea {
+
+Pooling::Pooling(std::string name, LayerKind kind, const PoolSpec &spec)
+    : Layer(std::move(name), kind),
+      spec_(spec)
+{
+    SNAPEA_ASSERT(kind == LayerKind::MaxPool || kind == LayerKind::AvgPool);
+    SNAPEA_ASSERT(spec_.kernel >= 0 && spec_.stride > 0 && spec_.pad >= 0);
+}
+
+int
+Pooling::outDim(int n, int kernel) const
+{
+    if (kernel >= n + 2 * spec_.pad)
+        return 1;
+    // Caffe uses ceil mode so the last partial window still produces
+    // an output; the models in the zoo (AlexNet, GoogLeNet) rely on
+    // this to get e.g.\ 27x27 out of 55x55 with k=3, s=2.
+    return (n + 2 * spec_.pad - kernel + spec_.stride - 1) / spec_.stride + 1;
+}
+
+std::vector<int>
+Pooling::outputShape(const std::vector<std::vector<int>> &in_shapes) const
+{
+    SNAPEA_ASSERT(in_shapes.size() == 1);
+    const auto &s = in_shapes[0];
+    SNAPEA_ASSERT(s.size() == 3);
+    const int k_h = spec_.kernel == 0 ? s[1] : spec_.kernel;
+    const int k_w = spec_.kernel == 0 ? s[2] : spec_.kernel;
+    return {s[0], outDim(s[1], k_h), outDim(s[2], k_w)};
+}
+
+Tensor
+Pooling::forward(const std::vector<const Tensor *> &inputs) const
+{
+    SNAPEA_ASSERT(inputs.size() == 1);
+    const Tensor &in = *inputs[0];
+    Tensor out(outputShape({in.shape()}));
+
+    const int ih = in.dim(1), iw = in.dim(2);
+    const int oh = out.dim(1), ow = out.dim(2);
+    const int k_h = spec_.kernel == 0 ? ih : spec_.kernel;
+    const int k_w = spec_.kernel == 0 ? iw : spec_.kernel;
+    const bool is_max = kind() == LayerKind::MaxPool;
+
+    for (int c = 0; c < in.dim(0); ++c) {
+        for (int y = 0; y < oh; ++y) {
+            const int iy0 = y * spec_.stride - spec_.pad;
+            for (int x = 0; x < ow; ++x) {
+                const int ix0 = x * spec_.stride - spec_.pad;
+                float best = -std::numeric_limits<float>::infinity();
+                double acc = 0.0;
+                int count = 0;
+                for (int ky = 0; ky < k_h; ++ky) {
+                    const int iy = iy0 + ky;
+                    if (iy < 0 || iy >= ih)
+                        continue;
+                    for (int kx = 0; kx < k_w; ++kx) {
+                        const int ix = ix0 + kx;
+                        if (ix < 0 || ix >= iw)
+                            continue;
+                        const float v = in.at(c, iy, ix);
+                        best = std::max(best, v);
+                        acc += v;
+                        ++count;
+                    }
+                }
+                // A fully out-of-bounds window cannot occur with
+                // ceil-mode sizing; count is always positive.
+                SNAPEA_ASSERT(count > 0);
+                out.at(c, y, x) = is_max
+                    ? best : static_cast<float>(acc / count);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace snapea

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Max and average pooling layers with Caffe-compatible (ceil-mode)
+ * output sizing, plus global average pooling.
+ */
+
+#ifndef SNAPEA_NN_POOLING_HH
+#define SNAPEA_NN_POOLING_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.hh"
+
+namespace snapea {
+
+/** Static configuration of a pooling layer. */
+struct PoolSpec
+{
+    int kernel = 2;     ///< Square window size; 0 means global pooling.
+    int stride = 2;     ///< Stride in both dimensions.
+    int pad = 0;        ///< Zero padding (values outside are ignored
+                        ///< for max, excluded from the divisor for avg).
+};
+
+/**
+ * Shared implementation of max/avg pooling.  The reduction kind is
+ * chosen by LayerKind, mirroring how Caffe multiplexes one Pooling
+ * layer type.
+ */
+class Pooling : public Layer
+{
+  public:
+    /**
+     * @param name Layer name.
+     * @param kind Must be LayerKind::MaxPool or LayerKind::AvgPool.
+     * @param spec Window configuration.
+     */
+    Pooling(std::string name, LayerKind kind, const PoolSpec &spec);
+
+    /** Static configuration. */
+    const PoolSpec &spec() const { return spec_; }
+
+    Tensor forward(const std::vector<const Tensor *> &inputs) const override;
+
+    std::vector<int>
+    outputShape(const std::vector<std::vector<int>> &in_shapes) const override;
+
+  private:
+    /** Ceil-mode output size for one spatial dimension of length n. */
+    int outDim(int n, int kernel) const;
+
+    PoolSpec spec_;
+};
+
+} // namespace snapea
+
+#endif // SNAPEA_NN_POOLING_HH

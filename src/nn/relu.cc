@@ -1,0 +1,25 @@
+#include "nn/relu.hh"
+
+#include "util/logging.hh"
+
+namespace snapea {
+
+Tensor
+ReLU::forward(const std::vector<const Tensor *> &inputs) const
+{
+    SNAPEA_ASSERT(inputs.size() == 1);
+    const Tensor &in = *inputs[0];
+    Tensor out(in.shape());
+    for (size_t i = 0; i < in.size(); ++i)
+        out[i] = in[i] > 0.0f ? in[i] : 0.0f;
+    return out;
+}
+
+std::vector<int>
+ReLU::outputShape(const std::vector<std::vector<int>> &in_shapes) const
+{
+    SNAPEA_ASSERT(in_shapes.size() == 1);
+    return in_shapes[0];
+}
+
+} // namespace snapea

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Rectifying Linear Unit, the activation SnaPEA exploits: its output
+ * is zero for every negative input, so a convolution window whose
+ * sum is provably (or predictably) negative need not be finished.
+ */
+
+#ifndef SNAPEA_NN_RELU_HH
+#define SNAPEA_NN_RELU_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.hh"
+
+namespace snapea {
+
+/** Elementwise max(0, x). */
+class ReLU : public Layer
+{
+  public:
+    explicit ReLU(std::string name)
+        : Layer(std::move(name), LayerKind::ReLU)
+    {}
+
+    Tensor forward(const std::vector<const Tensor *> &inputs) const override;
+
+    std::vector<int>
+    outputShape(const std::vector<std::vector<int>> &in_shapes) const override;
+};
+
+} // namespace snapea
+
+#endif // SNAPEA_NN_RELU_HH

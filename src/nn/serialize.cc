@@ -1,0 +1,171 @@
+#include "nn/serialize.hh"
+
+#include <cstdint>
+#include <fstream>
+
+#include "nn/conv.hh"
+#include "nn/dense.hh"
+#include "util/logging.hh"
+
+namespace snapea {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x53504e57;  // "SNPW"
+constexpr uint32_t kVersion = 1;
+
+void
+writeU32(std::ostream &os, uint32_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+writeU64(std::ostream &os, uint64_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+writeString(std::ostream &os, const std::string &s)
+{
+    writeU32(os, static_cast<uint32_t>(s.size()));
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void
+writeFloats(std::ostream &os, const float *data, size_t n)
+{
+    writeU64(os, n);
+    os.write(reinterpret_cast<const char *>(data),
+             static_cast<std::streamsize>(n * sizeof(float)));
+}
+
+uint32_t
+readU32(std::istream &is)
+{
+    uint32_t v = 0;
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return v;
+}
+
+uint64_t
+readU64(std::istream &is)
+{
+    uint64_t v = 0;
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return v;
+}
+
+std::string
+readString(std::istream &is)
+{
+    const uint32_t n = readU32(is);
+    std::string s(n, '\0');
+    is.read(s.data(), n);
+    return s;
+}
+
+void
+readFloats(std::istream &is, float *data, size_t expected,
+           const std::string &what)
+{
+    const uint64_t n = readU64(is);
+    if (n != expected) {
+        fatal("weight file mismatch for %s: %llu values, expected %zu",
+              what.c_str(), static_cast<unsigned long long>(n),
+              expected);
+    }
+    is.read(reinterpret_cast<char *>(data),
+            static_cast<std::streamsize>(n * sizeof(float)));
+}
+
+/** Layers with parameters, in network order. */
+std::vector<int>
+parameterLayers(const Network &net)
+{
+    std::vector<int> out;
+    for (int i = 0; i < net.numLayers(); ++i) {
+        const LayerKind k = net.layer(i).kind();
+        if (k == LayerKind::Conv || k == LayerKind::FullyConnected)
+            out.push_back(i);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+saveWeights(const Network &net, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        fatal("cannot write weight file %s", path.c_str());
+
+    const auto layers = parameterLayers(net);
+    writeU32(os, kMagic);
+    writeU32(os, kVersion);
+    writeU32(os, static_cast<uint32_t>(layers.size()));
+    for (int idx : layers) {
+        const Layer &l = net.layer(idx);
+        writeString(os, l.name());
+        writeU32(os, static_cast<uint32_t>(l.kind()));
+        if (l.kind() == LayerKind::Conv) {
+            const auto &conv = static_cast<const Conv2D &>(l);
+            writeFloats(os, conv.weights().data(),
+                        conv.weights().size());
+            writeFloats(os, conv.bias().data(), conv.bias().size());
+        } else {
+            const auto &fc = static_cast<const FullyConnected &>(l);
+            writeFloats(os, fc.weights().data(), fc.weights().size());
+            writeFloats(os, fc.bias().data(), fc.bias().size());
+        }
+    }
+    if (!os)
+        fatal("error while writing weight file %s", path.c_str());
+}
+
+void
+loadWeights(Network &net, const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("cannot read weight file %s", path.c_str());
+    if (readU32(is) != kMagic)
+        fatal("%s is not a SnaPEA weight file", path.c_str());
+    if (readU32(is) != kVersion)
+        fatal("%s has an unsupported version", path.c_str());
+
+    const auto layers = parameterLayers(net);
+    const uint32_t count = readU32(is);
+    if (count != layers.size()) {
+        fatal("weight file %s has %u parameter layers, network has "
+              "%zu", path.c_str(), count, layers.size());
+    }
+    for (int idx : layers) {
+        Layer &l = net.layer(idx);
+        const std::string name = readString(is);
+        const uint32_t kind = readU32(is);
+        if (name != l.name() || kind != static_cast<uint32_t>(l.kind())) {
+            fatal("weight file layer %s does not match network layer "
+                  "%s", name.c_str(), l.name().c_str());
+        }
+        if (l.kind() == LayerKind::Conv) {
+            auto &conv = static_cast<Conv2D &>(l);
+            readFloats(is, conv.weights().data(),
+                       conv.weights().size(), name);
+            readFloats(is, conv.bias().data(), conv.bias().size(),
+                       name);
+        } else {
+            auto &fc = static_cast<FullyConnected &>(l);
+            readFloats(is, fc.weights().data(), fc.weights().size(),
+                       name);
+            readFloats(is, fc.bias().data(), fc.bias().size(), name);
+        }
+        if (!is)
+            fatal("truncated weight file %s at layer %s",
+                  path.c_str(), name.c_str());
+    }
+}
+
+} // namespace snapea

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Binary weight serialization for networks — lets users snapshot a
+ * calibrated model so downstream experiments (and other tools) can
+ * reload bit-identical parameters without re-running calibration.
+ */
+
+#ifndef SNAPEA_NN_SERIALIZE_HH
+#define SNAPEA_NN_SERIALIZE_HH
+
+#include <string>
+
+#include "nn/network.hh"
+
+namespace snapea {
+
+/**
+ * Write every conv/FC layer's weights and biases to @p path in a
+ * little-endian binary format keyed by layer name.  Fatal if the
+ * file cannot be written.
+ */
+void saveWeights(const Network &net, const std::string &path);
+
+/**
+ * Load weights previously written by saveWeights into @p net.
+ * Layer names, kinds, and parameter counts must match exactly;
+ * mismatches are fatal (wrong file for this topology).
+ */
+void loadWeights(Network &net, const std::string &path);
+
+} // namespace snapea
+
+#endif // SNAPEA_NN_SERIALIZE_HH

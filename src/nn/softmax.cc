@@ -1,0 +1,35 @@
+#include "nn/softmax.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace snapea {
+
+std::vector<int>
+Softmax::outputShape(const std::vector<std::vector<int>> &in_shapes) const
+{
+    SNAPEA_ASSERT(in_shapes.size() == 1);
+    return in_shapes[0];
+}
+
+Tensor
+Softmax::forward(const std::vector<const Tensor *> &inputs) const
+{
+    SNAPEA_ASSERT(inputs.size() == 1);
+    const Tensor &in = *inputs[0];
+    Tensor out(in.shape());
+
+    const float peak = *std::max_element(in.data(), in.data() + in.size());
+    double denom = 0.0;
+    for (size_t i = 0; i < in.size(); ++i) {
+        out[i] = std::exp(in[i] - peak);
+        denom += out[i];
+    }
+    for (size_t i = 0; i < in.size(); ++i)
+        out[i] = static_cast<float>(out[i] / denom);
+    return out;
+}
+
+} // namespace snapea

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Softmax over a 1-D logits tensor (numerically stabilized).
+ */
+
+#ifndef SNAPEA_NN_SOFTMAX_HH
+#define SNAPEA_NN_SOFTMAX_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.hh"
+
+namespace snapea {
+
+/** Softmax over the final classifier logits. */
+class Softmax : public Layer
+{
+  public:
+    explicit Softmax(std::string name)
+        : Layer(std::move(name), LayerKind::Softmax)
+    {}
+
+    Tensor forward(const std::vector<const Tensor *> &inputs) const override;
+
+    std::vector<int>
+    outputShape(const std::vector<std::vector<int>> &in_shapes) const override;
+};
+
+} // namespace snapea
+
+#endif // SNAPEA_NN_SOFTMAX_HH

@@ -1,0 +1,102 @@
+#include "nn/tensor.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace snapea {
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape))
+{
+    for (int d : shape_)
+        SNAPEA_ASSERT(d > 0);
+    data_.assign(elemCount(shape_), 0.0f);
+}
+
+int
+Tensor::dim(int d) const
+{
+    SNAPEA_ASSERT(d >= 0 && d < rank());
+    return shape_[d];
+}
+
+size_t
+Tensor::index(int c, int h, int w) const
+{
+    SNAPEA_ASSERT(rank() == 3);
+    return (static_cast<size_t>(c) * shape_[1] + h) * shape_[2] + w;
+}
+
+float &
+Tensor::at(int c, int h, int w)
+{
+    return data_[index(c, h, w)];
+}
+
+float
+Tensor::at(int c, int h, int w) const
+{
+    return data_[index(c, h, w)];
+}
+
+float &
+Tensor::at(int o, int i, int h, int w)
+{
+    SNAPEA_ASSERT(rank() == 4);
+    return data_[((static_cast<size_t>(o) * shape_[1] + i) * shape_[2] + h)
+                 * shape_[3] + w];
+}
+
+float
+Tensor::at(int o, int i, int h, int w) const
+{
+    SNAPEA_ASSERT(rank() == 4);
+    return data_[((static_cast<size_t>(o) * shape_[1] + i) * shape_[2] + h)
+                 * shape_[3] + w];
+}
+
+void
+Tensor::fill(float v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+double
+Tensor::sum() const
+{
+    double s = 0.0;
+    for (float v : data_)
+        s += v;
+    return s;
+}
+
+size_t
+Tensor::argmax() const
+{
+    SNAPEA_ASSERT(!data_.empty());
+    return std::max_element(data_.begin(), data_.end()) - data_.begin();
+}
+
+std::string
+Tensor::shapeString() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (size_t i = 0; i < shape_.size(); ++i)
+        os << (i ? ", " : "") << shape_[i];
+    os << "]";
+    return os.str();
+}
+
+size_t
+Tensor::elemCount(const std::vector<int> &shape)
+{
+    size_t n = 1;
+    for (int d : shape)
+        n *= static_cast<size_t>(d);
+    return shape.empty() ? 0 : n;
+}
+
+} // namespace snapea

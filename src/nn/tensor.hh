@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Dense float tensor used for activations and weights.
+ *
+ * Activations are stored CHW (single image; the simulator processes
+ * one image at a time), convolution weights OIHW, fully-connected
+ * weights OI.  The class is a thin owning wrapper over a flat
+ * std::vector<float> with shape bookkeeping and bounds-checked
+ * element access in debug paths.
+ */
+
+#ifndef SNAPEA_NN_TENSOR_HH
+#define SNAPEA_NN_TENSOR_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace snapea {
+
+/**
+ * An n-dimensional dense tensor of floats.
+ *
+ * The common ranks in this codebase are 1 (logits), 3 (CHW
+ * activations) and 4 (OIHW convolution weights).
+ */
+class Tensor
+{
+  public:
+    /** An empty tensor with no dimensions and no storage. */
+    Tensor() = default;
+
+    /** A zero-initialized tensor of the given shape. */
+    explicit Tensor(std::vector<int> shape);
+
+    /** Shape accessor. */
+    const std::vector<int> &shape() const { return shape_; }
+
+    /** Number of dimensions. */
+    int rank() const { return static_cast<int>(shape_.size()); }
+
+    /** Size of dimension d.  @pre 0 <= d < rank(). */
+    int dim(int d) const;
+
+    /** Total element count. */
+    size_t size() const { return data_.size(); }
+
+    /** Raw storage. */
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Flat element access. */
+    float &operator[](size_t i) { return data_[i]; }
+    float operator[](size_t i) const { return data_[i]; }
+
+    /** 3D (CHW) element access. */
+    float &at(int c, int h, int w);
+    float at(int c, int h, int w) const;
+
+    /** 4D (OIHW) element access. */
+    float &at(int o, int i, int h, int w);
+    float at(int o, int i, int h, int w) const;
+
+    /** Flat index of a 3D coordinate. */
+    size_t index(int c, int h, int w) const;
+
+    /** Set every element to v. */
+    void fill(float v);
+
+    /** Sum of all elements. */
+    double sum() const;
+
+    /** Index of the largest element (first on ties).  @pre non-empty. */
+    size_t argmax() const;
+
+    /** Human-readable shape, e.g.\ "[3, 64, 64]". */
+    std::string shapeString() const;
+
+    /** Total element count implied by a shape vector. */
+    static size_t elemCount(const std::vector<int> &shape);
+
+  private:
+    std::vector<int> shape_;
+    std::vector<float> data_;
+};
+
+} // namespace snapea
+
+#endif // SNAPEA_NN_TENSOR_HH

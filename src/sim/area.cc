@@ -1,0 +1,90 @@
+#include "sim/area.hh"
+
+#include <cstdio>
+
+namespace snapea {
+
+namespace {
+
+std::string
+fmt(const char *f, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), f, v);
+    return buf;
+}
+
+} // namespace
+
+double
+snapeaPeArea(const SnapeaConfig &cfg, const AreaConstants &k)
+{
+    return cfg.lanes_per_pe * (k.mac_lane + k.pau) + k.weight_buffer
+        + k.index_buffer + k.io_sram;
+}
+
+double
+snapeaTotalArea(const SnapeaConfig &cfg, const AreaConstants &k)
+{
+    return cfg.pe_rows * cfg.pe_cols * snapeaPeArea(cfg, k);
+}
+
+double
+eyerissTotalArea(const EyerissConfig &cfg, const AreaConstants &k)
+{
+    const double pe = k.mac_lane + k.psum_register + k.input_register
+        + k.weight_buffer;
+    const double gb = cfg.global_buffer_bytes / (1024.0 * 1024.0)
+        * k.sram_per_mb;
+    return cfg.totalMacs() * pe + gb;
+}
+
+std::vector<AreaEntry>
+snapeaAreaTable(const SnapeaConfig &cfg, const AreaConstants &k)
+{
+    const int pes = cfg.pe_rows * cfg.pe_cols;
+    std::vector<AreaEntry> rows;
+    rows.push_back({"Compute lanes / PE",
+                    std::to_string(cfg.lanes_per_pe),
+                    cfg.lanes_per_pe * k.mac_lane});
+    rows.push_back({"Weight buffer",
+                    fmt("%.1f KB", cfg.weight_buffer_bytes / 1024.0),
+                    k.weight_buffer});
+    rows.push_back({"Index buffer",
+                    fmt("%.1f KB", cfg.index_buffer_bytes / 1024.0),
+                    k.index_buffer});
+    rows.push_back({"Input / output RAM",
+                    fmt("%.0f KB", cfg.io_sram_bytes / 1024.0),
+                    k.io_sram});
+    rows.push_back({"Predictive activation units",
+                    std::to_string(cfg.lanes_per_pe),
+                    cfg.lanes_per_pe * k.pau});
+    rows.push_back({"Number of PEs", std::to_string(pes),
+                    snapeaTotalArea(cfg, k)});
+    rows.push_back({"Total", "", snapeaTotalArea(cfg, k)});
+    return rows;
+}
+
+std::vector<AreaEntry>
+eyerissAreaTable(const EyerissConfig &cfg, const AreaConstants &k)
+{
+    const double pe = k.mac_lane + k.psum_register + k.input_register
+        + k.weight_buffer;
+    const double gb = cfg.global_buffer_bytes / (1024.0 * 1024.0)
+        * k.sram_per_mb;
+    std::vector<AreaEntry> rows;
+    rows.push_back({"Compute lanes / PE", "1", k.mac_lane});
+    rows.push_back({"Partial sum register", "48 B", k.psum_register});
+    rows.push_back({"Input register", "24 B", k.input_register});
+    rows.push_back({"Weight buffer", "0.5 KB", k.weight_buffer});
+    rows.push_back({"Number of PEs", std::to_string(cfg.totalMacs()),
+                    cfg.totalMacs() * pe});
+    rows.push_back({"Global buffer",
+                    fmt("%.2f MB",
+                        cfg.global_buffer_bytes / (1024.0 * 1024.0)),
+                    gb});
+    rows.push_back({"Total", "", eyerissTotalArea(cfg, k)});
+    return rows;
+}
+
+} // namespace snapea

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Area model reproducing Table II's breakdown.
+ *
+ * Per-component areas are the paper's published TSMC 45 nm synthesis
+ * constants; totals are computed from the configuration, so lane /
+ * PE-count sweeps report consistent areas.  The constants reproduce
+ * the paper's totals exactly at the default configurations
+ * (18.62 mm^2 for the SnaPEA PE array, 4.94 + 12.9 mm^2 for
+ * EYERISS).
+ */
+
+#ifndef SNAPEA_SIM_AREA_HH
+#define SNAPEA_SIM_AREA_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace snapea {
+
+/** One row of an area table. */
+struct AreaEntry
+{
+    std::string component;
+    std::string size;
+    double area_mm2;
+};
+
+/** Per-component synthesis constants (mm^2, TSMC 45 nm). */
+struct AreaConstants
+{
+    double mac_lane = 0.003;      ///< One MAC compute lane.
+    double pau = 0.002;           ///< One predictive activation unit.
+    double weight_buffer = 0.014; ///< 0.5 KB weight buffer.
+    double index_buffer = 0.007;  ///< 0.5 KB index buffer.
+    double io_sram = 0.250;       ///< 20 KB input/output SRAM.
+    double psum_register = 0.002; ///< EYERISS 48 B psum register file.
+    double input_register = 0.001;///< EYERISS 24 B input register file.
+    double sram_per_mb = 10.32;   ///< Global buffer SRAM density.
+};
+
+/** Area of one SnaPEA PE. */
+double snapeaPeArea(const SnapeaConfig &cfg,
+                    const AreaConstants &k = {});
+
+/** Total SnaPEA accelerator area. */
+double snapeaTotalArea(const SnapeaConfig &cfg,
+                       const AreaConstants &k = {});
+
+/** Total EYERISS baseline area. */
+double eyerissTotalArea(const EyerissConfig &cfg,
+                        const AreaConstants &k = {});
+
+/** Table II rows for the SnaPEA column. */
+std::vector<AreaEntry> snapeaAreaTable(const SnapeaConfig &cfg,
+                                       const AreaConstants &k = {});
+
+/** Table II rows for the EYERISS column. */
+std::vector<AreaEntry> eyerissAreaTable(const EyerissConfig &cfg,
+                                        const AreaConstants &k = {});
+
+} // namespace snapea
+
+#endif // SNAPEA_SIM_AREA_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Architecture configurations for the two simulated accelerators
+ * (Table II of the paper).
+ */
+
+#ifndef SNAPEA_SIM_CONFIG_HH
+#define SNAPEA_SIM_CONFIG_HH
+
+namespace snapea {
+
+/** SnaPEA accelerator configuration (Table II, left column). */
+struct SnapeaConfig
+{
+    int pe_rows = 8;             ///< Horizontal groups (input split).
+    int pe_cols = 8;             ///< Vertical groups (kernel split).
+    int lanes_per_pe = 4;        ///< Compute lanes (windows in flight).
+    double freq_ghz = 0.5;       ///< 500 MHz (Section VI-A).
+    int bits_per_value = 16;     ///< 16-bit fixed point.
+    int weight_buffer_bytes = 512;   ///< Per PE.
+    int index_buffer_bytes = 512;    ///< Per PE.
+    int io_sram_bytes = 20 * 1024;   ///< Per PE, split input/output.
+    /** Fixed cycles to retire one lane group and issue the next. */
+    int group_overhead_cycles = 2;
+    /** Fixed cycles to synchronize a row at a portion boundary. */
+    int portion_overhead_cycles = 8;
+    double dram_gbps = 16.0;     ///< Off-chip bandwidth, GB/s.
+    /**
+     * Weight-traffic compensation for scaled-down models: a weight
+     * in the full-resolution network is reused out_h*out_w times per
+     * image, far more often than in the reduced-resolution models
+     * the experiments run (see DESIGN.md).  Weight and index DRAM
+     * bytes are divided by this factor so the compute-to-memory
+     * balance matches the full-size network.  Applied identically to
+     * both accelerators.
+     */
+    double weight_reuse = 1.0;
+    /**
+     * Batch size over which fully-connected weight streaming is
+     * amortized.  The paper treats FC layers as negligible
+     * ("virtually no impact on the total runtime"), which requires
+     * their weight streaming to be off the single-image critical
+     * path; batching FC inputs is the standard way (Eyeriss itself
+     * evaluates FC layers with a batch of images).  Applied
+     * identically to both accelerators.
+     */
+    int fc_batch = 16;
+
+    /** Total MAC units. */
+    int totalMacs() const { return pe_rows * pe_cols * lanes_per_pe; }
+
+    /** Total on-chip input/output SRAM. */
+    int totalIoSram() const { return pe_rows * pe_cols * io_sram_bytes; }
+
+    /** DRAM bytes transferable per cycle. */
+    double dramBytesPerCycle() const { return dram_gbps / freq_ghz; }
+
+    /**
+     * Variant with a different lane count at equal peak throughput
+     * (Fig. 12): the PE count scales inversely, keeping 8 rows and
+     * scaling the columns.
+     */
+    SnapeaConfig withLanes(int lanes) const;
+};
+
+/** EYERISS-like baseline configuration (Table II, right column). */
+struct EyerissConfig
+{
+    int array_h = 16;            ///< Logical PE array height.
+    int array_w = 16;            ///< Logical PE array width (16x16 =
+                                 ///< 256 MACs, matching SnaPEA).
+    double freq_ghz = 0.5;
+    int bits_per_value = 16;
+    int global_buffer_bytes = 1280 * 1024;  ///< 1.25 MB.
+    double dram_gbps = 16.0;
+    /** Same weight-traffic compensation as SnapeaConfig. */
+    double weight_reuse = 1.0;
+    /** Same FC batch amortization as SnapeaConfig. */
+    int fc_batch = 16;
+
+    int totalMacs() const { return array_h * array_w; }
+    double dramBytesPerCycle() const { return dram_gbps / freq_ghz; }
+};
+
+} // namespace snapea
+
+#endif // SNAPEA_SIM_CONFIG_HH

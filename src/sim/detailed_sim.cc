@@ -1,0 +1,169 @@
+#include "sim/detailed_sim.hh"
+
+#include <algorithm>
+
+#include "sim/event_queue.hh"
+#include "sim/snapea_accel.hh"
+#include "util/logging.hh"
+
+namespace snapea {
+
+namespace {
+
+/** One PE's work for the current portion. */
+struct PeWork
+{
+    /** (kernel, first window, last window) runs, executed in order. */
+    struct Run
+    {
+        const uint16_t *ops;
+        size_t begin;
+        size_t end;
+    };
+    std::vector<Run> runs;
+    size_t run_idx = 0;
+    size_t next_window = 0;
+    int busy_lanes = 0;
+    int last_kernel = -1;
+
+    bool
+    exhausted() const
+    {
+        return run_idx >= runs.size();
+    }
+
+    /** Pop the next window's op count, or -1 when drained. */
+    int
+    pop(bool &kernel_switch)
+    {
+        while (run_idx < runs.size()) {
+            Run &r = runs[run_idx];
+            if (next_window < r.end) {
+                kernel_switch =
+                    last_kernel != static_cast<int>(run_idx);
+                last_kernel = static_cast<int>(run_idx);
+                return r.ops[next_window++];
+            }
+            ++run_idx;
+            if (run_idx < runs.size())
+                next_window = runs[run_idx].begin;
+        }
+        return -1;
+    }
+};
+
+} // namespace
+
+DetailedSnapeaSim::DetailedSnapeaSim(const SnapeaConfig &cfg,
+                                     const EnergyCosts &costs)
+    : cfg_(cfg),
+      costs_(costs)
+{
+}
+
+uint64_t
+DetailedSnapeaSim::convLayerComputeCycles(const ConvLayerTrace &lt) const
+{
+    const int rows = cfg_.pe_rows;
+    const int cols = cfg_.pe_cols;
+    const int lanes = cfg_.lanes_per_pe;
+    const int c_out = lt.out_channels;
+    const size_t spatial = static_cast<size_t>(lt.out_h) * lt.out_w;
+
+    // Identical work split to the analytic model.
+    int spatial_parts = rows;
+    while (spatial_parts > 1
+           && spatial / spatial_parts < static_cast<size_t>(lanes)) {
+        spatial_parts /= 2;
+    }
+    const int kernel_parts = cols * (rows / spatial_parts);
+
+    const uint64_t in_bytes = static_cast<uint64_t>(lt.in_channels)
+        * lt.in_h * lt.in_w * (cfg_.bits_per_value / 8);
+    const uint64_t chunk_in_bytes =
+        (in_bytes + spatial_parts - 1) / spatial_parts;
+    const uint64_t input_half = cfg_.io_sram_bytes / 2;
+    const int portions = static_cast<int>(
+        std::max<uint64_t>(1, (chunk_in_bytes + input_half - 1)
+                              / input_half));
+
+    // Spatial parts run independently; the layer's makespan is their
+    // max.  Within a spatial part, portions are separated by a row
+    // barrier; within a portion every PE schedules its lanes
+    // greedily, which the event queue models one lane-completion
+    // event per window.
+    uint64_t makespan = 0;
+    for (int r = 0; r < spatial_parts; ++r) {
+        const size_t s0 = spatial * r / spatial_parts;
+        const size_t s1 = spatial * (r + 1) / spatial_parts;
+        Tick part_clock = 0;
+        for (int p = 0; p < portions; ++p) {
+            const size_t a = s0 + (s1 - s0) * p / portions;
+            const size_t b = s0 + (s1 - s0) * (p + 1) / portions;
+
+            EventQueue eq;
+            std::vector<PeWork> pes(kernel_parts);
+            for (int c = 0; c < kernel_parts; ++c) {
+                const int k0 = c_out * c / kernel_parts;
+                const int k1 = c_out * (c + 1) / kernel_parts;
+                for (int k = k0; k < k1; ++k) {
+                    pes[c].runs.push_back(
+                        {lt.ops.data()
+                             + static_cast<size_t>(k) * spatial,
+                         a, b});
+                }
+                if (!pes[c].runs.empty())
+                    pes[c].next_window = pes[c].runs[0].begin;
+            }
+
+            // Lane issue: completion events re-issue the lane.
+            std::function<void(int)> issue = [&](int c) {
+                bool kernel_switch = false;
+                const int ops = pes[c].pop(kernel_switch);
+                if (ops < 0)
+                    return;
+                ++pes[c].busy_lanes;
+                const Tick cost = static_cast<Tick>(ops)
+                    + (kernel_switch ? cfg_.group_overhead_cycles : 0);
+                eq.schedule(eq.curTick() + std::max<Tick>(1, cost),
+                            [&, c]() {
+                                --pes[c].busy_lanes;
+                                issue(c);
+                            });
+            };
+            for (int c = 0; c < kernel_parts; ++c)
+                for (int l = 0; l < lanes; ++l)
+                    issue(c);
+
+            const Tick portion_end = eq.run();
+            part_clock += portion_end + cfg_.portion_overhead_cycles;
+        }
+        makespan = std::max<uint64_t>(makespan, part_clock);
+    }
+    return makespan;
+}
+
+SimResult
+DetailedSnapeaSim::simulate(const ImageTrace &trace,
+                            const std::vector<FcWork> &fc_work,
+                            uint64_t first_layer_input_bytes) const
+{
+    // Energy and DRAM accounting are event-count based and identical
+    // to the analytic model; only the compute makespans differ.
+    SnapeaAccelSim analytic(cfg_, costs_);
+    SimResult res =
+        analytic.simulate(trace, fc_work, first_layer_input_bytes);
+
+    res.total_cycles = 0;
+    for (size_t i = 0; i < trace.conv_layers.size(); ++i) {
+        LayerSimResult &lr = res.layers[i];
+        lr.compute_cycles =
+            convLayerComputeCycles(trace.conv_layers[i]);
+        lr.cycles = std::max(lr.compute_cycles, lr.dram_cycles);
+    }
+    for (auto &lr : res.layers)
+        res.total_cycles += lr.cycles;
+    return res;
+}
+
+} // namespace snapea

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Event-driven, cycle-accurate model of the SnaPEA PE array.
+ *
+ * Same microarchitecture as the analytic model in snapea_accel.hh —
+ * flexible spatial/kernel work split, per-PE compute lanes with
+ * dynamic window issue, portion-grain row barriers — but simulated
+ * with explicit per-lane events rather than closed-form per-kernel
+ * expressions, so greedy-scheduler effects (a long window issued
+ * late, lane idling at kernel boundaries) are captured exactly.
+ *
+ * The analytic model approximates a PE's kernel-portion cost as
+ * max(ceil(sum_ops / lanes), longest_window); this simulator
+ * computes the true greedy makespan.  The test suite checks the two
+ * agree within a few percent, and bench users can opt into the
+ * detailed model when that fidelity matters (it is ~10x slower).
+ */
+
+#ifndef SNAPEA_SIM_DETAILED_SIM_HH
+#define SNAPEA_SIM_DETAILED_SIM_HH
+
+#include "sim/config.hh"
+#include "sim/energy.hh"
+#include "sim/result.hh"
+#include "snapea/engine.hh"
+
+namespace snapea {
+
+/** Event-driven SnaPEA accelerator simulator. */
+class DetailedSnapeaSim
+{
+  public:
+    DetailedSnapeaSim(const SnapeaConfig &cfg = {},
+                      const EnergyCosts &costs = {});
+
+    /** Simulate one image (interface mirrors SnapeaAccelSim). */
+    SimResult simulate(const ImageTrace &trace,
+                       const std::vector<FcWork> &fc_work,
+                       uint64_t first_layer_input_bytes) const;
+
+    /** Cycle count of one conv layer (compute only). */
+    uint64_t convLayerComputeCycles(const ConvLayerTrace &lt) const;
+
+    const SnapeaConfig &config() const { return cfg_; }
+
+  private:
+    SnapeaConfig cfg_;
+    EnergyCosts costs_;
+};
+
+} // namespace snapea
+
+#endif // SNAPEA_SIM_DETAILED_SIM_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Energy model seeded with the paper's Table III costs (pJ/bit,
+ * TSMC 45 nm): register file 0.2, 16-bit fixed-point PE 0.3,
+ * inter-PE communication 0.4, global buffer 1.2, DDR4 15.0.  The
+ * 20 KB per-PE input/output SRAM of SnaPEA sits between the register
+ * file and the 1.25 MB global buffer in size; its cost is a CACTI-
+ * style estimate (see DESIGN.md).
+ */
+
+#ifndef SNAPEA_SIM_ENERGY_HH
+#define SNAPEA_SIM_ENERGY_HH
+
+#include <string>
+
+namespace snapea {
+
+/** Per-event energy costs in pJ per bit (Table III). */
+struct EnergyCosts
+{
+    double rf = 0.2;            ///< Register file access.
+    double mac = 0.3;           ///< 16-bit fixed-point PE op.
+    double inter_pe = 0.4;      ///< Inter-PE communication.
+    double global_buffer = 1.2; ///< Global buffer access.
+    double dram = 15.0;         ///< DDR4 access.
+    double io_sram = 0.8;       ///< 20 KB per-PE I/O SRAM (estimate).
+};
+
+/** Energy consumed by one simulation, split by component. */
+struct EnergyBreakdown
+{
+    double mac_pj = 0.0;        ///< Arithmetic.
+    double rf_pj = 0.0;         ///< Register-file traffic.
+    double buffer_pj = 0.0;     ///< Weight/index/I-O SRAM traffic.
+    double inter_pe_pj = 0.0;   ///< Broadcast / forwarding.
+    double global_buf_pj = 0.0; ///< Global buffer traffic.
+    double dram_pj = 0.0;       ///< Off-chip accesses.
+
+    double total() const
+    {
+        return mac_pj + rf_pj + buffer_pj + inter_pe_pj + global_buf_pj
+             + dram_pj;
+    }
+
+    EnergyBreakdown &operator+=(const EnergyBreakdown &o)
+    {
+        mac_pj += o.mac_pj;
+        rf_pj += o.rf_pj;
+        buffer_pj += o.buffer_pj;
+        inter_pe_pj += o.inter_pe_pj;
+        global_buf_pj += o.global_buf_pj;
+        dram_pj += o.dram_pj;
+        return *this;
+    }
+};
+
+} // namespace snapea
+
+#endif // SNAPEA_SIM_ENERGY_HH

@@ -1,0 +1,43 @@
+#include "sim/event_queue.hh"
+
+#include "util/logging.hh"
+
+namespace snapea {
+
+void
+EventQueue::schedule(Tick when, std::function<void()> fn)
+{
+    SNAPEA_ASSERT(when >= cur_tick_);
+    events_.push(Entry{when, seq_++, std::move(fn)});
+}
+
+Tick
+EventQueue::run()
+{
+    while (!events_.empty()) {
+        // Copy out before pop: the callback may schedule new events.
+        Entry e = events_.top();
+        events_.pop();
+        cur_tick_ = e.when;
+        ++executed_;
+        e.fn();
+    }
+    return cur_tick_;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!events_.empty() && events_.top().when <= limit) {
+        Entry e = events_.top();
+        events_.pop();
+        cur_tick_ = e.when;
+        ++executed_;
+        e.fn();
+    }
+    if (cur_tick_ < limit)
+        cur_tick_ = limit;
+    return cur_tick_;
+}
+
+} // namespace snapea

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A minimal discrete-event simulation kernel (gem5-flavored): events
+ * are callbacks scheduled at absolute ticks and executed in tick
+ * order (FIFO within a tick).  The detailed PE-array simulator is
+ * built on it; the analytic simulator in snapea_accel.hh remains the
+ * fast default and is cross-validated against the detailed one in
+ * the test suite.
+ */
+
+#ifndef SNAPEA_SIM_EVENT_QUEUE_HH
+#define SNAPEA_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace snapea {
+
+/** Simulation time in cycles. */
+using Tick = uint64_t;
+
+/**
+ * Priority queue of timed callbacks.  Deterministic: ties execute in
+ * scheduling order.
+ */
+class EventQueue
+{
+  public:
+    /**
+     * Schedule @p fn at absolute tick @p when.
+     * @pre when >= curTick() (no scheduling into the past).
+     */
+    void schedule(Tick when, std::function<void()> fn);
+
+    /** Current simulation time. */
+    Tick curTick() const { return cur_tick_; }
+
+    /** True when no events are pending. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    size_t pending() const { return events_.size(); }
+
+    /**
+     * Execute events until the queue drains.
+     * @return The tick of the last executed event.
+     */
+    Tick run();
+
+    /**
+     * Execute events with tick <= @p limit; later events stay
+     * queued and curTick() stops at the last executed event (or
+     * @p limit if nothing ran).
+     */
+    Tick runUntil(Tick limit);
+
+    /** Total events executed over the queue's lifetime. */
+    uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        uint64_t seq;  ///< FIFO tie-break.
+        std::function<void()> fn;
+
+        bool operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>>
+        events_;
+    Tick cur_tick_ = 0;
+    uint64_t seq_ = 0;
+    uint64_t executed_ = 0;
+};
+
+} // namespace snapea
+
+#endif // SNAPEA_SIM_EVENT_QUEUE_HH

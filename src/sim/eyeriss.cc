@@ -1,0 +1,157 @@
+#include "sim/eyeriss.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace snapea {
+
+namespace {
+
+/** Row-stationary access coefficients per MAC (see DESIGN.md). */
+constexpr double kRfAccessesPerMac = 3.5;   // w read, in read, psum update
+constexpr double kGbAccessesPerMac = 0.15;  // amortized by RS reuse
+constexpr double kInterPePerMac = 0.20;     // psum forwarding share
+
+/**
+ * Pass-grain efficiency: every mapping pass pays array fill/drain and
+ * cross-set psum accumulation; Eyeriss's reported active-PE rates sit
+ * well below the pure set-packing bound.
+ */
+constexpr double kPassEfficiency = 0.92;
+
+/**
+ * 1x1 kernels degenerate the row-stationary dataflow: a filter row of
+ * one element has no sliding reuse inside a PE, so a large share of
+ * the dataflow's efficiency is lost (GoogLeNet/SqueezeNet are rich in
+ * 1x1 layers; Eyeriss is known to map them poorly).
+ */
+constexpr double kPointwisePenalty = 0.85;
+
+} // namespace
+
+EyerissSim::EyerissSim(const EyerissConfig &cfg, const EnergyCosts &costs)
+    : cfg_(cfg),
+      costs_(costs)
+{
+    SNAPEA_ASSERT(cfg_.array_h > 0 && cfg_.array_w > 0);
+}
+
+double
+EyerissSim::utilization(const ConvLayerTrace &lt) const
+{
+    const int total = cfg_.totalMacs();
+    const int r = std::max(1, lt.kernel_w);
+    const int e = std::max(1, std::min(lt.out_h, cfg_.array_w));
+    const int set_size = r * e;
+
+    double util;
+    if (set_size >= total) {
+        // One logical set folded over multiple passes.
+        const int passes = (set_size + total - 1) / total;
+        util = static_cast<double>(set_size) / (passes * total);
+    } else {
+        const int sets = total / set_size;
+        util = static_cast<double>(set_size * sets) / total;
+    }
+    util *= kPassEfficiency;
+    // Strided layers break the diagonal input reuse of the
+    // row-stationary dataflow; apply a fixed mapping penalty.
+    if (lt.stride > 1)
+        util *= 0.90;
+    if (lt.kernel_w == 1)
+        util *= kPointwisePenalty;
+    return util;
+}
+
+LayerSimResult
+EyerissSim::simulateConvLayer(const ConvLayerTrace &lt,
+                              bool input_from_dram,
+                              bool output_to_dram) const
+{
+    const int bytes = cfg_.bits_per_value / 8;
+    LayerSimResult res;
+    res.name = lt.name;
+    res.macs = lt.macs_full;
+
+    const double util = utilization(lt);
+    res.lane_utilization = util;
+    res.compute_cycles = static_cast<uint64_t>(
+        std::ceil(static_cast<double>(lt.macs_full)
+                  / (cfg_.totalMacs() * util)));
+
+    const uint64_t in_bytes = static_cast<uint64_t>(lt.in_channels)
+        * lt.in_h * lt.in_w * bytes;
+    const uint64_t out_bytes = static_cast<uint64_t>(lt.out_channels)
+        * lt.out_h * lt.out_w * bytes;
+    const uint64_t weight_bytes = static_cast<uint64_t>(
+        static_cast<double>(lt.out_channels) * lt.kernel_size * bytes
+        / cfg_.weight_reuse);
+
+    uint64_t dram_bytes = weight_bytes;  // no index stream
+    const bool spills = in_bytes + out_bytes
+        > static_cast<uint64_t>(cfg_.global_buffer_bytes);
+    if (spills || input_from_dram)
+        dram_bytes += in_bytes;
+    if (spills || output_to_dram)
+        dram_bytes += out_bytes;
+    res.dram_bytes = dram_bytes;
+    res.dram_cycles = static_cast<uint64_t>(
+        std::ceil(dram_bytes / cfg_.dramBytesPerCycle()));
+    res.cycles = std::max(res.compute_cycles, res.dram_cycles);
+
+    const double bits = cfg_.bits_per_value;
+    const double macs = static_cast<double>(lt.macs_full);
+    res.energy.mac_pj = macs * bits * costs_.mac;
+    res.energy.rf_pj = macs * kRfAccessesPerMac * bits * costs_.rf;
+    res.energy.global_buf_pj =
+        macs * kGbAccessesPerMac * bits * costs_.global_buffer;
+    res.energy.inter_pe_pj =
+        macs * kInterPePerMac * bits * costs_.inter_pe;
+    res.energy.dram_pj = static_cast<double>(dram_bytes) * 8.0
+        * costs_.dram;
+    return res;
+}
+
+SimResult
+EyerissSim::simulate(const ImageTrace &trace,
+                     const std::vector<FcWork> &fc_work,
+                     uint64_t first_layer_input_bytes) const
+{
+    SimResult res;
+    for (size_t i = 0; i < trace.conv_layers.size(); ++i) {
+        LayerSimResult lr = simulateConvLayer(
+            trace.conv_layers[i], /*input_from_dram=*/i == 0,
+            /*output_to_dram=*/false);
+        if (i == 0)
+            lr.dram_bytes += first_layer_input_bytes;
+        res.total_cycles += lr.cycles;
+        res.energy += lr.energy;
+        res.layers.push_back(std::move(lr));
+    }
+
+    for (const FcWork &fc : fc_work) {
+        LayerSimResult lr;
+        lr.name = fc.name;
+        lr.macs = fc.macs;
+        lr.compute_cycles = (fc.macs + cfg_.totalMacs() - 1)
+            / cfg_.totalMacs();
+        lr.dram_bytes = fc.weight_bytes / cfg_.fc_batch;
+        lr.dram_cycles = static_cast<uint64_t>(
+            std::ceil(lr.dram_bytes / cfg_.dramBytesPerCycle()));
+        lr.cycles = std::max(lr.compute_cycles, lr.dram_cycles);
+        lr.energy.mac_pj = static_cast<double>(fc.macs)
+            * cfg_.bits_per_value * costs_.mac;
+        lr.energy.rf_pj = static_cast<double>(fc.macs)
+            * kRfAccessesPerMac * cfg_.bits_per_value * costs_.rf;
+        lr.energy.dram_pj = static_cast<double>(lr.dram_bytes) * 8.0
+            * costs_.dram;
+        res.total_cycles += lr.cycles;
+        res.energy += lr.energy;
+        res.layers.push_back(std::move(lr));
+    }
+    return res;
+}
+
+} // namespace snapea

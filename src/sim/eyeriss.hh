@@ -1,0 +1,58 @@
+/**
+ * @file
+ * EYERISS-like baseline (Chen et al., ISCA 2016), configured as the
+ * paper does for a fair comparison: the same 256 MAC units, the same
+ * 1.25 MB of on-chip SRAM (as a global buffer), the same clock.
+ *
+ * The baseline performs every MAC (no early termination).  Its
+ * row-stationary dataflow is modeled at the mapping level: a PE set
+ * of (filter height x output height) computes one 2-D convolution
+ * plane, sets are replicated across the array, and utilization is
+ * the fraction of PEs covered by whole sets.  Energy uses the same
+ * Table III costs with the row-stationary access pattern (register
+ * file traffic per MAC, amortized global-buffer traffic, inter-PE
+ * psum forwarding).
+ */
+
+#ifndef SNAPEA_SIM_EYERISS_HH
+#define SNAPEA_SIM_EYERISS_HH
+
+#include "sim/config.hh"
+#include "sim/energy.hh"
+#include "sim/result.hh"
+#include "snapea/engine.hh"
+
+namespace snapea {
+
+/** Cycle-level model of the EYERISS-like baseline. */
+class EyerissSim
+{
+  public:
+    EyerissSim(const EyerissConfig &cfg = {},
+               const EnergyCosts &costs = {});
+
+    /**
+     * Simulate one image.  Only the geometry and full MAC counts of
+     * the traces are used (the baseline never terminates early).
+     */
+    SimResult simulate(const ImageTrace &trace,
+                       const std::vector<FcWork> &fc_work,
+                       uint64_t first_layer_input_bytes) const;
+
+    /** Row-stationary PE-array utilization for a layer's geometry. */
+    double utilization(const ConvLayerTrace &lt) const;
+
+    const EyerissConfig &config() const { return cfg_; }
+
+  private:
+    LayerSimResult simulateConvLayer(const ConvLayerTrace &lt,
+                                     bool input_from_dram,
+                                     bool output_to_dram) const;
+
+    EyerissConfig cfg_;
+    EnergyCosts costs_;
+};
+
+} // namespace snapea
+
+#endif // SNAPEA_SIM_EYERISS_HH

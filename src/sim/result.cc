@@ -1,0 +1,35 @@
+#include "sim/result.hh"
+
+#include "util/logging.hh"
+
+namespace snapea {
+
+SimResult &
+SimResult::operator+=(const SimResult &o)
+{
+    total_cycles += o.total_cycles;
+    energy += o.energy;
+    if (layers.empty()) {
+        layers = o.layers;
+        return *this;
+    }
+    SNAPEA_ASSERT(layers.size() == o.layers.size());
+    for (size_t i = 0; i < layers.size(); ++i) {
+        LayerSimResult &a = layers[i];
+        const LayerSimResult &b = o.layers[i];
+        SNAPEA_ASSERT(a.name == b.name);
+        // Utilization becomes a cycle-weighted average.
+        const double busy = a.lane_utilization * a.cycles
+            + b.lane_utilization * b.cycles;
+        a.cycles += b.cycles;
+        a.compute_cycles += b.compute_cycles;
+        a.dram_cycles += b.dram_cycles;
+        a.macs += b.macs;
+        a.dram_bytes += b.dram_bytes;
+        a.energy += b.energy;
+        a.lane_utilization = a.cycles ? busy / a.cycles : 1.0;
+    }
+    return *this;
+}
+
+} // namespace snapea

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Results of one accelerator simulation over one image.
+ */
+
+#ifndef SNAPEA_SIM_RESULT_HH
+#define SNAPEA_SIM_RESULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/energy.hh"
+
+namespace snapea {
+
+/** Per-layer simulation outcome. */
+struct LayerSimResult
+{
+    std::string name;
+    uint64_t cycles = 0;         ///< Layer latency in cycles.
+    uint64_t compute_cycles = 0; ///< Cycles if DRAM were infinite.
+    uint64_t dram_cycles = 0;    ///< Cycles if compute were infinite.
+    uint64_t macs = 0;           ///< MACs actually performed.
+    uint64_t dram_bytes = 0;
+    double lane_utilization = 1.0;  ///< Active lane-cycles over total
+                                    ///< (SnaPEA) or PE utilization
+                                    ///< (EYERISS).
+    EnergyBreakdown energy;
+};
+
+/** Whole-network simulation outcome for one image. */
+struct SimResult
+{
+    std::vector<LayerSimResult> layers;
+    uint64_t total_cycles = 0;
+    EnergyBreakdown energy;
+
+    /** Wall-clock at the given frequency. */
+    double milliseconds(double freq_ghz) const
+    {
+        return static_cast<double>(total_cycles) / (freq_ghz * 1e6);
+    }
+
+    /** Total energy in microjoules. */
+    double microjoules() const { return energy.total() * 1e-6; }
+
+    SimResult &operator+=(const SimResult &o);
+};
+
+/** Fully-connected work item (executed on the conv hardware). */
+struct FcWork
+{
+    std::string name;
+    uint64_t macs = 0;
+    uint64_t weight_bytes = 0;
+};
+
+} // namespace snapea
+
+#endif // SNAPEA_SIM_RESULT_HH

@@ -1,0 +1,218 @@
+#include "sim/snapea_accel.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace snapea {
+
+SnapeaConfig
+SnapeaConfig::withLanes(int lanes) const
+{
+    SNAPEA_ASSERT(lanes > 0);
+    SnapeaConfig cfg = *this;
+    const int macs = totalMacs();
+    SNAPEA_ASSERT(macs % (pe_rows * lanes) == 0);
+    cfg.lanes_per_pe = lanes;
+    cfg.pe_cols = macs / (pe_rows * lanes);
+    return cfg;
+}
+
+SnapeaAccelSim::SnapeaAccelSim(const SnapeaConfig &cfg,
+                               const EnergyCosts &costs)
+    : cfg_(cfg),
+      costs_(costs)
+{
+    SNAPEA_ASSERT(cfg_.pe_rows > 0 && cfg_.pe_cols > 0
+                  && cfg_.lanes_per_pe > 0);
+}
+
+LayerSimResult
+SnapeaAccelSim::simulateConvLayer(const ConvLayerTrace &lt,
+                                  bool input_from_dram,
+                                  bool output_to_dram) const
+{
+    const int rows = cfg_.pe_rows;
+    const int cols = cfg_.pe_cols;
+    const int lanes = cfg_.lanes_per_pe;
+    const int bytes = cfg_.bits_per_value / 8;
+    const int c_out = lt.out_channels;
+    const size_t spatial = static_cast<size_t>(lt.out_h) * lt.out_w;
+
+    LayerSimResult res;
+    res.name = lt.name;
+    res.macs = lt.macs_performed;
+
+    // Flexible work split: by default the input is partitioned
+    // across the `rows` horizontal groups and the kernels across the
+    // `cols` vertical groups.  When a layer's feature map is too
+    // small to give every horizontal group at least a full lane
+    // group of windows (late layers of the scaled models, and e.g.\
+    // inception_5* even at full scale), whole rows would idle; the
+    // mapper instead folds surplus rows into extra kernel
+    // partitions, which any real deployment would do.
+    int spatial_parts = rows;
+    while (spatial_parts > 1
+           && spatial / spatial_parts
+                  < static_cast<size_t>(lanes)) {
+        spatial_parts /= 2;
+    }
+    const int kernel_parts = cols * (rows / spatial_parts);
+
+    // Input-portion count: how many refills of the per-PE input SRAM
+    // half one spatial part's input share needs.
+    const uint64_t in_bytes = static_cast<uint64_t>(lt.in_channels)
+        * lt.in_h * lt.in_w * bytes;
+    const uint64_t out_bytes = static_cast<uint64_t>(c_out)
+        * lt.out_h * lt.out_w * bytes;
+    const uint64_t chunk_in_bytes =
+        (in_bytes + spatial_parts - 1) / spatial_parts;
+    const uint64_t input_half = cfg_.io_sram_bytes / 2;
+    const int portions = static_cast<int>(
+        std::max<uint64_t>(1, (chunk_in_bytes + input_half - 1)
+                              / input_half));
+
+    // Dynamic window issue: each lane owns one convolution window;
+    // when the PAU terminates it the lane is reassigned the next
+    // window of the same kernel ("the PE is free to perform the
+    // computations of another convolution window", Section II-B).
+    // The weight/index buffers are banked so lanes at different
+    // stream positions can fetch concurrently; common-prefix fetches
+    // coalesce, so buffer reads are counted once per issued weight
+    // step (performed MACs / lanes).  A kernel's windows inside one
+    // portion therefore cost max(ceil(sum_ops / lanes), longest
+    // window) cycles plus a fixed issue overhead per lane refill.
+    uint64_t weight_fetches = 0;
+    uint64_t compute = 0;
+
+    std::vector<uint64_t> pe_time(kernel_parts);
+    for (int r = 0; r < spatial_parts; ++r) {
+        const size_t s0 = spatial * r / spatial_parts;
+        const size_t s1 = spatial * (r + 1) / spatial_parts;
+        uint64_t row_cycles = 0;
+        for (int p = 0; p < portions; ++p) {
+            const size_t a = s0 + (s1 - s0) * p / portions;
+            const size_t b = s0 + (s1 - s0) * (p + 1) / portions;
+            std::fill(pe_time.begin(), pe_time.end(), 0);
+            for (int c = 0; c < kernel_parts; ++c) {
+                const int k0 = c_out * c / kernel_parts;
+                const int k1 = c_out * (c + 1) / kernel_parts;
+                for (int k = k0; k < k1; ++k) {
+                    const uint16_t *ops =
+                        lt.ops.data() + static_cast<size_t>(k) * spatial;
+                    uint64_t sum_ops = 0;
+                    uint16_t longest = 0;
+                    for (size_t i = a; i < b; ++i) {
+                        sum_ops += ops[i];
+                        longest = std::max(longest, ops[i]);
+                    }
+                    const uint64_t spread =
+                        (sum_ops + lanes - 1) / lanes;
+                    const uint64_t refills =
+                        ((b - a) + lanes - 1) / lanes;
+                    pe_time[c] += std::max<uint64_t>(spread, longest)
+                        + refills * cfg_.group_overhead_cycles;
+                    weight_fetches += spread;
+                }
+            }
+            uint64_t portion_max = 0;
+            for (int c = 0; c < kernel_parts; ++c)
+                portion_max = std::max(portion_max, pe_time[c]);
+            row_cycles += portion_max + cfg_.portion_overhead_cycles;
+        }
+        compute = std::max(compute, row_cycles);
+    }
+    res.compute_cycles = compute;
+    // spatial_parts * kernel_parts == rows * cols, so the array's
+    // total lane-cycles during the layer makespan is compute * MACs.
+    res.lane_utilization = compute
+        ? static_cast<double>(lt.macs_performed)
+              / (static_cast<double>(compute) * cfg_.totalMacs())
+        : 1.0;
+
+    // DRAM traffic: weights plus the index stream (the reordering's
+    // hardware cost, Section V), spills when the layer's activations
+    // exceed on-chip SRAM, and the image/network boundaries.
+    const uint64_t weight_bytes = static_cast<uint64_t>(
+        static_cast<double>(c_out) * lt.kernel_size * bytes
+        / cfg_.weight_reuse);
+    uint64_t dram_bytes = weight_bytes * 2;  // weights + indices
+    const bool spills = in_bytes + out_bytes
+        > static_cast<uint64_t>(cfg_.totalIoSram());
+    if (spills || input_from_dram)
+        dram_bytes += in_bytes;
+    if (spills || output_to_dram)
+        dram_bytes += out_bytes;
+    res.dram_bytes = dram_bytes;
+    res.dram_cycles = static_cast<uint64_t>(
+        std::ceil(dram_bytes / cfg_.dramBytesPerCycle()));
+
+    // Double-buffered overlap of compute and memory.
+    res.cycles = std::max(res.compute_cycles, res.dram_cycles);
+
+    // Energy (Table III costs).
+    const double bits = cfg_.bits_per_value;
+    res.energy.mac_pj = static_cast<double>(lt.macs_performed) * bits
+        * costs_.mac;
+    // Weight and index buffer reads, shared across the lanes.
+    res.energy.buffer_pj =
+        static_cast<double>(weight_fetches) * bits * costs_.rf * 2.0;
+    // Input SRAM: one read per performed MAC per lane; one write per
+    // window result.
+    res.energy.buffer_pj +=
+        (static_cast<double>(lt.macs_performed)
+         + static_cast<double>(c_out) * spatial)
+        * bits * costs_.io_sram;
+    // Input broadcast along each row.
+    res.energy.inter_pe_pj =
+        static_cast<double>(in_bytes) * 8.0 * costs_.inter_pe;
+    res.energy.dram_pj = static_cast<double>(dram_bytes) * 8.0
+        * costs_.dram;
+    return res;
+}
+
+SimResult
+SnapeaAccelSim::simulate(const ImageTrace &trace,
+                         const std::vector<FcWork> &fc_work,
+                         uint64_t first_layer_input_bytes) const
+{
+    SimResult res;
+    for (size_t i = 0; i < trace.conv_layers.size(); ++i) {
+        LayerSimResult lr = simulateConvLayer(
+            trace.conv_layers[i], /*input_from_dram=*/i == 0,
+            /*output_to_dram=*/false);
+        if (i == 0) {
+            lr.dram_bytes += first_layer_input_bytes;
+        }
+        res.total_cycles += lr.cycles;
+        res.energy += lr.energy;
+        res.layers.push_back(std::move(lr));
+    }
+
+    // Fully-connected tail on the same MAC array: weight-streaming
+    // bound (each weight is used once, so DRAM is the limiter).
+    for (const FcWork &fc : fc_work) {
+        LayerSimResult lr;
+        lr.name = fc.name;
+        lr.macs = fc.macs;
+        lr.compute_cycles = (fc.macs + cfg_.totalMacs() - 1)
+            / cfg_.totalMacs();
+        lr.dram_bytes = fc.weight_bytes / cfg_.fc_batch;
+        lr.dram_cycles = static_cast<uint64_t>(
+            std::ceil(lr.dram_bytes / cfg_.dramBytesPerCycle()));
+        lr.cycles = std::max(lr.compute_cycles, lr.dram_cycles);
+        lr.energy.mac_pj = static_cast<double>(fc.macs)
+            * cfg_.bits_per_value * costs_.mac;
+        lr.energy.buffer_pj = static_cast<double>(fc.macs)
+            * cfg_.bits_per_value * costs_.io_sram;
+        lr.energy.dram_pj = static_cast<double>(lr.dram_bytes) * 8.0
+            * costs_.dram;
+        res.total_cycles += lr.cycles;
+        res.energy += lr.energy;
+        res.layers.push_back(std::move(lr));
+    }
+    return res;
+}
+
+} // namespace snapea

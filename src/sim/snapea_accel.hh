@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Cycle-level model of the SnaPEA accelerator (Section V).
+ *
+ * The model executes the per-window Eq. (1) op counts recorded by the
+ * functional engine against the PE-array organization the paper
+ * describes:
+ *
+ *  - Kernels are partitioned across vertical PE groups (columns),
+ *    the input across horizontal groups (rows).
+ *  - Within a PE, one weight/index pair is fetched per cycle and
+ *    broadcast to all compute lanes; each lane owns one convolution
+ *    window, so a group of `lanes` adjacent windows advances in
+ *    lockstep and costs the maximum of its members' op counts.  A
+ *    terminated lane is data-gated (it stops consuming MAC and input
+ *    energy) but stays occupied until the group retires.
+ *  - PEs of a row synchronize at input-portion boundaries: a portion
+ *    is the slice of input that fits the PE's input SRAM, and the
+ *    row advances when its slowest PE finishes (the "Organization of
+ *    PEs" synchronization).
+ *  - Per-layer DRAM traffic (weights + index streams, input/output
+ *    spills when activations exceed on-chip SRAM) overlaps with
+ *    compute; a layer's latency is the max of its compute and DRAM
+ *    cycles (double buffering).
+ */
+
+#ifndef SNAPEA_SIM_SNAPEA_ACCEL_HH
+#define SNAPEA_SIM_SNAPEA_ACCEL_HH
+
+#include "sim/config.hh"
+#include "sim/energy.hh"
+#include "sim/result.hh"
+#include "snapea/engine.hh"
+
+namespace snapea {
+
+/** Cycle-level simulator for the SnaPEA accelerator. */
+class SnapeaAccelSim
+{
+  public:
+    SnapeaAccelSim(const SnapeaConfig &cfg = {},
+                   const EnergyCosts &costs = {});
+
+    /**
+     * Simulate one image's convolution traces plus the
+     * fully-connected tail.
+     *
+     * @param trace Per-conv-layer op counts from the functional
+     *        engine (instrumented mode).
+     * @param fc_work Fully-connected layers, executed on the same
+     *        hardware (Section V notes they are ~1% of compute).
+     * @param first_layer_input_bytes Bytes of the network input
+     *        image, fetched from DRAM.
+     */
+    SimResult simulate(const ImageTrace &trace,
+                       const std::vector<FcWork> &fc_work,
+                       uint64_t first_layer_input_bytes) const;
+
+    const SnapeaConfig &config() const { return cfg_; }
+
+  private:
+    LayerSimResult simulateConvLayer(const ConvLayerTrace &lt,
+                                     bool input_from_dram,
+                                     bool output_to_dram) const;
+
+    SnapeaConfig cfg_;
+    EnergyCosts costs_;
+};
+
+} // namespace snapea
+
+#endif // SNAPEA_SIM_SNAPEA_ACCEL_HH

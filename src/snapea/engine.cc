@@ -1,0 +1,368 @@
+#include "snapea/engine.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace snapea {
+
+PreparedKernel
+prepareKernel(const Conv2D &conv, int out_ch, const KernelPlan &plan)
+{
+    const auto &spec = conv.spec();
+    const int ks = conv.kernelSize();
+    SNAPEA_ASSERT(static_cast<int>(plan.order.size()) == ks);
+
+    const int cin_g = spec.in_channels / spec.groups;
+    const int cout_g = spec.out_channels / spec.groups;
+    const int ic0 = (out_ch / cout_g) * cin_g;
+
+    PreparedKernel pk;
+    pk.w.resize(ks);
+    pk.ic.resize(ks);
+    pk.dy.resize(ks);
+    pk.dx.resize(ks);
+    pk.prefix_len = plan.prefix_len;
+    pk.neg_start = plan.neg_start;
+    pk.th = plan.params.th;
+    pk.bias = conv.bias()[out_ch];
+    pk.kernel_w = spec.kernel;
+
+    for (int i = 0; i < ks; ++i) {
+        const int idx = plan.order[i];
+        int ic_rel, ky, kx;
+        conv.decodeIndex(idx, ic_rel, ky, kx);
+        pk.w[i] = conv.weightAt(out_ch, idx);
+        pk.ic[i] = ic0 + ic_rel;
+        pk.dy[i] = ky;
+        pk.dx[i] = kx;
+    }
+    return pk;
+}
+
+void
+computeInteriorOffsets(PreparedKernel &pk, int ih, int iw)
+{
+    pk.interior_off.resize(pk.w.size());
+    for (size_t i = 0; i < pk.w.size(); ++i) {
+        pk.interior_off[i] = (pk.ic[i] * ih + pk.dy[i]) * iw + pk.dx[i];
+    }
+}
+
+namespace {
+
+/** True if the window at (iy0, ix0) has no out-of-bounds taps. */
+bool
+isInterior(const PreparedKernel &pk, int ih, int iw, int iy0, int ix0)
+{
+    return iy0 >= 0 && ix0 >= 0
+        && iy0 + pk.kernel_w <= ih && ix0 + pk.kernel_w <= iw;
+}
+
+/** One input tap; out-of-bounds taps read as zero (padding). */
+inline float
+tapValue(const PreparedKernel &pk, const Tensor &in, int ih, int iw,
+         int iy0, int ix0, size_t i)
+{
+    const int iy = iy0 + pk.dy[i];
+    const int ix = ix0 + pk.dx[i];
+    if (iy < 0 || iy >= ih || ix < 0 || ix >= iw)
+        return 0.0f;
+    return in.data()[(static_cast<size_t>(pk.ic[i]) * ih + iy) * iw + ix];
+}
+
+} // namespace
+
+float
+prefixSum(const PreparedKernel &pk, const Tensor &in, int iy0, int ix0)
+{
+    const int ih = in.dim(1), iw = in.dim(2);
+    float psum = pk.bias;
+    if (isInterior(pk, ih, iw, iy0, ix0) && !pk.interior_off.empty()) {
+        const float *base = in.data()
+            + static_cast<size_t>(iy0) * iw + ix0;
+        for (int i = 0; i < pk.prefix_len; ++i)
+            psum += pk.w[i] * base[pk.interior_off[i]];
+    } else {
+        for (int i = 0; i < pk.prefix_len; ++i)
+            psum += pk.w[i] * tapValue(pk, in, ih, iw, iy0, ix0, i);
+    }
+    return psum;
+}
+
+WindowWalk
+walkWindow(const PreparedKernel &pk, const Tensor &in, int iy0, int ix0,
+           bool need_full)
+{
+    const int ih = in.dim(1), iw = in.dim(2);
+    const int ks = static_cast<int>(pk.w.size());
+    const bool interior = isInterior(pk, ih, iw, iy0, ix0)
+        && !pk.interior_off.empty();
+    const float *base = interior
+        ? in.data() + static_cast<size_t>(iy0) * iw + ix0 : nullptr;
+
+    auto tap = [&](int i) {
+        return interior ? base[pk.interior_off[i]]
+                        : tapValue(pk, in, ih, iw, iy0, ix0, i);
+    };
+
+    WindowWalk res;
+    float psum = pk.bias;
+    int i = 0;
+
+    // Phase 1: speculation prefix plus the PAU threshold check.
+    for (; i < pk.prefix_len; ++i)
+        psum += pk.w[i] * tap(i);
+    if (pk.prefix_len > 0 && psum <= pk.th) {
+        res.ops = pk.prefix_len;
+        res.spec_fired = true;
+        // The PE emits a negative surrogate so the downstream ReLU
+        // yields zero (Fig. 4c emits "-1").
+        res.out = -1.0f;
+        if (need_full) {
+            // Continue (without counting ops) until the true sign
+            // settles: once the partial sum goes negative inside the
+            // negative-weight run it can only decrease further.
+            float full = psum;
+            for (int j = i; j < ks; ++j) {
+                full += pk.w[j] * tap(j);
+                if (j >= pk.neg_start && full < 0.0f) {
+                    res.full_sum = full;
+                    res.full_known = true;
+                    return res;
+                }
+            }
+            res.full_sum = full;
+            res.full_known = true;
+        }
+        return res;
+    }
+
+    // Phase 2: remaining positive weights, no checks needed.
+    for (; i < pk.neg_start; ++i)
+        psum += pk.w[i] * tap(i);
+
+    // Phase 3: negative weights with the single-bit sign check.
+    for (; i < ks; ++i) {
+        psum += pk.w[i] * tap(i);
+        if (psum < 0.0f) {
+            res.ops = i + 1;
+            res.sign_fired = true;
+            res.out = psum;
+            // Monotonicity makes the sign exact; the full value is
+            // not needed (ReLU zeroes it either way).
+            res.full_known = false;
+            return res;
+        }
+    }
+
+    res.ops = ks;
+    res.out = psum;
+    res.full_sum = psum;
+    res.full_known = true;
+    return res;
+}
+
+SnapeaEngine::SnapeaEngine(const Network &net, NetworkPlan plan)
+    : net_(net),
+      plan_(std::move(plan))
+{
+    for (const auto &[idx, lp] : plan_) {
+        SNAPEA_ASSERT(net_.layer(idx).kind() == LayerKind::Conv);
+        const auto &conv = static_cast<const Conv2D &>(net_.layer(idx));
+        SNAPEA_ASSERT(static_cast<int>(lp.kernels.size())
+                      == conv.spec().out_channels);
+
+        PreparedLayer pl;
+        pl.kernels.reserve(lp.kernels.size());
+        for (int o = 0; o < conv.spec().out_channels; ++o) {
+            PreparedKernel pk = prepareKernel(conv, o, lp.kernels[o]);
+            pl.any_predictive |= lp.kernels[o].params.predictive();
+            pl.kernels.push_back(std::move(pk));
+        }
+
+        // Interior offsets depend on the layer's input geometry,
+        // which is known statically from the network graph.
+        const int prod = net_.producers(idx)[0];
+        const auto &in_shape = prod == Network::kInput
+            ? net_.inputShape() : net_.outputShape(prod);
+        for (auto &pk : pl.kernels)
+            computeInteriorOffsets(pk, in_shape[1], in_shape[2]);
+
+        prepared_.emplace(idx, std::move(pl));
+    }
+}
+
+void
+SnapeaEngine::beginImage()
+{
+    if (collect_traces_)
+        traces_.emplace_back();
+}
+
+void
+SnapeaEngine::resetStats()
+{
+    stats_.clear();
+}
+
+void
+SnapeaEngine::clearTraces()
+{
+    traces_.clear();
+}
+
+bool
+SnapeaEngine::runConv(int layer_idx, const Conv2D &conv, const Tensor &in,
+                      Tensor &out)
+{
+    auto it = prepared_.find(layer_idx);
+    if (it == prepared_.end())
+        return false;
+
+    if (mode_ == ExecMode::Fast) {
+        // Layers with no speculating kernel produce bit-identical
+        // output to the plain convolution; skip the override.
+        if (!it->second.any_predictive)
+            return false;
+        runFast(layer_idx, conv, in, out);
+    } else {
+        runInstrumented(layer_idx, conv, in, out);
+    }
+    return true;
+}
+
+void
+SnapeaEngine::runFast(int layer_idx, const Conv2D &conv, const Tensor &in,
+                      Tensor &out)
+{
+    const PreparedLayer &pl = prepared_.at(layer_idx);
+    Tensor plain = conv.forward({&in});
+    SNAPEA_ASSERT(plain.shape() == out.shape());
+
+    const int oh = out.dim(1), ow = out.dim(2);
+    const int stride = conv.spec().stride, pad = conv.spec().pad;
+
+    for (size_t o = 0; o < pl.kernels.size(); ++o) {
+        const PreparedKernel &pk = pl.kernels[o];
+        if (pk.prefix_len == 0)
+            continue;
+        float *row = plain.data() + o * static_cast<size_t>(oh) * ow;
+        for (int y = 0; y < oh; ++y) {
+            const int iy0 = y * stride - pad;
+            for (int x = 0; x < ow; ++x) {
+                const int ix0 = x * stride - pad;
+                if (prefixSum(pk, in, iy0, ix0) <= pk.th)
+                    row[static_cast<size_t>(y) * ow + x] = -1.0f;
+            }
+        }
+    }
+    out = std::move(plain);
+}
+
+void
+SnapeaEngine::runInstrumented(int layer_idx, const Conv2D &conv,
+                              const Tensor &in, Tensor &out)
+{
+    const PreparedLayer &pl = prepared_.at(layer_idx);
+    const int oh = out.dim(1), ow = out.dim(2);
+    const int stride = conv.spec().stride, pad = conv.spec().pad;
+    const int ks = conv.kernelSize();
+
+    LayerExecStats &st = stats_[layer_idx];
+    if (st.name.empty())
+        st.name = conv.name();
+
+    ConvLayerTrace *trace = nullptr;
+    if (collect_traces_) {
+        SNAPEA_ASSERT(!traces_.empty());
+        traces_.back().conv_layers.emplace_back();
+        trace = &traces_.back().conv_layers.back();
+        trace->layer_idx = layer_idx;
+        trace->name = conv.name();
+        trace->out_channels = conv.spec().out_channels;
+        trace->out_h = oh;
+        trace->out_w = ow;
+        trace->kernel_size = ks;
+        trace->kernel_w = conv.spec().kernel;
+        trace->stride = conv.spec().stride;
+        trace->in_channels = in.dim(0);
+        trace->in_h = in.dim(1);
+        trace->in_w = in.dim(2);
+        trace->predictive = pl.any_predictive;
+        trace->ops.resize(static_cast<size_t>(conv.spec().out_channels)
+                          * oh * ow);
+    }
+
+    size_t widx = 0;
+    size_t macs_performed = 0;
+    for (size_t o = 0; o < pl.kernels.size(); ++o) {
+        const PreparedKernel &pk = pl.kernels[o];
+        for (int y = 0; y < oh; ++y) {
+            const int iy0 = y * stride - pad;
+            for (int x = 0; x < ow; ++x, ++widx) {
+                const int ix0 = x * stride - pad;
+                const WindowWalk ww =
+                    walkWindow(pk, in, iy0, ix0, /*need_full=*/true);
+                out.at(static_cast<int>(o), y, x) = ww.out;
+
+                ++st.windows;
+                st.macs_full += ks;
+                st.macs_performed += ww.ops;
+                macs_performed += ww.ops;
+                if (trace) {
+                    trace->ops[widx] = static_cast<uint16_t>(
+                        std::min(ww.ops, 65535));
+                }
+
+                bool actual_neg;
+                if (ww.sign_fired) {
+                    actual_neg = true;  // sign check is exact
+                } else if (ww.spec_fired) {
+                    SNAPEA_ASSERT(ww.full_known);
+                    actual_neg = ww.full_sum <= 0.0f;
+                } else {
+                    actual_neg = ww.out <= 0.0f;
+                }
+                if (actual_neg)
+                    ++st.actual_negative;
+                else
+                    ++st.actual_positive;
+
+                if (ww.spec_fired) {
+                    ++st.spec_terminated;
+                    if (actual_neg) {
+                        ++st.true_negative;
+                    } else {
+                        ++st.false_negative;
+                        st.fn_values.push_back(ww.full_sum);
+                    }
+                } else if (ww.sign_fired) {
+                    ++st.sign_terminated;
+                } else {
+                    ++st.completed;
+                    if (ww.out > 0.0f) {
+                        // Deterministic reservoir sample of positive
+                        // magnitudes for the "errors land on small
+                        // positives" statistic of Section VI-B.
+                        ++st.pos_seen;
+                        constexpr size_t kCap = 4096;
+                        if (st.pos_sample.size() < kCap) {
+                            st.pos_sample.push_back(ww.out);
+                        } else if (st.pos_seen % 7 == 0) {
+                            st.pos_sample[(st.pos_seen / 7) % kCap] =
+                                ww.out;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if (trace) {
+        trace->macs_performed = macs_performed;
+        trace->macs_full = static_cast<size_t>(ks) * pl.kernels.size()
+            * oh * ow;
+    }
+}
+
+} // namespace snapea

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * The SnaPEA execution engine: functional simulation of convolutions
+ * with reordered weights, early termination, and the Predictive
+ * Activation Unit's checks (Sections II-B and V).
+ *
+ * Two modes exist because the two consumers need different costs:
+ *
+ *  - Fast: outputs only.  The plain convolution is computed and
+ *    speculatively-negative windows are squashed using just their
+ *    prefix partial sums.  This is what Algorithm 1's Simulate()
+ *    runs thousands of times.
+ *  - Instrumented: the honest reordered walk per window, producing
+ *    Eq. (1) op counts for the cycle simulator plus the true/false
+ *    negative statistics of Table V.
+ *
+ * Both modes produce identical zeroing decisions (the prefix sums are
+ * accumulated in the same order); completed windows may differ in the
+ * last float ulp because accumulation order differs.
+ */
+
+#ifndef SNAPEA_SNAPEA_ENGINE_HH
+#define SNAPEA_SNAPEA_ENGINE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nn/conv.hh"
+#include "nn/network.hh"
+#include "snapea/params.hh"
+#include "util/stats.hh"
+
+namespace snapea {
+
+/**
+ * One kernel gathered into execution order: reordered weights, the
+ * matching input-tap coordinates (the hardware's index buffer), and
+ * the PAU configuration.
+ */
+struct PreparedKernel
+{
+    std::vector<float> w;          ///< Weights in execution order.
+    std::vector<int> ic;           ///< Absolute input channel per tap.
+    std::vector<int> dy, dx;       ///< Kernel-relative tap offsets.
+    std::vector<int> interior_off; ///< Flat input offset per tap, valid
+                                   ///< for windows away from borders.
+    int prefix_len = 0;            ///< Speculation prefix length (N).
+    int neg_start = 0;             ///< First position with sign checks.
+    float th = 0.0f;               ///< Speculation threshold (Th).
+    float bias = 0.0f;             ///< Accumulator initial value.
+    int kernel_w = 0;              ///< Kernel width (for border checks).
+};
+
+/** Result of honestly walking one convolution window. */
+struct WindowWalk
+{
+    int ops = 0;          ///< Eq. (1) MAC count until termination.
+    float out = 0.0f;     ///< Value the PE writes (<= 0 if terminated).
+    bool spec_fired = false;  ///< Prefix threshold check fired.
+    bool sign_fired = false;  ///< Exact sign check fired.
+    float full_sum = 0.0f;    ///< True convolution value (only valid
+                              ///< if @c full_known).
+    bool full_known = false;
+};
+
+/** Gather a kernel into execution order per its plan. */
+PreparedKernel prepareKernel(const Conv2D &conv, int out_ch,
+                             const KernelPlan &plan);
+
+/**
+ * Fill PreparedKernel::interior_off for a given input geometry.
+ * Must be called before walking windows against an input of that
+ * geometry; the offsets accelerate windows away from the borders.
+ */
+void computeInteriorOffsets(PreparedKernel &pk, int ih, int iw);
+
+/**
+ * Honest reordered walk of one window (PE compute-lane semantics).
+ *
+ * @param pk The prepared kernel.
+ * @param in Input activation tensor (CHW).
+ * @param iy0, ix0 Window origin in input coordinates (may be
+ *        negative with padding).
+ * @param need_full Continue past termination (without counting ops)
+ *        until the true output sign — and, for misspeculated
+ *        windows, value — is known.
+ */
+WindowWalk walkWindow(const PreparedKernel &pk, const Tensor &in,
+                      int iy0, int ix0, bool need_full);
+
+/** Prefix partial sum only (bias + speculation prefix products). */
+float prefixSum(const PreparedKernel &pk, const Tensor &in,
+                int iy0, int ix0);
+
+/** Per-conv-layer instrumentation counters (Table V inputs). */
+struct LayerExecStats
+{
+    std::string name;
+    size_t windows = 0;
+    size_t macs_full = 0;        ///< MACs an unaltered conv performs.
+    size_t macs_performed = 0;   ///< MACs after early termination.
+    size_t spec_terminated = 0;  ///< Windows zeroed by the prefix check.
+    size_t sign_terminated = 0;  ///< Windows cut by the sign check.
+    size_t completed = 0;        ///< Windows run to the last weight.
+    size_t actual_negative = 0;  ///< True convolution output <= 0.
+    size_t actual_positive = 0;
+    size_t true_negative = 0;    ///< Speculated negative, actually so.
+    size_t false_negative = 0;   ///< Speculated negative, actually > 0.
+    std::vector<float> fn_values;   ///< True values of squashed positives.
+    std::vector<float> pos_sample;  ///< Reservoir of positive outputs.
+    size_t pos_seen = 0;            ///< Positives offered to the reservoir.
+};
+
+/** Eq. (1) op counts of one conv layer for one image. */
+struct ConvLayerTrace
+{
+    int layer_idx = 0;
+    std::string name;
+    int out_channels = 0, out_h = 0, out_w = 0;
+    int kernel_size = 0;             ///< Taps per window.
+    int kernel_w = 0;                ///< Kernel width D_k.
+    int stride = 1;
+    int in_channels = 0, in_h = 0, in_w = 0;
+    bool predictive = false;         ///< Layer has speculating kernels.
+    std::vector<uint16_t> ops;       ///< [kernel][y][x] op counts.
+    size_t macs_full = 0;
+    size_t macs_performed = 0;
+};
+
+/** Traces of all planned conv layers for one image. */
+struct ImageTrace
+{
+    std::vector<ConvLayerTrace> conv_layers;
+};
+
+/** Execution mode of the engine. */
+enum class ExecMode {
+    Fast,          ///< Outputs only; no op counts, no stats.
+    Instrumented,  ///< Honest walk: op traces + Table V statistics.
+};
+
+/**
+ * ConvOverride implementing SnaPEA execution for the layers present
+ * in a NetworkPlan.  Layers absent from the plan run as plain
+ * convolutions.
+ */
+class SnapeaEngine : public ConvOverride
+{
+  public:
+    /**
+     * @param net The network the plan refers to (borrowed; must
+     *        outlive the engine).
+     * @param plan Per-layer kernel plans.
+     */
+    SnapeaEngine(const Network &net, NetworkPlan plan);
+
+    /** Select fast or instrumented execution. */
+    void setMode(ExecMode mode) { mode_ = mode; }
+
+    /** Enable per-image op trace collection (instrumented mode). */
+    void setCollectTraces(bool on) { collect_traces_ = on; }
+
+    /**
+     * Mark the start of a new image so traces are grouped per image.
+     * Must be called before each forward() when collecting traces.
+     */
+    void beginImage();
+
+    bool runConv(int layer_idx, const Conv2D &conv, const Tensor &in,
+                 Tensor &out) override;
+
+    /** Accumulated per-layer statistics (instrumented mode). */
+    const std::map<int, LayerExecStats> &stats() const { return stats_; }
+
+    /** Clear accumulated statistics. */
+    void resetStats();
+
+    /** Collected per-image traces. */
+    const std::vector<ImageTrace> &traces() const { return traces_; }
+
+    /** Drop collected traces. */
+    void clearTraces();
+
+    /** The plan the engine executes. */
+    const NetworkPlan &plan() const { return plan_; }
+
+  private:
+    struct PreparedLayer
+    {
+        std::vector<PreparedKernel> kernels;
+        bool any_predictive = false;
+    };
+
+    void runFast(int layer_idx, const Conv2D &conv, const Tensor &in,
+                 Tensor &out);
+    void runInstrumented(int layer_idx, const Conv2D &conv,
+                         const Tensor &in, Tensor &out);
+
+    const Network &net_;
+    NetworkPlan plan_;
+    std::map<int, PreparedLayer> prepared_;
+    ExecMode mode_ = ExecMode::Fast;
+    bool collect_traces_ = false;
+    std::map<int, LayerExecStats> stats_;
+    std::vector<ImageTrace> traces_;
+};
+
+} // namespace snapea
+
+#endif // SNAPEA_SNAPEA_ENGINE_HH

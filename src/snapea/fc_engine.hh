@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Extension: SnaPEA's exact early activation applied to
+ * fully-connected layers.
+ *
+ * The paper executes FC layers on the same hardware as convolutions
+ * but leaves them unoptimized ("~1% of computation").  The exact-
+ * mode property carries over unchanged: hidden FC layers (fc6/fc7 in
+ * AlexNet/VGGNet) consume post-ReLU — hence non-negative — inputs
+ * and feed ReLUs, so sign-ordered weights plus the single-bit sign
+ * check terminate provably-negative neurons early with zero accuracy
+ * impact.  This module implements that extension; the ablation bench
+ * measures what it adds.
+ */
+
+#ifndef SNAPEA_SNAPEA_FC_ENGINE_HH
+#define SNAPEA_SNAPEA_FC_ENGINE_HH
+
+#include <vector>
+
+#include "nn/dense.hh"
+#include "nn/tensor.hh"
+
+namespace snapea {
+
+/** One FC neuron's sign-ordered execution plan. */
+struct FcNeuronPlan
+{
+    std::vector<int> order;  ///< Permutation of input indices.
+    int neg_start = 0;       ///< Where sign checks begin.
+};
+
+/** Per-layer plan: one neuron plan per output feature. */
+struct FcLayerPlan
+{
+    std::vector<FcNeuronPlan> neurons;
+};
+
+/** Statistics of one exact-mode FC execution. */
+struct FcExecStats
+{
+    size_t neurons = 0;
+    size_t terminated = 0;       ///< Neurons cut by the sign check.
+    size_t macs_full = 0;
+    size_t macs_performed = 0;
+};
+
+/**
+ * Build the exact-mode plan for an FC layer: per neuron, positive
+ * weights first (index order), then negative weights by descending
+ * magnitude — the same reordering as makeExactPlan for convolutions.
+ */
+FcLayerPlan makeFcExactPlan(const FullyConnected &fc);
+
+/**
+ * Execute an FC layer with early termination.
+ *
+ * @param fc The layer.
+ * @param plan Its exact plan.
+ * @param in Input tensor (flattened); must be non-negative for the
+ *        early termination to be exact.
+ * @param stats Optional accumulation of op counts.
+ * @return The output logits; values <= 0 may differ from the plain
+ *         layer (they are partial sums) but agree after ReLU.
+ */
+Tensor runFcExact(const FullyConnected &fc, const FcLayerPlan &plan,
+                  const Tensor &in, FcExecStats *stats = nullptr);
+
+} // namespace snapea
+
+#endif // SNAPEA_SNAPEA_FC_ENGINE_HH

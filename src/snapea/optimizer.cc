@@ -1,0 +1,568 @@
+#include "snapea/optimizer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "snapea/engine.hh"
+#include "snapea/reorder.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace snapea {
+
+namespace {
+
+/** A (n, q) candidate recipe shared by the kernels of a layer. */
+struct Recipe
+{
+    int n_groups;
+    double fn_quantile;
+};
+
+} // namespace
+
+struct SpeculationOptimizer::Impl
+{
+    const Network &net;
+    const Dataset &data;
+    OptimizerConfig cfg;
+
+    int n_local;    ///< Images used by the local pass.
+    int n_profile;  ///< Images used for thresholds and op counts.
+
+    /** Baseline activations of the local-subset images. */
+    std::vector<std::vector<Tensor>> base_acts;
+    /** Scratch activations reused across local-pass simulations. */
+    std::vector<std::vector<Tensor>> scratch;
+    /** First scratch layer differing from baseline, per image. */
+    std::vector<int> dirty_from;
+
+    /** ParamL: per conv layer, candidates sorted ascending by op. */
+    std::map<int, std::vector<LayerCandidate>> paramL;
+
+    int candidates_evaluated = 0;
+    int candidates_kept = 0;
+
+    Impl(const Network &net_, const Dataset &data_,
+         const OptimizerConfig &cfg_)
+        : net(net_), data(data_), cfg(cfg_)
+    {
+        SNAPEA_ASSERT(!data.images.empty());
+        n_local = std::min<int>(cfg.local_images,
+                                static_cast<int>(data.images.size()));
+        n_profile = std::min(cfg.profile_images, n_local);
+        SNAPEA_ASSERT(n_profile >= 1);
+
+        base_acts.resize(n_local);
+        scratch.resize(n_local);
+        dirty_from.assign(n_local, net.numLayers());
+        base_label_prob.resize(n_local);
+        for (int i = 0; i < n_local; ++i) {
+            net.forwardAll(data.images[i], base_acts[i]);
+            scratch[i] = base_acts[i];
+            base_label_prob[i] = base_acts[i].back()[data.labels[i]];
+        }
+
+        buildParamL();
+    }
+
+    /** Input activation of conv layer @p l for local image @p img. */
+    const Tensor &
+    layerInput(int l, int img) const
+    {
+        const int prod = net.producers(l)[0];
+        return prod == Network::kInput ? data.images[img]
+                                       : base_acts[img][prod];
+    }
+
+    /** Restore scratch[img][i] = baseline for all i < upto. */
+    void
+    restoreScratch(int img, int upto)
+    {
+        for (int i = dirty_from[img]; i < upto; ++i)
+            scratch[img][i] = base_acts[img][i];
+        dirty_from[img] = std::max(dirty_from[img], upto);
+    }
+
+    /** Baseline probability of the self-label, per local image. */
+    std::vector<double> base_label_prob;
+
+    /**
+     * Error of one layer configuration in isolation: squash the
+     * baseline output of layer l per the candidate's prepared
+     * kernels, re-simulate downstream only, and score.
+     *
+     * The score is flip-rate plus a small continuous term (mean
+     * relative drop of the self-label's probability).  The soft term
+     * matters because flip counts on a small local set quantize to
+     * zero for most single-layer candidates, which would leave the
+     * global pass's -derr/dop merit rule with no gradient to rank
+     * back-off steps by.
+     */
+    double
+    localErr(int l, const std::vector<PreparedKernel> &pks)
+    {
+        const auto &out_shape = net.outputShape(l);
+        const int oh = out_shape[1], ow = out_shape[2];
+        const auto &conv = static_cast<const Conv2D &>(net.layer(l));
+        const int stride = conv.spec().stride, pad = conv.spec().pad;
+
+        int flips = 0;
+        double soft = 0.0;
+        for (int img = 0; img < n_local; ++img) {
+            restoreScratch(img, l);
+            dirty_from[img] = std::min(dirty_from[img], l);
+            Tensor &mod = scratch[img][l];
+            mod = base_acts[img][l];
+            const Tensor &in = layerInput(l, img);
+
+            for (size_t o = 0; o < pks.size(); ++o) {
+                const PreparedKernel &pk = pks[o];
+                if (pk.prefix_len == 0)
+                    continue;
+                float *row = mod.data()
+                    + o * static_cast<size_t>(oh) * ow;
+                for (int y = 0; y < oh; ++y) {
+                    const int iy0 = y * stride - pad;
+                    for (int x = 0; x < ow; ++x) {
+                        const int ix0 = x * stride - pad;
+                        if (prefixSum(pk, in, iy0, ix0) <= pk.th)
+                            row[static_cast<size_t>(y) * ow + x] = -1.0f;
+                    }
+                }
+            }
+
+            net.forwardAll(data.images[img], scratch[img], nullptr, l + 1);
+            const Tensor &probs = scratch[img].back();
+            if (static_cast<int>(probs.argmax()) != data.labels[img])
+                ++flips;
+            const double base_p = std::max(base_label_prob[img], 1e-6);
+            const double drop = base_p - probs[data.labels[img]];
+            soft += std::max(0.0, drop) / base_p;
+        }
+        return static_cast<double>(flips) / n_local
+            + 0.1 * soft / n_local;
+    }
+
+    /**
+     * Profiling + local pass for one layer: derive per-kernel
+     * thresholds and honest op counts per recipe, evaluate each
+     * recipe's isolated error, keep the acceptable ones plus the
+     * exact configuration.
+     */
+    void
+    profileLayer(int l, const std::vector<Recipe> &recipes)
+    {
+        const auto &conv = static_cast<const Conv2D &>(net.layer(l));
+        const int ks = conv.kernelSize();
+        const int c_out = conv.spec().out_channels;
+        const auto &out_shape = net.outputShape(l);
+        const int oh = out_shape[1], ow = out_shape[2];
+        const int stride = conv.spec().stride, pad = conv.spec().pad;
+        const int ih = layerInput(l, 0).dim(1);
+        const int iw = layerInput(l, 0).dim(2);
+
+        std::vector<LayerCandidate> cands;
+
+        // Exact configuration: no speculation, err == 0 by
+        // construction (the sign check never changes a ReLU output).
+        // Per-kernel exact op counts are kept for reuse by candidates
+        // whose damage cap sends a kernel back to exact.
+        std::vector<double> exact_op(c_out, 0.0);
+        {
+            LayerCandidate exact;
+            exact.params.assign(c_out, SpeculationParams{});
+            exact.n_groups = 0;
+            for (int o = 0; o < c_out; ++o) {
+                PreparedKernel pk =
+                    prepareKernel(conv, o, makeExactPlan(conv, o));
+                computeInteriorOffsets(pk, ih, iw);
+                for (int img = 0; img < n_profile; ++img) {
+                    const Tensor &in = layerInput(l, img);
+                    for (int y = 0; y < oh; ++y) {
+                        for (int x = 0; x < ow; ++x) {
+                            exact_op[o] += walkWindow(
+                                pk, in, y * stride - pad,
+                                x * stride - pad, false).ops;
+                        }
+                    }
+                }
+                exact.op += exact_op[o];
+            }
+            exact.err = 0.0;
+            cands.push_back(std::move(exact));
+        }
+
+        // Predictive recipes.  Recipes sharing n reuse the prefix
+        // construction and the per-kernel prefix-sum profiles.
+        int last_n = -1;
+        std::vector<PreparedKernel> pks;
+        std::vector<std::vector<double>> pos_psums;  // per kernel
+        std::vector<std::vector<double>> pos_vals;   // aligned values
+        std::vector<float> max_psum;
+        for (const Recipe &r : recipes) {
+            const int n = std::min(r.n_groups, std::max(1, ks / 2));
+            if (n != last_n) {
+                last_n = n;
+                pks.clear();
+                pos_psums.assign(c_out, {});
+                pos_vals.assign(c_out, {});
+                max_psum.assign(c_out,
+                                -std::numeric_limits<float>::infinity());
+                SpeculationParams p;
+                p.n_groups = n;
+                p.th = 0.0f;  // placeholder; set per candidate below
+                for (int o = 0; o < c_out; ++o) {
+                    PreparedKernel pk = prepareKernel(
+                        conv, o, makePredictivePlan(conv, o, p));
+                    computeInteriorOffsets(pk, ih, iw);
+                    for (int img = 0; img < n_profile; ++img) {
+                        const Tensor &in = layerInput(l, img);
+                        const Tensor &out = base_acts[img][l];
+                        for (int y = 0; y < oh; ++y) {
+                            for (int x = 0; x < ow; ++x) {
+                                const float ps = prefixSum(
+                                    pk, in, y * stride - pad,
+                                    x * stride - pad);
+                                max_psum[o] = std::max(max_psum[o], ps);
+                                const float v = out.at(o, y, x);
+                                if (v > 0.0f) {
+                                    pos_psums[o].push_back(ps);
+                                    pos_vals[o].push_back(v);
+                                }
+                            }
+                        }
+                    }
+                    pks.push_back(std::move(pk));
+                }
+            }
+
+            LayerCandidate cand;
+            cand.n_groups = n;
+            cand.fn_quantile = r.fn_quantile;
+            cand.params.assign(c_out, SpeculationParams{});
+            double op = 0.0;
+            int speculating = 0;
+            for (int o = 0; o < c_out; ++o) {
+                // Threshold: the q-quantile of prefix sums over
+                // truly-positive windows, so about a fraction q of
+                // this kernel's positive windows would be squashed
+                // on the optimization data.  With no positive
+                // windows any threshold is error-free; fire always.
+                const float th = pos_psums[o].empty()
+                    ? max_psum[o] + 1.0f
+                    : static_cast<float>(
+                          quantile(pos_psums[o], r.fn_quantile));
+
+                // Damage cap: the positive output mass this kernel
+                // would squash, as a fraction of its total positive
+                // mass.  Sensitive kernels revert to exact.
+                double mass = 0.0, squashed = 0.0;
+                for (size_t i = 0; i < pos_psums[o].size(); ++i) {
+                    mass += pos_vals[o][i];
+                    if (pos_psums[o][i] <= th)
+                        squashed += pos_vals[o][i];
+                }
+                // The cap scales with the recipe's aggressiveness so
+                // high-q rungs stay genuinely aggressive; the global
+                // pass arbitrates with the real accuracy budget.
+                const double cap =
+                    std::max(cfg.damage_cap, r.fn_quantile);
+                if (mass > 0.0 && squashed > cap * mass) {
+                    cand.params[o] = SpeculationParams{};
+                    pks[o].th =
+                        -std::numeric_limits<float>::infinity();
+                    op += exact_op[o];
+                    continue;
+                }
+
+                ++speculating;
+                pks[o].th = th;
+                cand.params[o].th = th;
+                cand.params[o].n_groups = n;
+                for (int img = 0; img < n_profile; ++img) {
+                    const Tensor &in = layerInput(l, img);
+                    for (int y = 0; y < oh; ++y) {
+                        for (int x = 0; x < ow; ++x) {
+                            op += walkWindow(pks[o], in,
+                                             y * stride - pad,
+                                             x * stride - pad,
+                                             false).ops;
+                        }
+                    }
+                }
+            }
+            if (speculating == 0)
+                continue;  // degenerates to the exact configuration
+            cand.op = op;
+            cand.err = localErr(l, pks);
+            ++candidates_evaluated;
+            if (cand.err <= cfg.local_slack) {
+                cands.push_back(std::move(cand));
+                ++candidates_kept;
+            }
+        }
+
+        std::stable_sort(cands.begin(), cands.end(),
+                         [](const LayerCandidate &a,
+                            const LayerCandidate &b) {
+                             return a.op < b.op;
+                         });
+        paramL.emplace(l, std::move(cands));
+    }
+
+    void
+    buildParamL()
+    {
+        std::vector<Recipe> recipes;
+        for (int n : cfg.group_counts)
+            for (double q : cfg.fn_quantiles)
+                recipes.push_back({n, q});
+
+        for (int l : net.convLayers()) {
+            profileLayer(l, recipes);
+            if (cfg.verbose) {
+                inform("optimizer: layer %s: %zu candidates kept",
+                       net.layer(l).name().c_str(), paramL.at(l).size());
+            }
+        }
+    }
+
+    /** Label-flip rate of the given per-image activations. */
+    double
+    globalErr(const std::vector<std::vector<Tensor>> &acts) const
+    {
+        int flips = 0;
+        for (size_t img = 0; img < data.images.size(); ++img) {
+            if (static_cast<int>(acts[img].back().argmax())
+                != data.labels[img]) {
+                ++flips;
+            }
+        }
+        return static_cast<double>(flips) / data.images.size();
+    }
+
+    OptimizerResult
+    globalPass(double epsilon)
+    {
+        // Current configuration: index into paramL[l] per layer,
+        // starting from the lowest-op (most aggressive) candidate.
+        std::map<int, size_t> cur;
+        std::map<int, std::vector<bool>> consumed;
+        for (const auto &[l, cands] : paramL) {
+            cur[l] = 0;
+            consumed[l] = std::vector<bool>(cands.size(), false);
+            consumed[l][0] = true;
+        }
+
+        auto makeParams = [&]() {
+            std::map<int, std::vector<SpeculationParams>> params;
+            for (const auto &[l, idx] : cur)
+                params[l] = paramL.at(l)[idx].params;
+            return params;
+        };
+
+        const size_t n_img = data.images.size();
+        std::vector<std::vector<Tensor>> acts(n_img);
+        auto resim = [&](int from_layer) {
+            SnapeaEngine engine(net, makeNetworkPlan(net, makeParams()));
+            engine.setMode(ExecMode::Fast);
+            for (size_t img = 0; img < n_img; ++img) {
+                net.forwardAll(data.images[img], acts[img], &engine,
+                               from_layer);
+            }
+        };
+        resim(0);
+
+        OptimizerResult res;
+        res.stats.candidates_evaluated = candidates_evaluated;
+        res.stats.candidates_kept = candidates_kept;
+        double err = globalErr(acts);
+        res.stats.initial_err = err;
+
+        // Practical iteration bounds: greedy back-off is capped and
+        // a deterministic force-exact fallback guarantees the
+        // constraint afterward; refinement gets its own budget.
+        // Tight budgets (epsilon ~1%) on deep networks otherwise
+        // spend minutes of re-simulation for negligible gains.
+        const int n_layers = static_cast<int>(paramL.size());
+        const int backoff_cap = std::min(
+            cfg.max_global_iterations, std::max(100, 4 * n_layers));
+        int iters = 0;
+        while (err > epsilon && iters < backoff_cap) {
+            // ADJUSTPARAM: pick the unconsumed candidate with the
+            // best merit -derr/dop relative to the current config.
+            double best_merit = -std::numeric_limits<double>::infinity();
+            int best_l = -1;
+            size_t best_t = 0;
+            for (const auto &[l, cands] : paramL) {
+                const LayerCandidate &now = cands[cur[l]];
+                for (size_t t = 0; t < cands.size(); ++t) {
+                    if (consumed.at(l)[t])
+                        continue;
+                    const double derr = cands[t].err - now.err;
+                    const double dop = cands[t].op - now.op;
+                    double merit;
+                    if (dop <= 0.0) {
+                        // Same-or-cheaper candidate: take it only if
+                        // it also improves the local error.
+                        if (derr >= 0.0)
+                            continue;
+                        merit = std::numeric_limits<double>::infinity();
+                    } else {
+                        merit = -derr / dop;
+                    }
+                    // Ties (common when several layers report zero
+                    // local error) break toward the cheaper step so
+                    // back-off stays gentle.
+                    const bool better = merit > best_merit
+                        || (merit == best_merit && best_l >= 0
+                            && dop < paramL.at(best_l)[best_t].op
+                                   - paramL.at(best_l)[cur[best_l]].op);
+                    if (better) {
+                        best_merit = merit;
+                        best_l = l;
+                        best_t = t;
+                    }
+                }
+            }
+            if (best_l < 0) {
+                warn("global pass exhausted candidates at err=%.4f "
+                     "(epsilon=%.4f)", err, epsilon);
+                break;
+            }
+
+            cur[best_l] = best_t;
+            consumed.at(best_l)[best_t] = true;
+            resim(best_l);
+            err = globalErr(acts);
+            ++iters;
+            if (cfg.verbose) {
+                inform("optimizer: iter %d: layer %s -> cand %zu, "
+                       "err=%.4f", iters,
+                       net.layer(best_l).name().c_str(), best_t, err);
+            }
+        }
+
+        // Fallback: if the merit walk ran out of its budget with the
+        // constraint still violated, force the highest-local-error
+        // layers to their exact configuration one by one (the exact
+        // candidate always exists and is error-free, so this
+        // converges in at most one step per layer).
+        while (err > epsilon) {
+            int worst = -1;
+            double worst_err = 0.0;
+            for (const auto &[l, cands] : paramL) {
+                if (cands[cur[l]].n_groups == 0)
+                    continue;
+                const double e = std::max(cands[cur[l]].err, 1e-9);
+                if (worst < 0 || e > worst_err) {
+                    worst = l;
+                    worst_err = e;
+                }
+            }
+            if (worst < 0)
+                break;  // everything exact already
+            for (size_t t = 0; t < paramL.at(worst).size(); ++t) {
+                if (paramL.at(worst)[t].n_groups == 0) {
+                    cur[worst] = t;
+                    consumed.at(worst)[t] = true;
+                    break;
+                }
+            }
+            resim(worst);
+            err = globalErr(acts);
+            ++iters;
+        }
+
+        // Refinement: the back-off loop stops at the first
+        // configuration meeting the budget, typically overshooting
+        // below it because candidate rungs are coarse.  Greedily
+        // re-tighten layers while the constraint keeps holding, so
+        // the returned configuration sits close to the epsilon
+        // boundary (this step is an extension over Algorithm 1; see
+        // DESIGN.md).
+        if (err <= epsilon) {
+            std::map<int, std::vector<bool>> refine_failed;
+            for (const auto &[l, cands] : paramL)
+                refine_failed[l] = std::vector<bool>(cands.size(), false);
+            bool improved = true;
+            const int refine_cap = iters + 2 * n_layers;
+            while (improved && iters < refine_cap) {
+                improved = false;
+                for (const auto &[l, cands] : paramL) {
+                    // Most aggressive untried candidate cheaper than
+                    // the current configuration.
+                    int pick = -1;
+                    for (size_t t = 0; t < cands.size(); ++t) {
+                        if (consumed.at(l)[t] || refine_failed.at(l)[t])
+                            continue;
+                        if (cands[t].op >= cands[cur[l]].op)
+                            continue;
+                        if (pick < 0 || cands[t].op < cands[pick].op)
+                            pick = static_cast<int>(t);
+                    }
+                    if (pick < 0)
+                        continue;
+                    const size_t old = cur[l];
+                    cur[l] = pick;
+                    resim(l);
+                    const double new_err = globalErr(acts);
+                    ++iters;
+                    if (new_err <= epsilon) {
+                        consumed.at(l)[pick] = true;
+                        err = new_err;
+                        improved = true;
+                        if (cfg.verbose) {
+                            inform("optimizer: refine layer %s -> "
+                                   "cand %d, err=%.4f",
+                                   net.layer(l).name().c_str(), pick,
+                                   err);
+                        }
+                    } else {
+                        refine_failed.at(l)[pick] = true;
+                        cur[l] = old;
+                        resim(l);
+                    }
+                    if (iters >= refine_cap)
+                        break;
+                }
+            }
+        }
+
+        res.params = makeParams();
+        res.stats.global_iterations = iters;
+        res.stats.final_err = err;
+        res.stats.total_conv_layers =
+            static_cast<int>(net.convLayers().size());
+        for (const auto &[l, idx] : cur) {
+            if (paramL.at(l)[idx].n_groups > 0)
+                ++res.stats.predictive_layers;
+        }
+        return res;
+    }
+};
+
+SpeculationOptimizer::SpeculationOptimizer(const Network &net,
+                                           const Dataset &data,
+                                           const OptimizerConfig &cfg)
+    : impl_(std::make_unique<Impl>(net, data, cfg))
+{
+}
+
+SpeculationOptimizer::~SpeculationOptimizer() = default;
+
+OptimizerResult
+SpeculationOptimizer::run(double epsilon)
+{
+    return impl_->globalPass(epsilon);
+}
+
+const std::map<int, std::vector<LayerCandidate>> &
+SpeculationOptimizer::paramL() const
+{
+    return impl_->paramL;
+}
+
+} // namespace snapea

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Algorithm 1: finding per-kernel speculation parameters (Th, N)
+ * under an accuracy-loss constraint.
+ *
+ * Structure follows the paper — KernelProfilingPass,
+ * LocalOptimizationPass, and GlobalOptimizationPass with the
+ * -derr/dop merit rule — with scalability devices documented in
+ * DESIGN.md:
+ *
+ *  - Candidate recipes: a candidate is (n, q) where n is the group
+ *    count and q a false-negative quantile; each kernel derives its
+ *    own threshold th as the q-quantile of its prefix partial sums
+ *    over windows whose true output is positive (so on the
+ *    optimization set the candidate mis-speculates about a fraction
+ *    q of that kernel's positive windows).  Recipes are shared by
+ *    the kernels of a layer; thresholds and op counts stay
+ *    per-kernel.
+ *  - Activation-prefix caching: a candidate's error is evaluated by
+ *    squashing speculated windows of the cached baseline activation
+ *    and re-simulating only the downstream suffix.
+ *  - The local pass is evaluated once and its errors reused across
+ *    epsilon values; only the global pass depends on epsilon.
+ *  - The global pass re-simulates incrementally from the single
+ *    layer whose configuration changed.
+ */
+
+#ifndef SNAPEA_SNAPEA_OPTIMIZER_HH
+#define SNAPEA_SNAPEA_OPTIMIZER_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "nn/network.hh"
+#include "snapea/params.hh"
+#include "workload/dataset.hh"
+
+namespace snapea {
+
+/** Tuning knobs of Algorithm 1. */
+struct OptimizerConfig
+{
+    /** Candidate group counts N (Section IV-A). */
+    std::vector<int> group_counts = {8, 16, 32};
+    /** False-negative quantiles defining candidate thresholds. */
+    std::vector<double> fn_quantiles = {0.10, 0.25, 0.45};
+    /** Images (prefix of D) used for op counting and thresholds. */
+    int profile_images = 4;
+    /** Images (prefix of D) used by the local pass. */
+    int local_images = 16;
+    /** Extra loss tolerated by the local filter (the global pass on
+     *  the full set enforces the real constraint). */
+    double local_slack = 0.10;
+    /**
+     * Per-kernel damage cap: within a candidate, a kernel speculates
+     * only if the positive output mass it would squash is at most
+     * this fraction of its total positive mass (measured on the
+     * profile images).  This is the cheap stand-in for the paper's
+     * per-kernel sensitivity profiling: insensitive kernels (mostly
+     * negative outputs, or clean prefix separation) speculate while
+     * sensitive ones fall back to exact, and the errors that remain
+     * concentrate on small positive values (Section VI-B).
+     */
+    double damage_cap = 0.15;
+    /** Safety cap on global-pass iterations. */
+    int max_global_iterations = 5000;
+    /** Progress logging. */
+    bool verbose = false;
+};
+
+/** One profiled candidate of a layer (a ParamL entry). */
+struct LayerCandidate
+{
+    /** Per-kernel parameters of this configuration. */
+    std::vector<SpeculationParams> params;
+    int n_groups = 0;          ///< Recipe n (0 for the exact config).
+    double fn_quantile = 0.0;  ///< Recipe q.
+    double op = 0.0;           ///< Total Eq. (1) ops, profile images.
+    double err = 0.0;          ///< Loss with only this layer speculating.
+};
+
+/** Summary counters of one optimizer run. */
+struct OptimizerStats
+{
+    int candidates_evaluated = 0;
+    int candidates_kept = 0;
+    int global_iterations = 0;
+    double initial_err = 0.0;  ///< Loss of the most aggressive config.
+    double final_err = 0.0;    ///< Loss of the returned config.
+    int predictive_layers = 0; ///< Layers with speculating kernels.
+    int total_conv_layers = 0;
+};
+
+/** The ParamCNN output of Algorithm 1. */
+struct OptimizerResult
+{
+    /** Final per-kernel parameters, keyed by conv layer index. */
+    std::map<int, std::vector<SpeculationParams>> params;
+    OptimizerStats stats;
+};
+
+/**
+ * Runs Algorithm 1 for one network.  Construction performs the
+ * epsilon-independent work (profiling and the local pass); run(eps)
+ * performs the global pass for one accuracy budget, so sweeping
+ * epsilon (Fig. 11) reuses the expensive passes.
+ *
+ * The network's weights must already be initialized and the dataset
+ * self-labeled (accuracy 1.0 for the unaltered network).
+ */
+class SpeculationOptimizer
+{
+  public:
+    /**
+     * @param net The CNN (borrowed; must outlive the optimizer).
+     * @param data Optimization dataset D (borrowed).
+     * @param cfg Tuning knobs.
+     */
+    SpeculationOptimizer(const Network &net, const Dataset &data,
+                         const OptimizerConfig &cfg = {});
+    ~SpeculationOptimizer();
+
+    /** Global pass: ParamCNN for accuracy budget @p epsilon. */
+    OptimizerResult run(double epsilon);
+
+    /** The per-layer candidate lists (ParamL), for tests/reports. */
+    const std::map<int, std::vector<LayerCandidate>> &paramL() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace snapea
+
+#endif // SNAPEA_SNAPEA_OPTIMIZER_HH

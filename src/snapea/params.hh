@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Speculation parameters and weight-reordering plans — the data the
+ * SnaPEA software workflow (Fig. 3) produces and the hardware
+ * consumes.
+ */
+
+#ifndef SNAPEA_SNAPEA_PARAMS_HH
+#define SNAPEA_SNAPEA_PARAMS_HH
+
+#include <limits>
+#include <map>
+#include <vector>
+
+namespace snapea {
+
+/**
+ * The paper's (Th, N) pair for one kernel.
+ *
+ * The paper encodes the exact mode as the profiling candidate
+ * (th, n) = (0, 1); we encode it as n_groups == 0 with th = -inf so
+ * the speculative check can never fire (a literal (0, 1) candidate
+ * would zero windows whose single largest-weight product is <= 0,
+ * which is not exact).  See DESIGN.md, "Key design decisions".
+ */
+struct SpeculationParams
+{
+    /** Threshold compared against the prefix partial sum. */
+    float th = -std::numeric_limits<float>::infinity();
+    /**
+     * Number of groups the ascending-|w| sorted kernel is split
+     * into; one weight per group forms the speculation prefix.
+     * 0 disables speculation (exact mode).
+     */
+    int n_groups = 0;
+
+    /** True when the kernel runs in predictive mode. */
+    bool predictive() const { return n_groups > 0; }
+};
+
+/**
+ * One kernel's execution plan: a permutation of its flat weight
+ * indices plus the region boundaries the PAU needs.
+ *
+ * Layout of @c order (matching Section IV-B's description of the 1-D
+ * reordered array): [0, prefix_len) speculation weights, then the
+ * remaining positive weights, then from @c neg_start the remaining
+ * negative weights.
+ */
+struct KernelPlan
+{
+    std::vector<int> order;  ///< Permutation of flat kernel indices.
+    int prefix_len = 0;      ///< Speculation weights at the front.
+    int neg_start = 0;       ///< Where sign checks begin.
+    SpeculationParams params;
+};
+
+/** Plans for every kernel (output channel) of one conv layer. */
+struct LayerPlan
+{
+    std::vector<KernelPlan> kernels;
+
+    /** True if any kernel of the layer speculates. */
+    bool predictive() const
+    {
+        for (const auto &k : kernels)
+            if (k.params.predictive())
+                return true;
+        return false;
+    }
+};
+
+/**
+ * Plans for every convolution layer SnaPEA executes, keyed by layer
+ * index within the network.  Layers absent from the map run as plain
+ * convolutions.
+ */
+using NetworkPlan = std::map<int, LayerPlan>;
+
+} // namespace snapea
+
+#endif // SNAPEA_SNAPEA_PARAMS_HH

@@ -1,0 +1,188 @@
+#include "snapea/reorder.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace snapea {
+
+namespace {
+
+/**
+ * Append @p taps to @p order with positive (>= 0) weights first (in
+ * index order), then the negative weights by descending magnitude,
+ * and return the position where negatives start.
+ *
+ * The paper only prescribes positive-subset-then-negative-subset;
+ * the descending order within the negative subset is the profitable
+ * implementation choice: the largest negative contributions
+ * accumulate first, so the partial sum of a truly-negative window
+ * crosses zero — and the sign check fires — after far fewer MACs.
+ * Any order keeps the exact mode exact (the partial sum decreases
+ * monotonically through the whole negative run).
+ */
+int
+appendSignOrdered(const Conv2D &conv, int out_ch,
+                  const std::vector<int> &taps, std::vector<int> &order)
+{
+    for (int idx : taps)
+        if (conv.weightAt(out_ch, idx) >= 0.0f)
+            order.push_back(idx);
+    const int neg_start = static_cast<int>(order.size());
+    std::vector<int> negs;
+    for (int idx : taps)
+        if (conv.weightAt(out_ch, idx) < 0.0f)
+            negs.push_back(idx);
+    std::stable_sort(negs.begin(), negs.end(), [&](int a, int b) {
+        return conv.weightAt(out_ch, a) < conv.weightAt(out_ch, b);
+    });
+    order.insert(order.end(), negs.begin(), negs.end());
+    return neg_start;
+}
+
+/** All flat kernel indices, 0..kernelSize-1. */
+std::vector<int>
+allTaps(const Conv2D &conv)
+{
+    std::vector<int> taps(conv.kernelSize());
+    for (size_t i = 0; i < taps.size(); ++i)
+        taps[i] = static_cast<int>(i);
+    return taps;
+}
+
+/** Indices sorted by ascending |w| (ties by index, for determinism). */
+std::vector<int>
+ascendingMagnitude(const Conv2D &conv, int out_ch)
+{
+    std::vector<int> taps = allTaps(conv);
+    std::stable_sort(taps.begin(), taps.end(), [&](int a, int b) {
+        return std::fabs(conv.weightAt(out_ch, a))
+             < std::fabs(conv.weightAt(out_ch, b));
+    });
+    return taps;
+}
+
+/** Build a plan given the chosen speculation prefix. */
+KernelPlan
+planWithPrefix(const Conv2D &conv, int out_ch, std::vector<int> prefix,
+               const SpeculationParams &params)
+{
+    // Prefix ordered by descending |w| so the most informative
+    // products accumulate first.
+    std::stable_sort(prefix.begin(), prefix.end(), [&](int a, int b) {
+        return std::fabs(conv.weightAt(out_ch, a))
+             > std::fabs(conv.weightAt(out_ch, b));
+    });
+
+    std::vector<bool> in_prefix(conv.kernelSize(), false);
+    for (int idx : prefix)
+        in_prefix[idx] = true;
+    std::vector<int> rest;
+    rest.reserve(conv.kernelSize() - prefix.size());
+    for (int idx = 0; idx < conv.kernelSize(); ++idx)
+        if (!in_prefix[idx])
+            rest.push_back(idx);
+
+    KernelPlan plan;
+    plan.params = params;
+    plan.prefix_len = static_cast<int>(prefix.size());
+    plan.order = std::move(prefix);
+    // appendSignOrdered returns the absolute position where the
+    // negative run begins (order already holds the prefix).
+    plan.neg_start = appendSignOrdered(conv, out_ch, rest, plan.order);
+    return plan;
+}
+
+} // namespace
+
+KernelPlan
+makeExactPlan(const Conv2D &conv, int out_ch)
+{
+    KernelPlan plan;
+    plan.params = SpeculationParams{};
+    plan.prefix_len = 0;
+    plan.neg_start = appendSignOrdered(conv, out_ch, allTaps(conv),
+                                       plan.order);
+    return plan;
+}
+
+KernelPlan
+makePredictivePlan(const Conv2D &conv, int out_ch,
+                   const SpeculationParams &params)
+{
+    const int ks = conv.kernelSize();
+    SNAPEA_ASSERT(params.n_groups > 0 && params.n_groups <= ks);
+
+    const std::vector<int> sorted = ascendingMagnitude(conv, out_ch);
+    const int n = params.n_groups;
+
+    // Partition the ascending-|w| list into n near-equal contiguous
+    // groups and take the largest-|w| member of each group — the
+    // last element, since groups are ascending runs.
+    std::vector<int> prefix;
+    prefix.reserve(n);
+    for (int g = 0; g < n; ++g) {
+        const size_t hi = static_cast<size_t>(ks) * (g + 1) / n;
+        SNAPEA_ASSERT(hi >= 1);
+        prefix.push_back(sorted[hi - 1]);
+    }
+    return planWithPrefix(conv, out_ch, std::move(prefix), params);
+}
+
+KernelPlan
+makeDescendingMagnitudePlan(const Conv2D &conv, int out_ch,
+                            const SpeculationParams &params)
+{
+    const int ks = conv.kernelSize();
+    SNAPEA_ASSERT(params.n_groups > 0 && params.n_groups <= ks);
+
+    const std::vector<int> sorted = ascendingMagnitude(conv, out_ch);
+    std::vector<int> prefix(sorted.end() - params.n_groups, sorted.end());
+    return planWithPrefix(conv, out_ch, std::move(prefix), params);
+}
+
+LayerPlan
+makeExactLayerPlan(const Conv2D &conv)
+{
+    LayerPlan plan;
+    plan.kernels.reserve(conv.spec().out_channels);
+    for (int o = 0; o < conv.spec().out_channels; ++o)
+        plan.kernels.push_back(makeExactPlan(conv, o));
+    return plan;
+}
+
+NetworkPlan
+makeExactNetworkPlan(const Network &net)
+{
+    NetworkPlan plan;
+    for (int idx : net.convLayers()) {
+        const auto &conv = static_cast<const Conv2D &>(net.layer(idx));
+        plan.emplace(idx, makeExactLayerPlan(conv));
+    }
+    return plan;
+}
+
+NetworkPlan
+makeNetworkPlan(const Network &net,
+                const std::map<int, std::vector<SpeculationParams>> &params)
+{
+    NetworkPlan plan;
+    for (const auto &[idx, kernel_params] : params) {
+        const auto &conv = static_cast<const Conv2D &>(net.layer(idx));
+        SNAPEA_ASSERT(static_cast<int>(kernel_params.size())
+                      == conv.spec().out_channels);
+        LayerPlan lp;
+        lp.kernels.reserve(kernel_params.size());
+        for (int o = 0; o < conv.spec().out_channels; ++o) {
+            const auto &p = kernel_params[o];
+            lp.kernels.push_back(p.predictive()
+                                 ? makePredictivePlan(conv, o, p)
+                                 : makeExactPlan(conv, o));
+        }
+        plan.emplace(idx, std::move(lp));
+    }
+    return plan;
+}
+
+} // namespace snapea

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The static weight-reordering passes of the SnaPEA software
+ * workflow (Fig. 3): sign-based reordering for the exact mode and
+ * grouped-magnitude speculation-prefix selection for the predictive
+ * mode (Section IV-A).
+ */
+
+#ifndef SNAPEA_SNAPEA_REORDER_HH
+#define SNAPEA_SNAPEA_REORDER_HH
+
+#include "nn/conv.hh"
+#include "nn/network.hh"
+#include "snapea/params.hh"
+
+namespace snapea {
+
+/**
+ * Exact-mode plan for one kernel: positive weights first (in index
+ * order), then negative weights, no speculation prefix.  Weights
+ * equal to zero count as positive — they cannot drive the partial
+ * sum negative, so no sign check is needed while passing them.
+ */
+KernelPlan makeExactPlan(const Conv2D &conv, int out_ch);
+
+/**
+ * Predictive-mode plan for one kernel (Section IV-A): sort weights
+ * by ascending |w|, partition into params.n_groups equal groups,
+ * take the largest-|w| weight of each group as the speculation
+ * prefix (largest first), then lay out the remaining weights
+ * sign-ordered as in the exact plan.
+ *
+ * @pre 0 < params.n_groups <= kernel size.
+ */
+KernelPlan makePredictivePlan(const Conv2D &conv, int out_ch,
+                              const SpeculationParams &params);
+
+/**
+ * The strawman Section IV-A rejects, kept for the ablation bench:
+ * the prefix is simply the params.n_groups largest-|w| weights.
+ * The paper observes this ignores that small weights may couple
+ * with large inputs, and degrades accuracy drastically.
+ */
+KernelPlan makeDescendingMagnitudePlan(const Conv2D &conv, int out_ch,
+                                       const SpeculationParams &params);
+
+/** Exact-mode plan for every kernel of one layer. */
+LayerPlan makeExactLayerPlan(const Conv2D &conv);
+
+/** Exact-mode plan for every convolution layer of a network. */
+NetworkPlan makeExactNetworkPlan(const Network &net);
+
+/**
+ * Plan from explicit per-kernel parameters, as produced by the
+ * optimizer: kernels with n_groups == 0 get exact plans, the rest
+ * predictive plans.
+ *
+ * @param params Per-layer-index vector of per-kernel parameters.
+ */
+NetworkPlan
+makeNetworkPlan(const Network &net,
+                const std::map<int, std::vector<SpeculationParams>> &params);
+
+} // namespace snapea
+
+#endif // SNAPEA_SNAPEA_REORDER_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting for the SnaPEA library.
+ *
+ * Distinguishes, as gem5 does, between conditions that are the user's
+ * fault (fatal) and conditions that indicate a bug in the library
+ * itself (panic).  Both print to stderr; fatal exits with code 1,
+ * panic aborts so a core dump / debugger trap is available.
+ */
+
+#ifndef SNAPEA_UTIL_LOGGING_HH
+#define SNAPEA_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace snapea {
+
+/** Severity of a log message. */
+enum class LogLevel {
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+/**
+ * Print a printf-style message at the given severity.
+ *
+ * @param level Severity class of the message.
+ * @param fmt printf-style format string.
+ */
+void logMessage(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** Report simulation status the user should know about. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Warn about functionality that may behave unexpectedly. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate because of a user-level error (bad configuration,
+ * invalid argument).  Exits with code 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate because of an internal library bug.  Calls abort() so a
+ * debugger or core dump can capture the failure site.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assertion used for internal invariants that must hold regardless of
+ * user input.  Unlike assert(), stays active in release builds since
+ * the simulator is normally built with optimization on.
+ */
+#define SNAPEA_ASSERT(cond, ...)                                        \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::snapea::panic("assertion failed at %s:%d: %s",            \
+                            __FILE__, __LINE__, #cond);                 \
+        }                                                               \
+    } while (0)
+
+} // namespace snapea
+
+#endif // SNAPEA_UTIL_LOGGING_HH

@@ -1,0 +1,85 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace snapea {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / xs.size();
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double logsum = 0.0;
+    for (double x : xs) {
+        SNAPEA_ASSERT(x > 0.0);
+        logsum += std::log(x);
+    }
+    return std::exp(logsum / xs.size());
+}
+
+double
+quantile(std::vector<double> xs, double q)
+{
+    SNAPEA_ASSERT(!xs.empty());
+    SNAPEA_ASSERT(q >= 0.0 && q <= 1.0);
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1)
+        return xs[0];
+    const double pos = q * (xs.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = pos - lo;
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / xs.size());
+}
+
+void
+RunningStat::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    const double delta = x - meanW_;
+    meanW_ += delta / count_;
+    m2_ += delta * (x - meanW_);
+}
+
+double
+RunningStat::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return std::sqrt(m2_ / count_);
+}
+
+} // namespace snapea

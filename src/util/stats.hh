@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Small statistics helpers shared by the workload generator, the
+ * optimizer, and the benchmark report printers.
+ */
+
+#ifndef SNAPEA_UTIL_STATS_HH
+#define SNAPEA_UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace snapea {
+
+/** Arithmetic mean; returns 0 for an empty range. */
+double mean(const std::vector<double> &xs);
+
+/** Geometric mean; @pre all values strictly positive. */
+double geomean(const std::vector<double> &xs);
+
+/**
+ * Quantile by linear interpolation on the sorted data.
+ *
+ * @param xs Samples (copied and sorted internally).
+ * @param q Quantile in [0, 1]; 0 gives the min, 1 the max.
+ */
+double quantile(std::vector<double> xs, double q);
+
+/** Population standard deviation; returns 0 for fewer than 2 samples. */
+double stddev(const std::vector<double> &xs);
+
+/**
+ * Streaming accumulator for mean/min/max/stddev without storing
+ * samples.  Used by the cycle simulator's per-component statistics.
+ */
+class RunningStat
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    /** Number of samples seen so far. */
+    size_t count() const { return count_; }
+
+    /** Mean of samples seen so far (0 if empty). */
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /** Smallest sample (0 if empty). */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** Largest sample (0 if empty). */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Population standard deviation (Welford). */
+    double stddev() const;
+
+  private:
+    size_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double meanW_ = 0.0;
+    double m2_ = 0.0;
+};
+
+} // namespace snapea
+
+#endif // SNAPEA_UTIL_STATS_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fixed-width ASCII table printer used by the benchmark harness to
+ * emit the paper's tables and figure series in a uniform format.
+ */
+
+#ifndef SNAPEA_UTIL_TABLE_HH
+#define SNAPEA_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace snapea {
+
+/**
+ * Accumulates rows of string cells and renders them with column
+ * widths sized to the contents.  Numeric helpers format values the
+ * way the paper reports them (e.g.\ "1.30x", "28%").
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the whole table, headers plus separator plus rows. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Format a double with the given number of decimals. */
+    static std::string num(double v, int decimals = 2);
+
+    /** Format a speedup/ratio as "1.30x". */
+    static std::string ratio(double v, int decimals = 2);
+
+    /** Format a fraction as a percentage, "28.0%". */
+    static std::string percent(double frac, int decimals = 1);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace snapea
+
+#endif // SNAPEA_UTIL_TABLE_HH

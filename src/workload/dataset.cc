@@ -1,0 +1,142 @@
+#include "workload/dataset.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace snapea {
+
+namespace {
+
+/**
+ * A smooth random image: uniform noise on a coarse grid, bilinearly
+ * upsampled.  Smoothness matters because convolution outputs of
+ * neighboring windows should correlate, as they do for natural
+ * images; white noise would make every window an independent draw.
+ */
+Tensor
+makePrototype(Rng &rng, const std::vector<int> &shape, int res)
+{
+    SNAPEA_ASSERT(shape.size() == 3);
+    const int c_n = shape[0], h = shape[1], w = shape[2];
+    res = std::max(2, res);
+
+    Tensor coarse({c_n, res, res});
+    for (size_t i = 0; i < coarse.size(); ++i)
+        coarse[i] = static_cast<float>(rng.uniform());
+
+    Tensor img(shape);
+    for (int c = 0; c < c_n; ++c) {
+        for (int y = 0; y < h; ++y) {
+            const float fy = (h == 1) ? 0.0f
+                : static_cast<float>(y) / (h - 1) * (res - 1);
+            const int y0 = std::min(static_cast<int>(fy), res - 2);
+            const float ty = fy - y0;
+            for (int x = 0; x < w; ++x) {
+                const float fx = (w == 1) ? 0.0f
+                    : static_cast<float>(x) / (w - 1) * (res - 1);
+                const int x0 = std::min(static_cast<int>(fx), res - 2);
+                const float tx = fx - x0;
+                const float v00 = coarse.at(c, y0, x0);
+                const float v01 = coarse.at(c, y0, x0 + 1);
+                const float v10 = coarse.at(c, y0 + 1, x0);
+                const float v11 = coarse.at(c, y0 + 1, x0 + 1);
+                img.at(c, y, x) =
+                    v00 * (1 - ty) * (1 - tx) + v01 * (1 - ty) * tx +
+                    v10 * ty * (1 - tx) + v11 * ty * tx;
+            }
+        }
+    }
+    return img;
+}
+
+} // namespace
+
+Dataset
+makeDataset(Rng &rng, const std::vector<int> &shape, const DatasetSpec &spec)
+{
+    SNAPEA_ASSERT(spec.num_classes > 0 && spec.images_per_class > 0);
+    Dataset data;
+    data.num_classes = spec.num_classes;
+
+    for (int cls = 0; cls < spec.num_classes; ++cls) {
+        Rng proto_rng = rng.fork(1000 + cls);
+        const Tensor proto = makePrototype(proto_rng, shape,
+                                           spec.prototype_res);
+        for (int i = 0; i < spec.images_per_class; ++i) {
+            Tensor img = proto;
+            for (size_t p = 0; p < img.size(); ++p) {
+                const float noisy = img[p]
+                    + spec.noise * static_cast<float>(proto_rng.gaussian());
+                img[p] = std::clamp(noisy, 0.0f, 1.0f);
+            }
+            data.images.push_back(std::move(img));
+            data.labels.push_back(cls);
+        }
+    }
+    return data;
+}
+
+void
+selfLabel(const Network &net, Dataset &data)
+{
+    for (size_t i = 0; i < data.images.size(); ++i) {
+        const Tensor out = net.forward(data.images[i]);
+        data.labels[i] = static_cast<int>(out.argmax());
+    }
+}
+
+namespace {
+
+/** Top-1 minus top-2 value of a probability/logit vector. */
+double
+topMargin(const Tensor &out)
+{
+    SNAPEA_ASSERT(out.size() >= 2);
+    float best = out[0], second = -1e30f;
+    for (size_t i = 1; i < out.size(); ++i) {
+        if (out[i] > best) {
+            second = best;
+            best = out[i];
+        } else if (out[i] > second) {
+            second = out[i];
+        }
+    }
+    return static_cast<double>(best) - second;
+}
+
+} // namespace
+
+size_t
+filterByMargin(const Network &net, Dataset &data, double keep_fraction)
+{
+    SNAPEA_ASSERT(keep_fraction > 0.0 && keep_fraction <= 1.0);
+    const size_t n = data.images.size();
+    std::vector<double> margins(n);
+    for (size_t i = 0; i < n; ++i)
+        margins[i] = topMargin(net.forward(data.images[i]));
+
+    std::vector<size_t> idx(n);
+    for (size_t i = 0; i < n; ++i)
+        idx[i] = i;
+    std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+        return margins[a] > margins[b];
+    });
+
+    const size_t keep = std::max<size_t>(
+        1, static_cast<size_t>(n * keep_fraction + 0.5));
+    std::vector<size_t> kept(idx.begin(), idx.begin() + keep);
+    std::sort(kept.begin(), kept.end());  // preserve original order
+
+    Dataset out;
+    out.num_classes = data.num_classes;
+    for (size_t i : kept) {
+        out.images.push_back(std::move(data.images[i]));
+        out.labels.push_back(data.labels[i]);
+    }
+    data = std::move(out);
+    return keep;
+}
+
+} // namespace snapea

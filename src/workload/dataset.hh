@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Synthetic image workload standing in for ILSVRC-2012.
+ *
+ * Images are non-negative (in [0, 1], like unsigned pixel data), a
+ * property the exact mode relies on for the first convolution layer.
+ * Class structure comes from smooth random prototypes: each image is
+ * a prototype plus clamped noise, so a fixed network maps images of
+ * one class to correlated logits and classification degrades
+ * gracefully (instead of chaotically) under SnaPEA's misspeculation.
+ * Ground-truth labels are the *unaltered* network's own top-1
+ * predictions ("self-labeling"); see DESIGN.md for why this measures
+ * exactly the relative accuracy loss the paper constrains.
+ */
+
+#ifndef SNAPEA_WORKLOAD_DATASET_HH
+#define SNAPEA_WORKLOAD_DATASET_HH
+
+#include <vector>
+
+#include "nn/network.hh"
+#include "nn/tensor.hh"
+#include "util/random.hh"
+
+namespace snapea {
+
+/** A labeled set of synthetic images. */
+struct Dataset
+{
+    std::vector<Tensor> images;  ///< CHW images in [0, 1].
+    std::vector<int> labels;     ///< One label per image.
+    int num_classes = 0;         ///< Label alphabet size.
+};
+
+/** Configuration of the synthetic dataset generator. */
+struct DatasetSpec
+{
+    int num_classes = 16;        ///< Prototype count.
+    int images_per_class = 2;    ///< Images generated per prototype.
+    float noise = 0.03f;         ///< Stddev of per-pixel noise.
+    int prototype_res = 5;       ///< Low-res grid upsampled to full size.
+};
+
+/**
+ * Generate a synthetic dataset of smooth prototype-plus-noise images.
+ * Labels are the prototype ids (placeholders until selfLabel()).
+ *
+ * @param rng Deterministic source; same seed, same dataset.
+ * @param shape Image shape, CHW.
+ * @param spec Generator configuration.
+ */
+Dataset makeDataset(Rng &rng, const std::vector<int> &shape,
+                    const DatasetSpec &spec);
+
+/**
+ * Relabel a dataset with the unaltered network's own top-1
+ * predictions.  After this call the network's accuracy on the
+ * dataset is 1.0 by construction, making accuracy under SnaPEA a
+ * direct measurement of speculation-induced classification flips.
+ */
+void selfLabel(const Network &net, Dataset &data);
+
+/**
+ * Keep the @p keep_fraction of images with the largest top-1/top-2
+ * logit margin under the unaltered network, dropping the rest.
+ *
+ * Real validation sets are dominated by confidently-classified
+ * images (a trained ImageNet model is far from its decision boundary
+ * on most inputs); an unfiltered synthetic set over-represents
+ * near-boundary images whose labels flip under any perturbation,
+ * which would make the epsilon constraint artificially strict.
+ * Call after selfLabel().
+ *
+ * @return Number of images kept.
+ */
+size_t filterByMargin(const Network &net, Dataset &data,
+                      double keep_fraction);
+
+} // namespace snapea
+
+#endif // SNAPEA_WORKLOAD_DATASET_HH

@@ -1,0 +1,85 @@
+#include "workload/evaluator.hh"
+
+#include "util/logging.hh"
+
+namespace snapea {
+
+double
+accuracy(const Network &net, const Dataset &data, ConvOverride *ov)
+{
+    SNAPEA_ASSERT(!data.images.empty());
+    size_t correct = 0;
+    for (size_t i = 0; i < data.images.size(); ++i) {
+        const Tensor out = net.forward(data.images[i], ov);
+        if (static_cast<int>(out.argmax()) == data.labels[i])
+            ++correct;
+    }
+    return static_cast<double>(correct) / data.images.size();
+}
+
+NegativeStats
+measureNegativeFraction(const Network &net,
+                        const std::vector<Tensor> &images)
+{
+    SNAPEA_ASSERT(!images.empty());
+    NegativeStats stats;
+    stats.conv_layers = net.convLayers();
+    std::vector<size_t> neg(stats.conv_layers.size(), 0);
+    std::vector<size_t> total(stats.conv_layers.size(), 0);
+
+    std::vector<Tensor> acts;
+    for (const Tensor &img : images) {
+        net.forwardAll(img, acts);
+        for (size_t li = 0; li < stats.conv_layers.size(); ++li) {
+            const Tensor &out = acts[stats.conv_layers[li]];
+            for (size_t i = 0; i < out.size(); ++i)
+                if (out[i] < 0.0f)
+                    ++neg[li];
+            total[li] += out.size();
+        }
+    }
+
+    size_t neg_sum = 0, total_sum = 0;
+    stats.layer_fraction.resize(stats.conv_layers.size());
+    for (size_t li = 0; li < stats.conv_layers.size(); ++li) {
+        stats.layer_fraction[li] =
+            total[li] ? static_cast<double>(neg[li]) / total[li] : 0.0;
+        neg_sum += neg[li];
+        total_sum += total[li];
+    }
+    stats.overall_fraction =
+        total_sum ? static_cast<double>(neg_sum) / total_sum : 0.0;
+    return stats;
+}
+
+double
+zeroPatternDisagreement(const Network &net,
+                        const std::vector<Tensor> &images, int layer_idx)
+{
+    SNAPEA_ASSERT(images.size() >= 2);
+    SNAPEA_ASSERT(net.layer(layer_idx).kind() == LayerKind::Conv);
+
+    std::vector<std::vector<bool>> zero_maps;
+    std::vector<Tensor> acts;
+    for (const Tensor &img : images) {
+        net.forwardAll(img, acts);
+        const Tensor &out = acts[layer_idx];
+        std::vector<bool> zm(out.size());
+        for (size_t i = 0; i < out.size(); ++i)
+            zm[i] = out[i] <= 0.0f;
+        zero_maps.push_back(std::move(zm));
+    }
+
+    size_t disagree = 0, total = 0;
+    for (size_t a = 0; a < zero_maps.size(); ++a) {
+        for (size_t b = a + 1; b < zero_maps.size(); ++b) {
+            for (size_t i = 0; i < zero_maps[a].size(); ++i)
+                if (zero_maps[a][i] != zero_maps[b][i])
+                    ++disagree;
+            total += zero_maps[a].size();
+        }
+    }
+    return total ? static_cast<double>(disagree) / total : 0.0;
+}
+
+} // namespace snapea

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Accuracy and activation-statistics measurement over a dataset.
+ */
+
+#ifndef SNAPEA_WORKLOAD_EVALUATOR_HH
+#define SNAPEA_WORKLOAD_EVALUATOR_HH
+
+#include <vector>
+
+#include "nn/network.hh"
+#include "workload/dataset.hh"
+
+namespace snapea {
+
+/**
+ * Top-1 accuracy of @p net on @p data, optionally executing
+ * convolutions through @p ov (the SnaPEA engine).
+ */
+double accuracy(const Network &net, const Dataset &data,
+                ConvOverride *ov = nullptr);
+
+/** Per-layer negative-output statistics (Fig. 1's measurement). */
+struct NegativeStats
+{
+    std::vector<int> conv_layers;        ///< Layer index per entry.
+    std::vector<double> layer_fraction;  ///< Negative share per layer.
+    double overall_fraction = 0.0;       ///< Weighted by element count.
+};
+
+/**
+ * Fraction of convolution outputs (the activation layers' inputs)
+ * that are negative, per layer and overall, measured on @p images.
+ */
+NegativeStats measureNegativeFraction(const Network &net,
+                                      const std::vector<Tensor> &images);
+
+/**
+ * Fig. 2's observation quantified: the per-position disagreement of
+ * the zero/non-zero pattern of a conv layer's post-ReLU output
+ * between pairs of images.  0 means identical sparsity patterns,
+ * i.e.\ zeros would be statically predictable; the paper's point is
+ * that this is substantially above 0.
+ *
+ * @param net The network.
+ * @param images At least two images.
+ * @param layer_idx Convolution layer to inspect.
+ */
+double zeroPatternDisagreement(const Network &net,
+                               const std::vector<Tensor> &images,
+                               int layer_idx);
+
+} // namespace snapea
+
+#endif // SNAPEA_WORKLOAD_EVALUATOR_HH

@@ -1,0 +1,201 @@
+#include "workload/weight_init.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/conv.hh"
+#include "nn/dense.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace snapea {
+
+namespace {
+
+/** True if some ReLU layer consumes layer @p idx directly. */
+bool
+feedsReLU(const Network &net, int idx)
+{
+    for (int j = idx + 1; j < net.numLayers(); ++j) {
+        if (net.layer(j).kind() != LayerKind::ReLU)
+            continue;
+        for (int p : net.producers(j))
+            if (p == idx)
+                return true;
+    }
+    return false;
+}
+
+/** One heavy-tailed tap: g * exp(sigma_ln * z - sigma_ln^2 / 2). */
+double
+heavyTap(Rng &rng, double tail_sigma)
+{
+    const double g = rng.gaussian();
+    if (tail_sigma <= 0.0)
+        return g;
+    return g * std::exp(tail_sigma * rng.gaussian()
+                        - 0.5 * tail_sigma * tail_sigma);
+}
+
+/**
+ * Draw structured convolution weights: a per-(out, in-channel) slab
+ * mean shared by the D_k x D_k taps of that channel plus iid
+ * heavy-tailed tap noise.  Magnitudes are arbitrary here; the
+ * calibration below rescales each kernel to unit output variance.
+ */
+void
+drawConvWeights(Conv2D &conv, Rng &rng, const WeightInitSpec &spec)
+{
+    Tensor &w = conv.weights();
+    const int c_out = w.dim(0), c_in = w.dim(1), k = w.dim(2);
+    for (int o = 0; o < c_out; ++o) {
+        for (int i = 0; i < c_in; ++i) {
+            const double slab =
+                spec.slab_strength * rng.gaussian();
+            for (int y = 0; y < k; ++y) {
+                for (int x = 0; x < k; ++x) {
+                    w.at(o, i, y, x) = static_cast<float>(
+                        slab + heavyTap(rng, spec.tail_sigma));
+                }
+            }
+        }
+    }
+}
+
+/** Heavy-tailed FC weights (no channel structure to slab over). */
+void
+drawFcWeights(FullyConnected &fc, Rng &rng, const WeightInitSpec &spec)
+{
+    Tensor &w = fc.weights();
+    for (size_t i = 0; i < w.size(); ++i)
+        w[i] = static_cast<float>(heavyTap(rng, spec.tail_sigma));
+}
+
+} // namespace
+
+void
+initializeWeights(Network &net, Rng &rng,
+                  const std::vector<Tensor> &calib_images,
+                  const WeightInitSpec &spec)
+{
+    SNAPEA_ASSERT(!calib_images.empty());
+    const size_t n_img = calib_images.size();
+
+    // Per-image activation storage, filled layer by layer so each
+    // conv layer is calibrated against already-calibrated inputs.
+    std::vector<std::vector<Tensor>> acts(n_img);
+    for (auto &a : acts)
+        a.resize(net.numLayers());
+
+    auto gatherInputs = [&](int idx, size_t img) {
+        std::vector<const Tensor *> ins;
+        for (int p : net.producers(idx)) {
+            ins.push_back(p == Network::kInput
+                          ? &calib_images[img] : &acts[img][p]);
+        }
+        return ins;
+    };
+
+    for (int idx = 0; idx < net.numLayers(); ++idx) {
+        Layer &l = net.layer(idx);
+        Rng layer_rng = rng.fork(idx);
+
+        if (l.kind() == LayerKind::Conv) {
+            auto &conv = static_cast<Conv2D &>(l);
+            drawConvWeights(conv, layer_rng, spec);
+
+            // Pre-activation outputs with zero bias and raw weights.
+            std::vector<Tensor> outs(n_img);
+            for (size_t img = 0; img < n_img; ++img)
+                outs[img] = conv.forward(gatherInputs(idx, img));
+
+            const int c_out = conv.spec().out_channels;
+            const size_t per_ch = outs[0].size() / c_out;
+            for (int o = 0; o < c_out; ++o) {
+                std::vector<double> vals;
+                vals.reserve(per_ch * n_img);
+                for (size_t img = 0; img < n_img; ++img) {
+                    const float *base = outs[img].data() + o * per_ch;
+                    for (size_t i = 0; i < per_ch; ++i)
+                        vals.push_back(base[i]);
+                }
+                const double sd = stddev(vals);
+                double scale = 1.0, b = 0.0;
+                if (sd > 1e-9) {
+                    const double f = std::clamp(
+                        spec.neg_fraction
+                            + spec.neg_jitter * layer_rng.gaussian(),
+                        spec.neg_min, spec.neg_max);
+                    const double q = quantile(vals, f);
+                    scale = 1.0 / sd;
+                    b = -q * scale;
+                } else {
+                    warn("layer %s channel %d has degenerate output",
+                         conv.name().c_str(), o);
+                }
+                const int ks = conv.kernelSize();
+                for (int i = 0; i < ks; ++i) {
+                    conv.setWeightAt(
+                        o, i, static_cast<float>(conv.weightAt(o, i)
+                                                 * scale));
+                }
+                conv.bias()[o] = static_cast<float>(b);
+                // Transform the captured outputs in place instead of
+                // re-running the convolution.
+                for (size_t img = 0; img < n_img; ++img) {
+                    float *base = outs[img].data() + o * per_ch;
+                    for (size_t i = 0; i < per_ch; ++i) {
+                        base[i] = static_cast<float>(base[i] * scale + b);
+                    }
+                }
+            }
+            for (size_t img = 0; img < n_img; ++img)
+                acts[img][idx] = std::move(outs[img]);
+            continue;
+        }
+
+        if (l.kind() == LayerKind::FullyConnected) {
+            auto &fc = static_cast<FullyConnected &>(l);
+            drawFcWeights(fc, layer_rng, spec);
+
+            std::vector<Tensor> outs(n_img);
+            std::vector<double> vals;
+            for (size_t img = 0; img < n_img; ++img) {
+                outs[img] = fc.forward(gatherInputs(idx, img));
+                for (size_t i = 0; i < outs[img].size(); ++i)
+                    vals.push_back(outs[img][i]);
+            }
+
+            // Too few samples exist per feature (one per calibration
+            // image), so FC layers get a single layer-wide scale and
+            // bias.  Hidden (ReLU-fed) layers also get a negative
+            // fraction target; the classifier keeps zero bias so its
+            // logits stay centered.
+            const double sd = stddev(vals);
+            double scale = sd > 1e-9 ? 1.0 / sd : 1.0;
+            double b = 0.0;
+            if (feedsReLU(net, idx) && sd > 1e-9)
+                b = -quantile(vals, spec.fc_neg_fraction) * scale;
+
+            for (size_t i = 0; i < fc.weights().size(); ++i) {
+                fc.weights()[i] =
+                    static_cast<float>(fc.weights()[i] * scale);
+            }
+            std::fill(fc.bias().begin(), fc.bias().end(),
+                      static_cast<float>(b));
+            for (size_t img = 0; img < n_img; ++img) {
+                for (size_t i = 0; i < outs[img].size(); ++i) {
+                    outs[img][i] =
+                        static_cast<float>(outs[img][i] * scale + b);
+                }
+                acts[img][idx] = std::move(outs[img]);
+            }
+            continue;
+        }
+
+        for (size_t img = 0; img < n_img; ++img)
+            acts[img][idx] = l.forward(gatherInputs(idx, img));
+    }
+}
+
+} // namespace snapea

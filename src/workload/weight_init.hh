@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Calibrated synthetic weight generation.
+ *
+ * The reproduction has no pre-trained ImageNet weights, so weights
+ * are synthesized with the one property SnaPEA's savings depend on:
+ * the fraction of negative convolution outputs (Fig. 1, 42%-68%
+ * across networks).  Generation walks the network front to back;
+ * for each conv/FC layer it draws Gaussian weights, measures the
+ * layer's pre-activation distribution on calibration images, then
+ * rescales weights to unit output variance and sets per-channel
+ * biases so each channel's negative-output fraction hits a jittered
+ * per-network target.  The jitter gives kernels diverse sign
+ * statistics, which is what produces the paper's wide per-layer
+ * speedup spread (Fig. 10).
+ */
+
+#ifndef SNAPEA_WORKLOAD_WEIGHT_INIT_HH
+#define SNAPEA_WORKLOAD_WEIGHT_INIT_HH
+
+#include <vector>
+
+#include "nn/network.hh"
+#include "nn/tensor.hh"
+#include "util/random.hh"
+
+namespace snapea {
+
+/** Configuration of the calibrated weight generator. */
+struct WeightInitSpec
+{
+    /** Target fraction of negative conv outputs (Fig. 1 value). */
+    double neg_fraction = 0.55;
+    /** Per-channel jitter (stddev) applied to the target fraction. */
+    double neg_jitter = 0.22;
+    /** Clamp range of the per-channel target. */
+    double neg_min = 0.05;
+    double neg_max = 0.97;
+    /** Fraction of negatives targeted for hidden FC layers. */
+    double fc_neg_fraction = 0.5;
+    /**
+     * Log-normal magnitude spread of individual weights.  Trained
+     * CNN kernels are strongly heavy-tailed — a few taps carry most
+     * of the kernel's energy — and SnaPEA's speculation prefix (the
+     * largest-|w| member of each magnitude group) is predictive
+     * exactly because of this.  0 gives iid Gaussian weights, under
+     * which both SnaPEA modes are nearly useless (see DESIGN.md).
+     */
+    double tail_sigma = 1.8;
+    /**
+     * Strength of the per-(kernel, input-channel) shared mean
+     * component, relative to the tap noise.  Models trained kernels'
+     * consistent per-channel excitation/inhibition; with spatially
+     * smooth inputs this disperses window sums away from zero, which
+     * is what lets the exact mode's sign check fire early.
+     */
+    double slab_strength = 0.3;
+};
+
+/**
+ * Initialize every conv/FC layer of @p net as described in the file
+ * comment.
+ *
+ * @param net The network to initialize (weights are overwritten).
+ * @param rng Deterministic source.
+ * @param calib_images Non-negative images used to measure
+ *        pre-activation distributions; 2-4 images suffice.
+ * @param spec Calibration targets.
+ */
+void initializeWeights(Network &net, Rng &rng,
+                       const std::vector<Tensor> &calib_images,
+                       const WeightInitSpec &spec);
+
+} // namespace snapea
+
+#endif // SNAPEA_WORKLOAD_WEIGHT_INIT_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Tests for the Table II area model: the constants must reproduce
+ * the paper's published totals at the default configurations, and
+ * scale sensibly with configuration changes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/area.hh"
+
+using namespace snapea;
+
+TEST(Area, SnapeaTotalMatchesPaper)
+{
+    SnapeaConfig cfg;
+    EXPECT_NEAR(snapeaTotalArea(cfg), 18.62, 0.1);
+}
+
+TEST(Area, EyerissTotalMatchesPaper)
+{
+    // The paper's own Table II rounds inconsistently (its listed
+    // per-component areas sum to 5.12 mm^2 for the PEs, the total
+    // row says 4.94); accept the published total within that slack.
+    EyerissConfig cfg;
+    EXPECT_NEAR(eyerissTotalArea(cfg), 17.84, 0.25);
+}
+
+TEST(Area, SnapeaOverheadAboutFivePercent)
+{
+    SnapeaConfig s;
+    EyerissConfig e;
+    const double overhead =
+        snapeaTotalArea(s) / eyerissTotalArea(e) - 1.0;
+    EXPECT_GT(overhead, 0.0);
+    EXPECT_LT(overhead, 0.10);  // paper: ~4.5%
+}
+
+TEST(Area, PeAreaMatchesPaperBreakdown)
+{
+    // Table II: 64 PEs -> 18.62 mm^2 -> ~0.291 mm^2 per PE.
+    SnapeaConfig cfg;
+    EXPECT_NEAR(snapeaPeArea(cfg), 18.62 / 64.0, 0.005);
+}
+
+TEST(Area, MoreLanesMorePeArea)
+{
+    SnapeaConfig four;
+    SnapeaConfig eight = four.withLanes(8);
+    EXPECT_GT(snapeaPeArea(eight), snapeaPeArea(four));
+    // Total area at constant MACs shrinks per-PE overheads less than
+    // linearly, so fewer/larger PEs are smaller in aggregate.
+    EXPECT_LT(snapeaTotalArea(eight), snapeaTotalArea(four));
+}
+
+TEST(Area, TablesHaveTotals)
+{
+    SnapeaConfig s;
+    EyerissConfig e;
+    const auto st = snapeaAreaTable(s);
+    const auto et = eyerissAreaTable(e);
+    ASSERT_FALSE(st.empty());
+    ASSERT_FALSE(et.empty());
+    EXPECT_EQ(st.back().component, "Total");
+    EXPECT_EQ(et.back().component, "Total");
+    EXPECT_NEAR(st.back().area_mm2, snapeaTotalArea(s), 1e-9);
+    EXPECT_NEAR(et.back().area_mm2, eyerissTotalArea(e), 1e-9);
+}

@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Tests for the SnaPEA execution engine — the heart of the
+ * reproduction.  The central properties:
+ *
+ *  - Exact-mode invariance: with non-negative inputs, the engine's
+ *    output after ReLU is identical (to float tolerance) to the
+ *    plain convolution followed by ReLU, for any geometry.
+ *  - Eq. (1) op counts: the walk's termination indices match an
+ *    independently coded reference.
+ *  - Fast and instrumented modes make identical squashing decisions.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/relu.hh"
+#include "snapea/engine.hh"
+#include "snapea/reorder.hh"
+#include "util/random.hh"
+
+using namespace snapea;
+
+namespace {
+
+struct ConvCase
+{
+    int in_ch, out_ch, k, stride, pad, groups;
+    uint64_t seed;
+};
+
+std::string
+caseName(const testing::TestParamInfo<ConvCase> &info)
+{
+    const ConvCase &c = info.param;
+    return "ic" + std::to_string(c.in_ch) + "oc"
+        + std::to_string(c.out_ch) + "k" + std::to_string(c.k) + "s"
+        + std::to_string(c.stride) + "p" + std::to_string(c.pad) + "g"
+        + std::to_string(c.groups) + "seed" + std::to_string(c.seed);
+}
+
+/** Random conv with a negative-ish bias and a non-negative input. */
+struct Scenario
+{
+    Conv2D conv;
+    Tensor input;
+
+    explicit Scenario(const ConvCase &c, int in_hw = 9)
+        : conv("c", ConvSpec{c.in_ch, c.out_ch, c.k, c.stride, c.pad,
+                             c.groups}),
+          input({c.in_ch, in_hw, in_hw})
+    {
+        Rng rng(c.seed);
+        for (size_t i = 0; i < conv.weights().size(); ++i)
+            conv.weights()[i] = static_cast<float>(rng.gaussian());
+        for (auto &b : conv.bias())
+            b = static_cast<float>(rng.gaussian(-0.3, 0.5));
+        for (size_t i = 0; i < input.size(); ++i)
+            input[i] = static_cast<float>(rng.uniform());
+    }
+};
+
+/**
+ * Independent reference for Eq. (1): walk the plan order with
+ * explicit partial sums, no interior-offset fast path.
+ */
+int
+referenceOps(const Conv2D &conv, int out_ch, const KernelPlan &plan,
+             const Tensor &in, int iy0, int ix0)
+{
+    const int ih = in.dim(1), iw = in.dim(2);
+    const int cin_g = conv.spec().in_channels / conv.spec().groups;
+    const int cout_g = conv.spec().out_channels / conv.spec().groups;
+    const int ic0 = (out_ch / cout_g) * cin_g;
+
+    // Accumulate in float so borderline termination decisions match
+    // the engine bit for bit.
+    float psum = conv.bias()[out_ch];
+    const int ks = conv.kernelSize();
+    for (int i = 0; i < ks; ++i) {
+        const int idx = plan.order[i];
+        int ic, ky, kx;
+        conv.decodeIndex(idx, ic, ky, kx);
+        const int iy = iy0 + ky, ix = ix0 + kx;
+        float x = 0.0f;
+        if (iy >= 0 && iy < ih && ix >= 0 && ix < iw)
+            x = in.at(ic0 + ic, iy, ix);
+        psum += conv.weightAt(out_ch, idx) * x;
+
+        if (i + 1 == plan.prefix_len && plan.params.predictive()
+            && psum <= plan.params.th) {
+            return plan.prefix_len;
+        }
+        if (i >= plan.neg_start && psum < 0.0f)
+            return i + 1;
+    }
+    return ks;
+}
+
+} // namespace
+
+class EngineProperty : public testing::TestWithParam<ConvCase>
+{
+};
+
+TEST_P(EngineProperty, ExactModeMatchesPlainConvAfterReLU)
+{
+    Scenario s(GetParam());
+    Network net("t", s.input.shape());
+    ConvSpec spec = s.conv.spec();
+    auto conv = std::make_unique<Conv2D>("c", spec);
+    conv->weights() = s.conv.weights();
+    conv->bias() = s.conv.bias();
+    net.add(std::move(conv));
+    net.add(std::make_unique<ReLU>("r"));
+
+    const Tensor plain = net.forward(s.input);
+
+    SnapeaEngine engine(net, makeExactNetworkPlan(net));
+    engine.setMode(ExecMode::Instrumented);
+    const Tensor snapea = net.forward(s.input, &engine);
+
+    ASSERT_EQ(plain.shape(), snapea.shape());
+    for (size_t i = 0; i < plain.size(); ++i)
+        EXPECT_NEAR(plain[i], snapea[i], 1e-3)
+            << "post-ReLU mismatch at " << i;
+}
+
+TEST_P(EngineProperty, ExactModeFastPathDeclines)
+{
+    // Without speculating kernels the fast path must fall back to the
+    // plain convolution (bit-identical output by construction).
+    Scenario s(GetParam());
+    Network net("t", s.input.shape());
+    auto conv = std::make_unique<Conv2D>("c", s.conv.spec());
+    conv->weights() = s.conv.weights();
+    conv->bias() = s.conv.bias();
+    net.add(std::move(conv));
+
+    SnapeaEngine engine(net, makeExactNetworkPlan(net));
+    engine.setMode(ExecMode::Fast);
+    const Tensor a = net.forward(s.input);
+    const Tensor b = net.forward(s.input, &engine);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]);
+}
+
+TEST_P(EngineProperty, WalkOpsMatchReference)
+{
+    Scenario s(GetParam());
+    const int ih = s.input.dim(1), iw = s.input.dim(2);
+    const int oh = s.conv.outDim(ih), ow = s.conv.outDim(iw);
+    const int stride = s.conv.spec().stride, pad = s.conv.spec().pad;
+
+    for (int o = 0; o < s.conv.spec().out_channels; ++o) {
+        for (const bool predictive : {false, true}) {
+            KernelPlan plan;
+            if (predictive) {
+                SpeculationParams p;
+                p.n_groups =
+                    std::min(4, std::max(1, s.conv.kernelSize() / 2));
+                p.th = 0.2f;
+                plan = makePredictivePlan(s.conv, o, p);
+            } else {
+                plan = makeExactPlan(s.conv, o);
+            }
+            PreparedKernel pk = prepareKernel(s.conv, o, plan);
+            computeInteriorOffsets(pk, ih, iw);
+            for (int y = 0; y < oh; ++y) {
+                for (int x = 0; x < ow; ++x) {
+                    const int iy0 = y * stride - pad;
+                    const int ix0 = x * stride - pad;
+                    const WindowWalk ww =
+                        walkWindow(pk, s.input, iy0, ix0, false);
+                    const int ref = referenceOps(s.conv, o, plan,
+                                                 s.input, iy0, ix0);
+                    EXPECT_EQ(ww.ops, ref)
+                        << "kernel " << o << " window (" << y << ","
+                        << x << ") predictive=" << predictive;
+                }
+            }
+        }
+    }
+}
+
+TEST_P(EngineProperty, SignTerminationImpliesNegativeOutput)
+{
+    Scenario s(GetParam());
+    const int ih = s.input.dim(1), iw = s.input.dim(2);
+    const int oh = s.conv.outDim(ih), ow = s.conv.outDim(iw);
+    const int stride = s.conv.spec().stride, pad = s.conv.spec().pad;
+    const Tensor full = s.conv.forward({&s.input});
+
+    for (int o = 0; o < s.conv.spec().out_channels; ++o) {
+        PreparedKernel pk =
+            prepareKernel(s.conv, o, makeExactPlan(s.conv, o));
+        computeInteriorOffsets(pk, ih, iw);
+        for (int y = 0; y < oh; ++y) {
+            for (int x = 0; x < ow; ++x) {
+                const WindowWalk ww = walkWindow(
+                    pk, s.input, y * stride - pad, x * stride - pad,
+                    false);
+                if (ww.sign_fired) {
+                    // The sign check is exact: the true convolution
+                    // value must indeed be negative.
+                    EXPECT_LT(full.at(o, y, x), 1e-4);
+                    EXPECT_LT(ww.out, 0.0f);
+                } else {
+                    // Completed windows carry the full sum.
+                    EXPECT_NEAR(ww.out, full.at(o, y, x), 1e-3);
+                }
+            }
+        }
+    }
+}
+
+TEST_P(EngineProperty, FastAndInstrumentedAgreeOnSquashing)
+{
+    Scenario s(GetParam());
+    Network net("t", s.input.shape());
+    auto conv = std::make_unique<Conv2D>("c", s.conv.spec());
+    conv->weights() = s.conv.weights();
+    conv->bias() = s.conv.bias();
+    net.add(std::move(conv));
+    net.add(std::make_unique<ReLU>("r"));
+
+    std::map<int, std::vector<SpeculationParams>> params;
+    params[0].resize(s.conv.spec().out_channels);
+    for (auto &p : params[0]) {
+        p.n_groups = std::min(4, std::max(1, s.conv.kernelSize() / 2));
+        p.th = 0.3f;
+    }
+    const NetworkPlan plan = makeNetworkPlan(net, params);
+
+    SnapeaEngine fast(net, plan);
+    fast.setMode(ExecMode::Fast);
+    const Tensor a = net.forward(s.input, &fast);
+
+    SnapeaEngine inst(net, plan);
+    inst.setMode(ExecMode::Instrumented);
+    const Tensor b = net.forward(s.input, &inst);
+
+    for (size_t i = 0; i < a.size(); ++i) {
+        // Same squashing decisions: post-ReLU values match to float
+        // tolerance, and clearly-surviving values survive in both.
+        EXPECT_NEAR(a[i], b[i], 1e-3) << "index " << i;
+        if (a[i] > 1e-4f || b[i] > 1e-4f) {
+            EXPECT_GT(a[i], 0.0f) << "index " << i;
+            EXPECT_GT(b[i], 0.0f) << "index " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, EngineProperty,
+    testing::Values(ConvCase{3, 4, 3, 1, 1, 1, 1},
+                    ConvCase{3, 4, 3, 1, 0, 1, 2},
+                    ConvCase{4, 2, 5, 2, 2, 1, 3},
+                    ConvCase{8, 8, 1, 1, 0, 1, 4},
+                    ConvCase{4, 4, 3, 1, 1, 2, 5},
+                    ConvCase{2, 6, 7, 4, 3, 1, 6},
+                    ConvCase{6, 4, 3, 2, 1, 2, 7},
+                    ConvCase{1, 1, 3, 1, 1, 1, 8}),
+    caseName);
+
+TEST(Engine, PrefixSumMatchesManual)
+{
+    ConvCase c{2, 1, 3, 1, 1, 1, 11};
+    Scenario s(c);
+    SpeculationParams p;
+    p.n_groups = 4;
+    const KernelPlan plan = makePredictivePlan(s.conv, 0, p);
+    PreparedKernel pk = prepareKernel(s.conv, 0, plan);
+    computeInteriorOffsets(pk, 9, 9);
+
+    for (const auto &[iy0, ix0] : {std::pair{2, 3}, {-1, 0}, {7, 7}}) {
+        double manual = s.conv.bias()[0];
+        for (int i = 0; i < plan.prefix_len; ++i) {
+            int ic, ky, kx;
+            s.conv.decodeIndex(plan.order[i], ic, ky, kx);
+            const int iy = iy0 + ky, ix = ix0 + kx;
+            float x = 0.0f;
+            if (iy >= 0 && iy < 9 && ix >= 0 && ix < 9)
+                x = s.input.at(ic, iy, ix);
+            manual += s.conv.weightAt(0, plan.order[i]) * x;
+        }
+        EXPECT_NEAR(prefixSum(pk, s.input, iy0, ix0), manual, 1e-4);
+    }
+}
+
+TEST(Engine, SpecFiredWindowsReportFullSum)
+{
+    ConvCase c{2, 1, 3, 1, 0, 1, 13};
+    Scenario s(c);
+    SpeculationParams p;
+    p.n_groups = 4;
+    p.th = 1e9f;  // always fire
+    const KernelPlan plan = makePredictivePlan(s.conv, 0, p);
+    PreparedKernel pk = prepareKernel(s.conv, 0, plan);
+    computeInteriorOffsets(pk, 9, 9);
+    const Tensor full = s.conv.forward({&s.input});
+
+    for (int y = 0; y < full.dim(1); ++y) {
+        for (int x = 0; x < full.dim(2); ++x) {
+            const WindowWalk ww =
+                walkWindow(pk, s.input, y, x, /*need_full=*/true);
+            ASSERT_TRUE(ww.spec_fired);
+            EXPECT_EQ(ww.ops, plan.prefix_len);
+            EXPECT_FLOAT_EQ(ww.out, -1.0f);
+            if (ww.full_known && full.at(0, y, x) > 0.0f) {
+                EXPECT_NEAR(ww.full_sum, full.at(0, y, x), 1e-3);
+            }
+        }
+    }
+}
+
+TEST(Engine, StatsConservation)
+{
+    ConvCase c{3, 4, 3, 1, 1, 1, 17};
+    Scenario s(c);
+    Network net("t", s.input.shape());
+    auto conv = std::make_unique<Conv2D>("c", s.conv.spec());
+    conv->weights() = s.conv.weights();
+    conv->bias() = s.conv.bias();
+    net.add(std::move(conv));
+
+    SnapeaEngine engine(net, makeExactNetworkPlan(net));
+    engine.setMode(ExecMode::Instrumented);
+    engine.setCollectTraces(true);
+    engine.beginImage();
+    net.forward(s.input, &engine);
+
+    const LayerExecStats &st = engine.stats().at(0);
+    const int oh = s.conv.outDim(9), ow = s.conv.outDim(9);
+    EXPECT_EQ(st.windows, static_cast<size_t>(4 * oh * ow));
+    EXPECT_EQ(st.windows, st.spec_terminated + st.sign_terminated
+                              + st.completed);
+    EXPECT_EQ(st.windows, st.actual_negative + st.actual_positive);
+    EXPECT_EQ(st.spec_terminated, 0u);  // exact mode
+    EXPECT_LE(st.macs_performed, st.macs_full);
+
+    ASSERT_EQ(engine.traces().size(), 1u);
+    const ConvLayerTrace &tr = engine.traces()[0].conv_layers.at(0);
+    uint64_t ops_sum = 0;
+    for (uint16_t o : tr.ops)
+        ops_sum += o;
+    EXPECT_EQ(ops_sum, st.macs_performed);
+    EXPECT_EQ(tr.macs_full, st.macs_full);
+    EXPECT_EQ(tr.kernel_size, s.conv.kernelSize());
+    EXPECT_EQ(tr.out_channels, 4);
+}
+
+TEST(Engine, TnFnRatesConsistent)
+{
+    ConvCase c{3, 4, 3, 1, 1, 1, 19};
+    Scenario s(c);
+    Network net("t", s.input.shape());
+    auto conv = std::make_unique<Conv2D>("c", s.conv.spec());
+    conv->weights() = s.conv.weights();
+    conv->bias() = s.conv.bias();
+    net.add(std::move(conv));
+
+    std::map<int, std::vector<SpeculationParams>> params;
+    params[0].resize(4);
+    for (auto &p : params[0]) {
+        p.n_groups = 4;
+        p.th = 0.5f;
+    }
+    SnapeaEngine engine(net, makeNetworkPlan(net, params));
+    engine.setMode(ExecMode::Instrumented);
+    net.forward(s.input, &engine);
+
+    const LayerExecStats &st = engine.stats().at(0);
+    EXPECT_EQ(st.spec_terminated, st.true_negative + st.false_negative);
+    EXPECT_LE(st.true_negative, st.actual_negative);
+    EXPECT_LE(st.false_negative, st.actual_positive);
+    EXPECT_EQ(st.fn_values.size(), st.false_negative);
+}
+
+TEST(Engine, UnplannedLayersRunPlain)
+{
+    ConvCase c{2, 2, 3, 1, 1, 1, 23};
+    Scenario s(c);
+    Network net("t", s.input.shape());
+    auto conv = std::make_unique<Conv2D>("c", s.conv.spec());
+    conv->weights() = s.conv.weights();
+    conv->bias() = s.conv.bias();
+    net.add(std::move(conv));
+
+    SnapeaEngine engine(net, NetworkPlan{});  // empty plan
+    engine.setMode(ExecMode::Instrumented);
+    const Tensor a = net.forward(s.input);
+    const Tensor b = net.forward(s.input, &engine);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]);
+    EXPECT_TRUE(engine.stats().empty());
+}

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the discrete-event kernel and the detailed (event-
+ * driven) PE-array simulator, including cross-validation against
+ * the analytic model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/detailed_sim.hh"
+#include "sim/event_queue.hh"
+#include "sim/snapea_accel.hh"
+#include "util/random.hh"
+
+using namespace snapea;
+
+TEST(EventQueue, RunsInTickOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    EXPECT_EQ(eq.run(), 30u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoWithinTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(1); });
+    eq.schedule(5, [&] { order.push_back(2); });
+    eq.schedule(5, [&] { order.push_back(3); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, CallbacksMaySchedule)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 5)
+            eq.schedule(eq.curTick() + 7, chain);
+    };
+    eq.schedule(0, chain);
+    EXPECT_EQ(eq.run(), 28u);  // 0, 7, 14, 21, 28
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(eq.executed(), 5u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.runUntil(15);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_EQ(eq.curTick(), 15u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueDeath, PastSchedulingPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(5, [] {}), "assertion failed");
+}
+
+namespace {
+
+ImageTrace
+wrapTrace(ConvLayerTrace lt)
+{
+    ImageTrace t;
+    t.conv_layers.push_back(std::move(lt));
+    return t;
+}
+
+ConvLayerTrace
+randomTrace(uint64_t seed, int c_out, int oh, int ow, int ks)
+{
+    Rng rng(seed);
+    ConvLayerTrace lt;
+    lt.name = "L";
+    lt.out_channels = c_out;
+    lt.out_h = oh;
+    lt.out_w = ow;
+    lt.kernel_size = ks;
+    lt.kernel_w = 3;
+    lt.stride = 1;
+    lt.in_channels = std::max(1, ks / 9);
+    lt.in_h = oh + 2;
+    lt.in_w = ow + 2;
+    lt.ops.resize(static_cast<size_t>(c_out) * oh * ow);
+    lt.macs_full = lt.ops.size() * static_cast<uint64_t>(ks);
+    for (auto &o : lt.ops) {
+        // Bimodal, SnaPEA-like: early termination or near-full cost.
+        o = rng.uniform() < 0.5
+            ? static_cast<uint16_t>(4 + rng.uniformInt(ks / 4))
+            : static_cast<uint16_t>(ks / 2 + rng.uniformInt(ks / 2));
+        lt.macs_performed += o;
+    }
+    return lt;
+}
+
+} // namespace
+
+TEST(DetailedSim, UniformOpsMatchAnalyticClosely)
+{
+    // With identical op counts the greedy makespan equals the
+    // analytic work bound; only the issue-overhead accounting
+    // differs (per lane refill vs per kernel switch), which is a
+    // few cycles per hundreds.
+    ConvLayerTrace lt = randomTrace(1, 16, 16, 16, 64);
+    std::fill(lt.ops.begin(), lt.ops.end(),
+              static_cast<uint16_t>(40));
+    lt.macs_performed = lt.ops.size() * 40ull;
+
+    SnapeaConfig cfg;
+    SnapeaAccelSim analytic(cfg);
+    DetailedSnapeaSim detailed(cfg);
+    const double a = static_cast<double>(
+        analytic.simulate(wrapTrace(lt), {}, 0)
+            .layers[0].compute_cycles);
+    const double d = static_cast<double>(
+        detailed.convLayerComputeCycles(lt));
+    EXPECT_NEAR(d / a, 1.0, 0.06);
+}
+
+class DetailedVsAnalytic : public testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(DetailedVsAnalytic, AgreeWithinTolerance)
+{
+    const ConvLayerTrace lt = randomTrace(GetParam(), 24, 12, 12, 96);
+    SnapeaConfig cfg;
+    SnapeaAccelSim analytic(cfg);
+    DetailedSnapeaSim detailed(cfg);
+
+    ImageTrace t;
+    t.conv_layers.push_back(lt);
+    const uint64_t a =
+        analytic.simulate(t, {}, 0).layers[0].compute_cycles;
+    const uint64_t d = detailed.convLayerComputeCycles(lt);
+
+    // The analytic expression is a lower-bound-style approximation
+    // of the greedy makespan; they must track each other closely.
+    EXPECT_GE(d * 1.10, a) << "analytic above detailed by >10%";
+    EXPECT_LE(d, a * 1.15) << "detailed above analytic by >15%";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DetailedVsAnalytic,
+                         testing::Values(2, 3, 5, 8, 13, 21));
+
+TEST(DetailedSim, SimulateMirrorsAnalyticAccounting)
+{
+    const ConvLayerTrace lt = randomTrace(42, 16, 8, 8, 72);
+    ImageTrace t;
+    t.conv_layers.push_back(lt);
+    SnapeaConfig cfg;
+    const SimResult a = SnapeaAccelSim(cfg).simulate(t, {}, 64);
+    const SimResult d = DetailedSnapeaSim(cfg).simulate(t, {}, 64);
+    ASSERT_EQ(a.layers.size(), d.layers.size());
+    // Energy and DRAM are event-count based and identical.
+    EXPECT_DOUBLE_EQ(a.energy.total(), d.energy.total());
+    EXPECT_EQ(a.layers[0].dram_bytes, d.layers[0].dram_bytes);
+    EXPECT_EQ(a.layers[0].macs, d.layers[0].macs);
+}
+
+TEST(DetailedSim, FewerLanesLongerMakespanPerPe)
+{
+    const ConvLayerTrace lt = randomTrace(7, 32, 16, 16, 96);
+    SnapeaConfig four;
+    // Same PE grid, half the lanes: strictly less throughput.
+    SnapeaConfig two = four;
+    two.lanes_per_pe = 2;
+    EXPECT_GT(DetailedSnapeaSim(two).convLayerComputeCycles(lt),
+              DetailedSnapeaSim(four).convLayerComputeCycles(lt));
+}

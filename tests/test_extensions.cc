@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the library extensions: FC-layer early activation and
+ * binary weight serialization.
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "nn/models/model_zoo.hh"
+#include "nn/serialize.hh"
+#include "snapea/fc_engine.hh"
+#include "util/random.hh"
+
+using namespace snapea;
+
+namespace {
+
+std::unique_ptr<FullyConnected>
+makeRandomFc(uint64_t seed, int in_f, int out_f)
+{
+    auto fc = std::make_unique<FullyConnected>("fc", in_f, out_f);
+    Rng rng(seed);
+    for (size_t i = 0; i < fc->weights().size(); ++i)
+        fc->weights()[i] = static_cast<float>(rng.gaussian());
+    for (auto &b : fc->bias())
+        b = static_cast<float>(rng.gaussian(-0.3, 0.4));
+    return fc;
+}
+
+Tensor
+nonNegativeInput(uint64_t seed, int n)
+{
+    Tensor in({n});
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+        // ReLU-like: about half zeros, the rest positive.
+        in[i] = rng.uniform() < 0.5
+            ? 0.0f : static_cast<float>(rng.uniform());
+    }
+    return in;
+}
+
+} // namespace
+
+class FcEngineProperty : public testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(FcEngineProperty, PlanIsSignOrderedPermutation)
+{
+    auto fc_p = makeRandomFc(GetParam(), 64, 8);
+    const FullyConnected &fc = *fc_p;
+    const FcLayerPlan plan = makeFcExactPlan(fc);
+    ASSERT_EQ(plan.neurons.size(), 8u);
+    for (int o = 0; o < 8; ++o) {
+        const auto &np = plan.neurons[o];
+        ASSERT_EQ(np.order.size(), 64u);
+        const float *w = fc.weights().data() + o * 64;
+        std::vector<bool> seen(64, false);
+        for (int i = 0; i < 64; ++i) {
+            EXPECT_FALSE(seen[np.order[i]]);
+            seen[np.order[i]] = true;
+            if (i < np.neg_start)
+                EXPECT_GE(w[np.order[i]], 0.0f);
+            else
+                EXPECT_LT(w[np.order[i]], 0.0f);
+        }
+    }
+}
+
+TEST_P(FcEngineProperty, MatchesPlainFcAfterReLU)
+{
+    auto fc_p = makeRandomFc(GetParam(), 96, 16);
+    const FullyConnected &fc = *fc_p;
+    const Tensor in = nonNegativeInput(GetParam() + 100, 96);
+    const FcLayerPlan plan = makeFcExactPlan(fc);
+
+    const Tensor plain = fc.forward({&in});
+    const Tensor early = runFcExact(fc, plan, in);
+    ASSERT_EQ(plain.size(), early.size());
+    for (size_t i = 0; i < plain.size(); ++i) {
+        const float a = std::max(0.0f, plain[i]);
+        const float b = std::max(0.0f, early[i]);
+        EXPECT_NEAR(a, b, 1e-3) << "neuron " << i;
+    }
+}
+
+TEST_P(FcEngineProperty, SavesMacsOnNegativeNeurons)
+{
+    auto fc_p = makeRandomFc(GetParam(), 128, 32);
+    const FullyConnected &fc = *fc_p;
+    const Tensor in = nonNegativeInput(GetParam() + 200, 128);
+    FcExecStats stats;
+    runFcExact(fc, makeFcExactPlan(fc), in, &stats);
+    EXPECT_EQ(stats.neurons, 32u);
+    EXPECT_EQ(stats.macs_full, 32u * 128);
+    EXPECT_LE(stats.macs_performed, stats.macs_full);
+    // With ~half the neurons negative, something must terminate.
+    EXPECT_GT(stats.terminated, 0u);
+    EXPECT_LT(stats.macs_performed, stats.macs_full);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FcEngineProperty,
+                         testing::Values(1, 7, 23, 77));
+
+TEST(Serialize, RoundTripPreservesWeights)
+{
+    ModelScale scale;
+    scale.input_size = 48;
+    auto net = buildModel(ModelId::AlexNet, scale);
+    Rng rng(5);
+    for (int idx : net->convLayers()) {
+        auto &conv = static_cast<Conv2D &>(net->layer(idx));
+        for (size_t i = 0; i < conv.weights().size(); ++i)
+            conv.weights()[i] = static_cast<float>(rng.gaussian());
+        for (auto &b : conv.bias())
+            b = static_cast<float>(rng.gaussian());
+    }
+
+    const std::string path = "/tmp/snapea_test_weights.bin";
+    saveWeights(*net, path);
+
+    auto other = buildModel(ModelId::AlexNet, scale);
+    loadWeights(*other, path);
+    for (int idx : net->convLayers()) {
+        const auto &a = static_cast<const Conv2D &>(net->layer(idx));
+        const auto &b =
+            static_cast<const Conv2D &>(other->layer(idx));
+        for (size_t i = 0; i < a.weights().size(); ++i)
+            ASSERT_EQ(a.weights()[i], b.weights()[i]);
+        for (size_t i = 0; i < a.bias().size(); ++i)
+            ASSERT_EQ(a.bias()[i], b.bias()[i]);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(SerializeDeath, TopologyMismatchIsFatal)
+{
+    ModelScale scale;
+    scale.input_size = 48;
+    auto alex = buildModel(ModelId::AlexNet, scale);
+    const std::string path = "/tmp/snapea_test_weights2.bin";
+    saveWeights(*alex, path);
+
+    auto squeeze = buildModel(ModelId::SqueezeNet, scale);
+    EXPECT_EXIT(loadWeights(*squeeze, path),
+                testing::ExitedWithCode(1), "");
+    std::remove(path.c_str());
+}
+
+TEST(SerializeDeath, MissingFileIsFatal)
+{
+    ModelScale scale;
+    scale.input_size = 48;
+    auto net = buildModel(ModelId::AlexNet, scale);
+    EXPECT_EXIT(loadWeights(*net, "/nonexistent/nope.bin"),
+                testing::ExitedWithCode(1), "cannot read");
+}
+
+TEST(SerializeDeath, GarbageFileIsFatal)
+{
+    const std::string path = "/tmp/snapea_garbage.bin";
+    {
+        std::ofstream os(path, std::ios::binary);
+        os << "not a weight file at all";
+    }
+    ModelScale scale;
+    scale.input_size = 48;
+    auto net = buildModel(ModelId::AlexNet, scale);
+    EXPECT_EXIT(loadWeights(*net, path), testing::ExitedWithCode(1),
+                "not a SnaPEA weight file");
+    std::remove(path.c_str());
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Property sweeps over layer geometry: output-shape formulas vs an
+ * independent reference, and conv forward vs a naive double-precision
+ * reference implementation across many configurations.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/conv.hh"
+#include "nn/pooling.hh"
+#include "util/random.hh"
+
+using namespace snapea;
+
+namespace {
+
+struct Geometry
+{
+    int n;       ///< Input spatial size.
+    int k;       ///< Kernel.
+    int stride;
+    int pad;
+};
+
+std::string
+geomName(const testing::TestParamInfo<Geometry> &info)
+{
+    const Geometry &g = info.param;
+    return "n" + std::to_string(g.n) + "k" + std::to_string(g.k) + "s"
+        + std::to_string(g.stride) + "p" + std::to_string(g.pad);
+}
+
+/** Reference conv output at one position, double precision. */
+double
+referenceConvAt(const Conv2D &conv, const Tensor &in, int o, int y,
+                int x)
+{
+    const auto &spec = conv.spec();
+    const int cin_g = spec.in_channels / spec.groups;
+    const int cout_g = spec.out_channels / spec.groups;
+    const int ic0 = (o / cout_g) * cin_g;
+    double acc = conv.bias()[o];
+    for (int ic = 0; ic < cin_g; ++ic) {
+        for (int ky = 0; ky < spec.kernel; ++ky) {
+            for (int kx = 0; kx < spec.kernel; ++kx) {
+                const int iy = y * spec.stride - spec.pad + ky;
+                const int ix = x * spec.stride - spec.pad + kx;
+                if (iy < 0 || iy >= in.dim(1) || ix < 0
+                    || ix >= in.dim(2)) {
+                    continue;
+                }
+                acc += static_cast<double>(
+                           conv.weights().at(o, ic, ky, kx))
+                    * in.at(ic0 + ic, iy, ix);
+            }
+        }
+    }
+    return acc;
+}
+
+} // namespace
+
+class GeometryProperty : public testing::TestWithParam<Geometry>
+{
+};
+
+TEST_P(GeometryProperty, ConvOutputSizeFormula)
+{
+    const Geometry &g = GetParam();
+    if (g.n + 2 * g.pad < g.k)
+        GTEST_SKIP() << "kernel larger than padded input";
+    Conv2D conv("c", ConvSpec{1, 1, g.k, g.stride, g.pad, 1});
+    // Count valid window origins explicitly.
+    int count = 0;
+    for (int y = -g.pad; y + g.k <= g.n + g.pad; y += g.stride)
+        ++count;
+    EXPECT_EQ(conv.outDim(g.n), count);
+}
+
+TEST_P(GeometryProperty, ConvMatchesReference)
+{
+    const Geometry &g = GetParam();
+    if (g.n + 2 * g.pad < g.k)
+        GTEST_SKIP() << "kernel larger than padded input";
+    Conv2D conv("c", ConvSpec{3, 4, g.k, g.stride, g.pad, 1});
+    Rng rng(g.n * 1000 + g.k * 100 + g.stride * 10 + g.pad);
+    for (size_t i = 0; i < conv.weights().size(); ++i)
+        conv.weights()[i] = static_cast<float>(rng.gaussian(0, 0.3));
+    for (auto &b : conv.bias())
+        b = static_cast<float>(rng.gaussian());
+    Tensor in({3, g.n, g.n});
+    for (size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+    const Tensor out = conv.forward({&in});
+    for (int o = 0; o < 4; ++o) {
+        for (int y = 0; y < out.dim(1); ++y) {
+            for (int x = 0; x < out.dim(2); ++x) {
+                EXPECT_NEAR(out.at(o, y, x),
+                            referenceConvAt(conv, in, o, y, x), 1e-3)
+                    << o << "," << y << "," << x;
+            }
+        }
+    }
+}
+
+TEST_P(GeometryProperty, PoolCoversEveryInput)
+{
+    // Ceil-mode pooling must consume every input position: the last
+    // window reaches the final row/column.
+    const Geometry &g = GetParam();
+    if (g.k > g.n + 2 * g.pad || g.stride > g.k)
+        GTEST_SKIP() << "windows would skip inputs";
+    Pooling pool("p", LayerKind::MaxPool,
+                 PoolSpec{g.k, g.stride, g.pad});
+    const auto out = pool.outputShape({{1, g.n, g.n}});
+    const int last_start = (out[1] - 1) * g.stride - g.pad;
+    EXPECT_LT(last_start, g.n);                 // window starts in range
+    EXPECT_GE(last_start + g.k, g.n - g.pad);   // ...and reaches the end
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeometryProperty,
+    testing::Values(Geometry{8, 3, 1, 1}, Geometry{8, 3, 2, 0},
+                    Geometry{9, 3, 2, 1}, Geometry{16, 5, 2, 2},
+                    Geometry{11, 7, 4, 3}, Geometry{7, 1, 1, 0},
+                    Geometry{12, 2, 2, 0}, Geometry{13, 3, 2, 0},
+                    Geometry{10, 11, 4, 2}, Geometry{224, 11, 4, 2}),
+    geomName);
+
+TEST(Geometry, MaxPoolIgnoresPaddingValues)
+{
+    // Padding must never win a max (it is "ignored", not zero, so
+    // all-negative inputs still pool to their true max).
+    Pooling pool("p", LayerKind::MaxPool, PoolSpec{3, 2, 1});
+    Tensor in({1, 4, 4});
+    in.fill(-5.0f);
+    const Tensor out = pool.forward({&in});
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_FLOAT_EQ(out[i], -5.0f);
+}

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Golden regression test: the conv-layer output shapes of all four
+ * topologies at the default experiment scale.  Any unintended edit
+ * to a builder, to the scaling rules, or to conv/pool geometry shows
+ * up here as a named layer diff.  (Generated once from a verified
+ * build; update deliberately when the topology or default scale is
+ * changed on purpose.)
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/models/model_zoo.hh"
+
+using namespace snapea;
+
+namespace {
+
+struct GoldenLayer
+{
+    const char *name;
+    int c, h, w;
+};
+
+struct GoldenModel
+{
+    const char *model;
+    std::vector<GoldenLayer> convs;
+};
+
+const std::vector<GoldenModel> kGolden = {
+    {"AlexNet",
+     {
+         {"conv1", 24, 19, 19},
+         {"conv2", 64, 9, 9},
+         {"conv3", 96, 4, 4},
+         {"conv4", 96, 4, 4},
+         {"conv5", 64, 4, 4},
+     }},
+    {"GoogLeNet",
+     {
+         {"conv1/7x7_s2", 16, 40, 40},
+         {"conv2/3x3_reduce", 16, 20, 20},
+         {"conv2/3x3", 48, 20, 20},
+         {"inception_3a/1x1", 16, 10, 10},
+         {"inception_3a/3x3_reduce", 24, 10, 10},
+         {"inception_3a/3x3", 32, 10, 10},
+         {"inception_3a/5x5_reduce", 8, 10, 10},
+         {"inception_3a/5x5", 8, 10, 10},
+         {"inception_3a/pool_proj", 8, 10, 10},
+         {"inception_3b/1x1", 32, 10, 10},
+         {"inception_3b/3x3_reduce", 32, 10, 10},
+         {"inception_3b/3x3", 48, 10, 10},
+         {"inception_3b/5x5_reduce", 8, 10, 10},
+         {"inception_3b/5x5", 24, 10, 10},
+         {"inception_3b/pool_proj", 16, 10, 10},
+         {"inception_4a/1x1", 48, 5, 5},
+         {"inception_4a/3x3_reduce", 24, 5, 5},
+         {"inception_4a/3x3", 56, 5, 5},
+         {"inception_4a/5x5_reduce", 8, 5, 5},
+         {"inception_4a/5x5", 16, 5, 5},
+         {"inception_4a/pool_proj", 16, 5, 5},
+         {"inception_4b/1x1", 40, 5, 5},
+         {"inception_4b/3x3_reduce", 32, 5, 5},
+         {"inception_4b/3x3", 56, 5, 5},
+         {"inception_4b/5x5_reduce", 8, 5, 5},
+         {"inception_4b/5x5", 16, 5, 5},
+         {"inception_4b/pool_proj", 16, 5, 5},
+         {"inception_4c/1x1", 32, 5, 5},
+         {"inception_4c/3x3_reduce", 32, 5, 5},
+         {"inception_4c/3x3", 64, 5, 5},
+         {"inception_4c/5x5_reduce", 8, 5, 5},
+         {"inception_4c/5x5", 16, 5, 5},
+         {"inception_4c/pool_proj", 16, 5, 5},
+         {"inception_4d/1x1", 32, 5, 5},
+         {"inception_4d/3x3_reduce", 40, 5, 5},
+         {"inception_4d/3x3", 72, 5, 5},
+         {"inception_4d/5x5_reduce", 8, 5, 5},
+         {"inception_4d/5x5", 16, 5, 5},
+         {"inception_4d/pool_proj", 16, 5, 5},
+         {"inception_4e/1x1", 64, 5, 5},
+         {"inception_4e/3x3_reduce", 40, 5, 5},
+         {"inception_4e/3x3", 80, 5, 5},
+         {"inception_4e/5x5_reduce", 8, 5, 5},
+         {"inception_4e/5x5", 32, 5, 5},
+         {"inception_4e/pool_proj", 32, 5, 5},
+         {"inception_5a/1x1", 64, 2, 2},
+         {"inception_5a/3x3_reduce", 40, 2, 2},
+         {"inception_5a/3x3", 80, 2, 2},
+         {"inception_5a/5x5_reduce", 8, 2, 2},
+         {"inception_5a/5x5", 32, 2, 2},
+         {"inception_5a/pool_proj", 32, 2, 2},
+         {"inception_5b/1x1", 96, 2, 2},
+         {"inception_5b/3x3_reduce", 48, 2, 2},
+         {"inception_5b/3x3", 96, 2, 2},
+         {"inception_5b/5x5_reduce", 16, 2, 2},
+         {"inception_5b/5x5", 32, 2, 2},
+         {"inception_5b/pool_proj", 32, 2, 2},
+     }},
+    {"SqueezeNet",
+     {
+         {"conv1", 24, 37, 37},
+         {"fire2/squeeze1x1", 8, 18, 18},
+         {"fire2/expand1x1", 16, 18, 18},
+         {"fire2/expand3x3", 16, 18, 18},
+         {"fire3/squeeze1x1", 8, 18, 18},
+         {"fire3/expand1x1", 16, 18, 18},
+         {"fire3/expand3x3", 16, 18, 18},
+         {"fire4/squeeze1x1", 8, 18, 18},
+         {"fire4/expand1x1", 32, 18, 18},
+         {"fire4/expand3x3", 32, 18, 18},
+         {"fire5/squeeze1x1", 8, 9, 9},
+         {"fire5/expand1x1", 32, 9, 9},
+         {"fire5/expand3x3", 32, 9, 9},
+         {"fire6/squeeze1x1", 16, 9, 9},
+         {"fire6/expand1x1", 48, 9, 9},
+         {"fire6/expand3x3", 48, 9, 9},
+         {"fire7/squeeze1x1", 16, 9, 9},
+         {"fire7/expand1x1", 48, 9, 9},
+         {"fire7/expand3x3", 48, 9, 9},
+         {"fire8/squeeze1x1", 16, 9, 9},
+         {"fire8/expand1x1", 64, 9, 9},
+         {"fire8/expand3x3", 64, 9, 9},
+         {"fire9/squeeze1x1", 16, 4, 4},
+         {"fire9/expand1x1", 64, 4, 4},
+         {"fire9/expand3x3", 64, 4, 4},
+         {"conv10", 16, 4, 4},
+     }},
+    {"VGGNet",
+     {
+         {"conv1_1", 8, 80, 80},
+         {"conv1_2", 8, 80, 80},
+         {"conv2_1", 16, 40, 40},
+         {"conv2_2", 16, 40, 40},
+         {"conv3_1", 32, 20, 20},
+         {"conv3_2", 32, 20, 20},
+         {"conv3_3", 32, 20, 20},
+         {"conv4_1", 64, 10, 10},
+         {"conv4_2", 64, 10, 10},
+         {"conv4_3", 64, 10, 10},
+         {"conv5_1", 64, 5, 5},
+         {"conv5_2", 64, 5, 5},
+         {"conv5_3", 64, 5, 5},
+     }},
+};
+
+} // namespace
+
+TEST(GoldenShapes, DefaultScaleConvOutputs)
+{
+    for (const GoldenModel &gm : kGolden) {
+        auto net = buildModel(modelByName(gm.model));
+        const auto &convs = net->convLayers();
+        ASSERT_EQ(convs.size(), gm.convs.size()) << gm.model;
+        for (size_t i = 0; i < convs.size(); ++i) {
+            const GoldenLayer &g = gm.convs[i];
+            EXPECT_EQ(net->layer(convs[i]).name(), g.name)
+                << gm.model << " layer " << i;
+            const auto &s = net->outputShape(convs[i]);
+            EXPECT_EQ(s, (std::vector<int>{g.c, g.h, g.w}))
+                << gm.model << "/" << g.name;
+        }
+    }
+}
+
+TEST(GoldenShapes, GoogLeNetInception4e1x1Exists)
+{
+    // The paper's Fig. 10 extremes must resolve by name.
+    auto net = buildModel(ModelId::GoogLeNet);
+    EXPECT_GE(net->layerIndex("inception_4e/1x1"), 0);
+    EXPECT_GE(net->layerIndex("inception_4e/5x5_reduce"), 0);
+}
+
+TEST(GoldenShapes, SqueezeNetFireLayersExist)
+{
+    auto net = buildModel(ModelId::SqueezeNet);
+    EXPECT_GE(net->layerIndex("fire6/expand3x3"), 0);
+    EXPECT_GE(net->layerIndex("fire5/squeeze1x1"), 0);
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the harness value types: speedup/energy arithmetic and
+ * degenerate-input behavior of ModeResult and LayerComparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+using namespace snapea;
+
+TEST(HarnessTypes, LayerComparisonRatios)
+{
+    LayerComparison lc;
+    lc.snapea_cycles = 100;
+    lc.eyeriss_cycles = 130;
+    lc.snapea_energy_pj = 2000.0;
+    lc.eyeriss_energy_pj = 2300.0;
+    EXPECT_DOUBLE_EQ(lc.speedup(), 1.3);
+    EXPECT_DOUBLE_EQ(lc.energyReduction(), 1.15);
+}
+
+TEST(HarnessTypes, LayerComparisonDegenerate)
+{
+    LayerComparison lc;  // all zero
+    EXPECT_DOUBLE_EQ(lc.speedup(), 1.0);
+    EXPECT_DOUBLE_EQ(lc.energyReduction(), 1.0);
+}
+
+TEST(HarnessTypes, ModeResultRatios)
+{
+    ModeResult r;
+    r.snapea_sim.total_cycles = 1000;
+    r.eyeriss_sim.total_cycles = 1280;
+    r.snapea_sim.energy.mac_pj = 500.0;
+    r.eyeriss_sim.energy.mac_pj = 580.0;
+    EXPECT_DOUBLE_EQ(r.speedup(), 1.28);
+    EXPECT_DOUBLE_EQ(r.energyReduction(), 1.16);
+}
+
+TEST(HarnessTypes, ModeResultDegenerate)
+{
+    ModeResult r;
+    EXPECT_DOUBLE_EQ(r.speedup(), 1.0);
+    EXPECT_DOUBLE_EQ(r.energyReduction(), 1.0);
+}
+
+TEST(HarnessTypes, EnergyBreakdownTotals)
+{
+    EnergyBreakdown e;
+    e.mac_pj = 1;
+    e.rf_pj = 2;
+    e.buffer_pj = 3;
+    e.inter_pe_pj = 4;
+    e.global_buf_pj = 5;
+    e.dram_pj = 6;
+    EXPECT_DOUBLE_EQ(e.total(), 21.0);
+    EnergyBreakdown f = e;
+    f += e;
+    EXPECT_DOUBLE_EQ(f.total(), 42.0);
+}
+
+TEST(HarnessTypes, SimResultTimeAndEnergyUnits)
+{
+    SimResult r;
+    r.total_cycles = 500000;  // at 0.5 GHz -> 1 ms
+    r.energy.dram_pj = 2e6;   // 2 uJ
+    EXPECT_DOUBLE_EQ(r.milliseconds(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(r.microjoules(), 2.0);
+}
+
+TEST(HarnessTypes, DefaultHarnessConfigSane)
+{
+    const HarnessConfig cfg;
+    EXPECT_GT(cfg.opt_classes * cfg.opt_images_per_class
+                  * cfg.keep_fraction,
+              60.0);
+    EXPECT_GE(cfg.trace_images, 1);
+    EXPECT_EQ(cfg.snapea_cfg.totalMacs(),
+              cfg.eyeriss_cfg.totalMacs());
+}

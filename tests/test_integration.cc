@@ -1,0 +1,127 @@
+/**
+ * @file
+ * End-to-end integration test: the full pipeline — model, calibrated
+ * weights, dataset, exact plan, instrumented execution, both cycle
+ * simulators — on a reduced-scale AlexNet, exercised through the
+ * public harness API.
+ */
+
+#include <cstdlib>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "harness/result_cache.hh"
+
+using namespace snapea;
+
+namespace {
+
+HarnessConfig
+smallConfig()
+{
+    HarnessConfig cfg;
+    cfg.cache_dir = "";  // no cross-run caching in tests
+    cfg.input_size_override = 48;
+    cfg.opt_classes = 12;
+    cfg.opt_images_per_class = 4;
+    cfg.keep_fraction = 0.5;
+    cfg.trace_images = 2;
+    cfg.opt_cfg.local_images = 8;
+    return cfg;
+}
+
+Experiment &
+experiment()
+{
+    static Experiment exp(ModelId::AlexNet, smallConfig());
+    return exp;
+}
+
+} // namespace
+
+TEST(Integration, ExactModeEndToEnd)
+{
+    ModeResult r = experiment().runExact();
+
+    // Bit-exact classification.
+    EXPECT_DOUBLE_EQ(r.accuracy, 1.0);
+    // Early termination saves MACs but never all of them.
+    EXPECT_LT(r.mac_ratio, 1.0);
+    EXPECT_GT(r.mac_ratio, 0.4);
+    // No speculation, hence no speculative outcomes.
+    EXPECT_DOUBLE_EQ(r.tn_rate, 0.0);
+    EXPECT_DOUBLE_EQ(r.fn_rate, 0.0);
+    // Both simulators ran all five conv layers.
+    EXPECT_EQ(r.layers.size(), 5u);
+    EXPECT_GT(r.snapea_sim.total_cycles, 0u);
+    EXPECT_GT(r.eyeriss_sim.total_cycles, 0u);
+    // The headline: SnaPEA beats the baseline in the exact mode.
+    EXPECT_GT(r.speedup(), 1.0);
+    EXPECT_GT(r.energyReduction(), 0.9);
+}
+
+TEST(Integration, PredictiveModeEndToEnd)
+{
+    ModeResult exact = experiment().runExact();
+    ModeResult pred = experiment().runPredictive(0.05);
+
+    // The accuracy constraint holds on the optimization set.
+    EXPECT_GE(pred.accuracy, 1.0 - 0.05 - 1e-9);
+    // Speculation reduces MACs beyond the exact mode.
+    EXPECT_LT(pred.mac_ratio, exact.mac_ratio);
+    // Speculative outcomes exist and are sane.
+    EXPECT_GT(pred.tn_rate, 0.0);
+    EXPECT_LE(pred.tn_rate, 1.0);
+    EXPECT_LE(pred.fn_rate, 0.6);
+    // It is at least as fast as the exact mode.
+    EXPECT_GE(pred.speedup(), exact.speedup() * 0.95);
+}
+
+TEST(Integration, LaneSweepRuns)
+{
+    auto params = experiment().predictiveParams(0.05);
+    const SnapeaConfig base = experiment().config().snapea_cfg;
+    const SimResult four =
+        experiment().simulateHardware(params, base.withLanes(4));
+    const SimResult sixteen =
+        experiment().simulateHardware(params, base.withLanes(16));
+    EXPECT_GT(four.total_cycles, 0u);
+    // Coarser lane groups cannot be faster at equal peak throughput.
+    EXPECT_GE(sixteen.total_cycles, four.total_cycles);
+}
+
+TEST(Integration, OptimizerParamCacheRoundTrip)
+{
+    // A second Experiment instance with the same cache directory
+    // must load identical parameters without re-running Algorithm 1.
+    HarnessConfig cfg = smallConfig();
+    cfg.cache_dir = "/tmp/snapea_test_param_cache";
+    std::filesystem::remove_all(cfg.cache_dir);
+
+    Experiment first(ModelId::AlexNet, cfg);
+    const auto a = first.predictiveParams(0.05);
+
+    Experiment second(ModelId::AlexNet, cfg);
+    const auto b = second.predictiveParams(0.05);
+
+    ASSERT_EQ(a.size(), b.size());
+    for (const auto &[l, ps] : a) {
+        ASSERT_TRUE(b.count(l));
+        ASSERT_EQ(ps.size(), b.at(l).size());
+        for (size_t i = 0; i < ps.size(); ++i) {
+            EXPECT_EQ(ps[i].n_groups, b.at(l)[i].n_groups);
+            EXPECT_FLOAT_EQ(ps[i].th, b.at(l)[i].th);
+        }
+    }
+    std::filesystem::remove_all(cfg.cache_dir);
+}
+
+TEST(Integration, CacheDirEnvOverride)
+{
+    setenv("SNAPEA_CACHE_DIR", "/tmp/snapea_test_cache", 1);
+    EXPECT_EQ(cacheDir(), "/tmp/snapea_test_cache");
+    unsetenv("SNAPEA_CACHE_DIR");
+    EXPECT_EQ(cacheDir(), "snapea_cache");
+}

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Tests for the layer zoo: hand-computed convolution values, shape
+ * inference including Caffe ceil-mode pooling, and the simpler
+ * elementwise layers.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/concat.hh"
+#include "nn/conv.hh"
+#include "nn/dense.hh"
+#include "nn/lrn.hh"
+#include "nn/pooling.hh"
+#include "nn/relu.hh"
+#include "nn/softmax.hh"
+#include "util/random.hh"
+
+using namespace snapea;
+
+namespace {
+
+Tensor
+iota(std::vector<int> shape)
+{
+    Tensor t(std::move(shape));
+    for (size_t i = 0; i < t.size(); ++i)
+        t[i] = static_cast<float>(i);
+    return t;
+}
+
+} // namespace
+
+TEST(Conv, IdentityKernel)
+{
+    Conv2D conv("c", ConvSpec{1, 1, 1, 1, 0, 1});
+    conv.weights()[0] = 1.0f;
+    const Tensor in = iota({1, 3, 3});
+    const Tensor out = conv.forward({&in});
+    ASSERT_EQ(out.shape(), in.shape());
+    for (size_t i = 0; i < in.size(); ++i)
+        EXPECT_FLOAT_EQ(out[i], in[i]);
+}
+
+TEST(Conv, HandComputed3x3)
+{
+    Conv2D conv("c", ConvSpec{1, 1, 3, 1, 0, 1});
+    conv.weights().fill(1.0f);
+    conv.bias()[0] = 0.5f;
+    const Tensor in = iota({1, 3, 3});  // 0..8, sum 36
+    const Tensor out = conv.forward({&in});
+    ASSERT_EQ(out.shape(), (std::vector<int>{1, 1, 1}));
+    EXPECT_FLOAT_EQ(out[0], 36.5f);
+}
+
+TEST(Conv, ZeroPaddingContributesNothing)
+{
+    Conv2D conv("c", ConvSpec{1, 1, 3, 1, 1, 1});
+    conv.weights().fill(1.0f);
+    Tensor in({1, 1, 1});
+    in[0] = 2.0f;
+    const Tensor out = conv.forward({&in});
+    ASSERT_EQ(out.shape(), (std::vector<int>{1, 1, 1}));
+    EXPECT_FLOAT_EQ(out[0], 2.0f);  // only the center tap is in bounds
+}
+
+TEST(Conv, StrideGeometry)
+{
+    Conv2D conv("c", ConvSpec{1, 1, 3, 2, 0, 1});
+    EXPECT_EQ(conv.outDim(7), 3);
+    EXPECT_EQ(conv.outDim(8), 3);
+    EXPECT_EQ(conv.outDim(9), 4);
+}
+
+TEST(Conv, GroupedConvolutionSeparatesChannels)
+{
+    // Two groups: output 0 reads only input channel 0, output 1 only
+    // input channel 1.
+    Conv2D conv("c", ConvSpec{2, 2, 1, 1, 0, 2});
+    conv.weights().fill(1.0f);
+    Tensor in({2, 1, 1});
+    in.at(0, 0, 0) = 3.0f;
+    in.at(1, 0, 0) = 5.0f;
+    const Tensor out = conv.forward({&in});
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 3.0f);
+    EXPECT_FLOAT_EQ(out.at(1, 0, 0), 5.0f);
+}
+
+TEST(Conv, KernelIndexRoundTrip)
+{
+    Conv2D conv("c", ConvSpec{4, 2, 3, 1, 1, 1});
+    EXPECT_EQ(conv.kernelSize(), 36);
+    int ic, ky, kx;
+    conv.decodeIndex(0, ic, ky, kx);
+    EXPECT_EQ(ic, 0);
+    EXPECT_EQ(ky, 0);
+    EXPECT_EQ(kx, 0);
+    conv.decodeIndex(35, ic, ky, kx);
+    EXPECT_EQ(ic, 3);
+    EXPECT_EQ(ky, 2);
+    EXPECT_EQ(kx, 2);
+}
+
+TEST(Conv, MacCount)
+{
+    Conv2D conv("c", ConvSpec{3, 8, 3, 1, 1, 1});
+    // 8 kernels x 27 taps x 4x4 outputs.
+    EXPECT_EQ(conv.macCount({3, 4, 4}), 8u * 27 * 16);
+}
+
+TEST(Pooling, MaxPoolValues)
+{
+    Pooling pool("p", LayerKind::MaxPool, PoolSpec{2, 2, 0});
+    const Tensor in = iota({1, 4, 4});
+    const Tensor out = pool.forward({&in});
+    ASSERT_EQ(out.shape(), (std::vector<int>{1, 2, 2}));
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 5.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 1, 1), 15.0f);
+}
+
+TEST(Pooling, AvgPoolValues)
+{
+    Pooling pool("p", LayerKind::AvgPool, PoolSpec{2, 2, 0});
+    const Tensor in = iota({1, 2, 2});
+    const Tensor out = pool.forward({&in});
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 1.5f);
+}
+
+TEST(Pooling, CeilModeShape)
+{
+    // Caffe: 55 -> 27 with k=3, s=2 would be floor mode giving 27;
+    // ceil mode on 14 with k=3 s=2 gives 7.
+    Pooling pool("p", LayerKind::MaxPool, PoolSpec{3, 2, 0});
+    EXPECT_EQ(pool.outputShape({{1, 14, 14}})[1], 7);
+    EXPECT_EQ(pool.outputShape({{1, 13, 13}})[1], 6);
+}
+
+TEST(Pooling, GlobalAveragePool)
+{
+    Pooling pool("p", LayerKind::AvgPool, PoolSpec{0, 1, 0});
+    const Tensor in = iota({2, 3, 3});
+    const Tensor out = pool.forward({&in});
+    ASSERT_EQ(out.shape(), (std::vector<int>{2, 1, 1}));
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 4.0f);   // mean of 0..8
+    EXPECT_FLOAT_EQ(out.at(1, 0, 0), 13.0f);  // mean of 9..17
+}
+
+TEST(Pooling, AvgExcludesPaddingFromDivisor)
+{
+    Pooling pool("p", LayerKind::AvgPool, PoolSpec{3, 1, 1});
+    Tensor in({1, 2, 2});
+    in.fill(6.0f);
+    const Tensor out = pool.forward({&in});
+    // Corner window covers 4 in-bounds values; divisor is 4, not 9.
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 6.0f);
+}
+
+TEST(ReLUTest, ClampsNegatives)
+{
+    ReLU relu("r");
+    Tensor in({4});
+    in[0] = -1.0f;
+    in[1] = 0.0f;
+    in[2] = 2.5f;
+    in[3] = -0.001f;
+    const Tensor out = relu.forward({&in});
+    EXPECT_FLOAT_EQ(out[0], 0.0f);
+    EXPECT_FLOAT_EQ(out[1], 0.0f);
+    EXPECT_FLOAT_EQ(out[2], 2.5f);
+    EXPECT_FLOAT_EQ(out[3], 0.0f);
+}
+
+TEST(LRNTest, NormalizesAcrossChannels)
+{
+    LRN lrn("n", LrnSpec{3, 1.0f, 1.0f, 1.0f});
+    Tensor in({3, 1, 1});
+    in.at(0, 0, 0) = 1.0f;
+    in.at(1, 0, 0) = 2.0f;
+    in.at(2, 0, 0) = 3.0f;
+    const Tensor out = lrn.forward({&in});
+    // Channel 1 sees sum of squares 1+4+9=14 over window size 3:
+    // denom = 1 + (1/3)*14.
+    EXPECT_NEAR(out.at(1, 0, 0), 2.0f / (1.0f + 14.0f / 3.0f), 1e-5);
+}
+
+TEST(LRNTest, PreservesShape)
+{
+    LRN lrn("n");
+    Tensor in({5, 2, 3});
+    EXPECT_EQ(lrn.outputShape({in.shape()}), in.shape());
+}
+
+TEST(ConcatTest, StacksChannels)
+{
+    Concat cat("c");
+    Tensor a({1, 2, 2}), b({2, 2, 2});
+    a.fill(1.0f);
+    b.fill(2.0f);
+    const Tensor out = cat.forward({&a, &b});
+    ASSERT_EQ(out.shape(), (std::vector<int>{3, 2, 2}));
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(out.at(1, 0, 0), 2.0f);
+    EXPECT_FLOAT_EQ(out.at(2, 1, 1), 2.0f);
+}
+
+TEST(DenseTest, MatVec)
+{
+    FullyConnected fc("f", 3, 2);
+    // W = [[1,2,3],[0,1,0]], b = [1, -1]
+    fc.weights()[0] = 1;
+    fc.weights()[1] = 2;
+    fc.weights()[2] = 3;
+    fc.weights()[4] = 1;
+    fc.bias() = {1.0f, -1.0f};
+    Tensor in({3});
+    in[0] = 1;
+    in[1] = 2;
+    in[2] = 3;
+    const Tensor out = fc.forward({&in});
+    EXPECT_FLOAT_EQ(out[0], 15.0f);
+    EXPECT_FLOAT_EQ(out[1], 1.0f);
+}
+
+TEST(DenseTest, FlattensInput)
+{
+    FullyConnected fc("f", 8, 1);
+    fc.weights().fill(1.0f);
+    const Tensor in = iota({2, 2, 2});
+    const Tensor out = fc.forward({&in});
+    EXPECT_FLOAT_EQ(out[0], 28.0f);  // 0+..+7
+}
+
+TEST(SoftmaxTest, SumsToOne)
+{
+    Softmax sm("s");
+    Tensor in({4});
+    in[0] = 1.0f;
+    in[1] = -2.0f;
+    in[2] = 0.5f;
+    in[3] = 100.0f;  // numerical stability check
+    const Tensor out = sm.forward({&in});
+    double sum = 0.0;
+    for (size_t i = 0; i < out.size(); ++i) {
+        EXPECT_GE(out[i], 0.0f);
+        sum += out[i];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+    EXPECT_EQ(out.argmax(), 3u);
+}
+
+TEST(SoftmaxTest, PreservesOrder)
+{
+    Softmax sm("s");
+    Tensor in({3});
+    in[0] = 0.1f;
+    in[1] = 0.9f;
+    in[2] = 0.5f;
+    const Tensor out = sm.forward({&in});
+    EXPECT_GT(out[1], out[2]);
+    EXPECT_GT(out[2], out[0]);
+}

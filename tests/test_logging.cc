@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Tests for the error-reporting utilities: fatal exits with code 1
+ * (user error), panic aborts (library bug), and the assertion macro
+ * stays active in release builds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+using namespace snapea;
+
+TEST(LoggingDeath, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(fatal("user error %d", 42),
+                testing::ExitedWithCode(1), "user error 42");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("internal bug %s", "here"), "internal bug here");
+}
+
+TEST(LoggingDeath, AssertActiveInRelease)
+{
+    // SNAPEA_ASSERT must not compile away under NDEBUG: the
+    // simulators rely on it for invariant enforcement in -O2 builds.
+    EXPECT_DEATH(SNAPEA_ASSERT(1 == 2), "assertion failed");
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    SNAPEA_ASSERT(2 + 2 == 4);  // must not terminate
+    SUCCEED();
+}
+
+TEST(Logging, InformAndWarnDoNotTerminate)
+{
+    inform("status %d", 1);
+    warn("warning %s", "w");
+    SUCCEED();
+}

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the model zoo: layer counts match Table I, topologies
+ * execute end to end, and the scaling knob behaves.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/dense.hh"
+#include "nn/models/model_zoo.hh"
+#include "util/random.hh"
+
+using namespace snapea;
+
+namespace {
+
+int
+countFc(const Network &net)
+{
+    int fc = 0;
+    for (int i = 0; i < net.numLayers(); ++i)
+        if (net.layer(i).kind() == LayerKind::FullyConnected)
+            ++fc;
+    return fc;
+}
+
+} // namespace
+
+class ModelZooTest : public testing::TestWithParam<ModelId>
+{
+};
+
+TEST_P(ModelZooTest, LayerCountsMatchTableI)
+{
+    const ModelInfo &info = modelInfo(GetParam());
+    auto net = buildModel(GetParam());
+    EXPECT_EQ(static_cast<int>(net->convLayers().size()),
+              info.conv_layers_paper)
+        << info.name;
+    // SqueezeNet's classifier is conv10 (already in the conv count);
+    // Table I nevertheless lists one "FC" layer for it.
+    const int expect_fc = GetParam() == ModelId::SqueezeNet
+        ? 0 : info.fc_layers_paper;
+    EXPECT_EQ(countFc(*net), expect_fc) << info.name;
+}
+
+TEST_P(ModelZooTest, EndsInSoftmaxOverClasses)
+{
+    const ModelScale scale = defaultScale(GetParam());
+    auto net = buildModel(GetParam(), scale);
+    const int last = net->numLayers() - 1;
+    EXPECT_EQ(net->layer(last).kind(), LayerKind::Softmax);
+    // SqueezeNet's logits come from global pooling and keep a
+    // [C, 1, 1] shape; only the element count is architectural.
+    EXPECT_EQ(Tensor::elemCount(net->outputShape(last)),
+              static_cast<size_t>(scale.num_classes));
+}
+
+TEST_P(ModelZooTest, ForwardProducesProbabilities)
+{
+    auto net = buildModel(GetParam());
+    // Tiny random weights so the forward pass stays finite.
+    Rng rng(3);
+    for (int idx : net->convLayers()) {
+        auto &conv = static_cast<Conv2D &>(net->layer(idx));
+        for (size_t i = 0; i < conv.weights().size(); ++i)
+            conv.weights()[i] =
+                static_cast<float>(rng.gaussian(0, 0.05));
+    }
+    for (int i = 0; i < net->numLayers(); ++i) {
+        if (net->layer(i).kind() != LayerKind::FullyConnected)
+            continue;
+        auto &fc = static_cast<FullyConnected &>(net->layer(i));
+        for (size_t j = 0; j < fc.weights().size(); ++j)
+            fc.weights()[j] = static_cast<float>(rng.gaussian(0, 0.05));
+    }
+
+    Tensor in(net->inputShape());
+    for (size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<float>(rng.uniform());
+    const Tensor out = net->forward(in);
+    double sum = 0.0;
+    for (size_t i = 0; i < out.size(); ++i) {
+        EXPECT_TRUE(std::isfinite(out[i]));
+        sum += out[i];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+}
+
+TEST_P(ModelZooTest, EveryConvFeedsReLU)
+{
+    // The exact mode's guarantee relies on every convolution being
+    // followed by a ReLU (Section II-A).
+    auto net = buildModel(GetParam());
+    for (int idx : net->convLayers()) {
+        bool feeds_relu = false;
+        for (int j = idx + 1; j < net->numLayers() && !feeds_relu;
+             ++j) {
+            if (net->layer(j).kind() != LayerKind::ReLU)
+                continue;
+            for (int p : net->producers(j))
+                feeds_relu |= p == idx;
+        }
+        EXPECT_TRUE(feeds_relu)
+            << net->name() << "/" << net->layer(idx).name();
+    }
+}
+
+TEST_P(ModelZooTest, ChannelsAreMultiplesOfEight)
+{
+    auto net = buildModel(GetParam());
+    for (int idx : net->convLayers()) {
+        const auto &conv = static_cast<const Conv2D &>(net->layer(idx));
+        if (conv.name() == "conv10")  // SqueezeNet classifier
+            continue;
+        EXPECT_EQ(conv.spec().out_channels % 8, 0)
+            << conv.name();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ModelZooTest, testing::ValuesIn(kAllModels),
+    [](const testing::TestParamInfo<ModelId> &info) {
+        return modelInfo(info.param).name;
+    });
+
+TEST(ModelZoo, ScaleChannelsRounding)
+{
+    EXPECT_EQ(models::scaleChannels(64, 0.25f), 16);
+    EXPECT_EQ(models::scaleChannels(96, 0.25f), 24);
+    EXPECT_EQ(models::scaleChannels(16, 0.25f), 8);   // floor of 8
+    EXPECT_EQ(models::scaleChannels(100, 1.0f), 104); // multiple of 8
+}
+
+TEST(ModelZoo, ScaleChangesCost)
+{
+    ModelScale small;
+    small.input_size = 48;
+    ModelScale big;
+    big.input_size = 96;
+    auto a = buildModel(ModelId::AlexNet, small);
+    auto b = buildModel(ModelId::AlexNet, big);
+    EXPECT_LT(a->totalConvMacs(), b->totalConvMacs());
+}
+
+TEST(ModelZoo, ModelByNameRoundTrip)
+{
+    for (ModelId id : kAllModels)
+        EXPECT_EQ(modelByName(modelInfo(id).name), id);
+}
+
+TEST(ModelZoo, NegativeFractionTargetsInPaperBand)
+{
+    for (ModelId id : kAllModels) {
+        const double f = modelInfo(id).neg_fraction_target;
+        EXPECT_GE(f, 0.42);
+        EXPECT_LE(f, 0.68);
+    }
+}

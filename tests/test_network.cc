@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for the network graph: wiring, shape inference, prefix
+ * resumption, and the convolution-override hook.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/concat.hh"
+#include "nn/conv.hh"
+#include "nn/network.hh"
+#include "nn/relu.hh"
+#include "util/random.hh"
+
+using namespace snapea;
+
+namespace {
+
+std::unique_ptr<Network>
+makeBranchyNet()
+{
+    auto net = std::make_unique<Network>("t", std::vector<int>{2, 4, 4});
+    net->add(std::make_unique<Conv2D>("a", ConvSpec{2, 4, 3, 1, 1, 1}));
+    net->add(std::make_unique<ReLU>("a_relu"));
+    net->add(std::make_unique<Conv2D>("b1", ConvSpec{4, 4, 1, 1, 0, 1}),
+             {"a_relu"});
+    net->add(std::make_unique<Conv2D>("b2", ConvSpec{4, 4, 3, 1, 1, 1}),
+             {"a_relu"});
+    net->add(std::make_unique<Concat>("cat"), {"b1", "b2"});
+    net->add(std::make_unique<ReLU>("out"));
+    return net;
+}
+
+void
+randomize(Network &net, uint64_t seed)
+{
+    Rng rng(seed);
+    for (int idx : net.convLayers()) {
+        auto &conv = static_cast<Conv2D &>(net.layer(idx));
+        for (size_t i = 0; i < conv.weights().size(); ++i)
+            conv.weights()[i] = static_cast<float>(rng.gaussian(0, 0.2));
+    }
+}
+
+} // namespace
+
+TEST(Network, ShapeInference)
+{
+    auto net = makeBranchyNet();
+    EXPECT_EQ(net->outputShape(net->layerIndex("a")),
+              (std::vector<int>{4, 4, 4}));
+    EXPECT_EQ(net->outputShape(net->layerIndex("cat")),
+              (std::vector<int>{8, 4, 4}));
+}
+
+TEST(Network, DefaultInputIsPreviousLayer)
+{
+    auto net = makeBranchyNet();
+    EXPECT_EQ(net->producers(net->layerIndex("a_relu"))[0],
+              net->layerIndex("a"));
+    EXPECT_EQ(net->producers(0)[0], Network::kInput);
+}
+
+TEST(Network, ConvLayersListed)
+{
+    auto net = makeBranchyNet();
+    EXPECT_EQ(net->convLayers().size(), 3u);
+}
+
+TEST(Network, ForwardAllMatchesForward)
+{
+    auto net = makeBranchyNet();
+    randomize(*net, 1);
+    Tensor in({2, 4, 4});
+    Rng rng(2);
+    for (size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<float>(rng.uniform());
+
+    const Tensor out = net->forward(in);
+    std::vector<Tensor> acts;
+    net->forwardAll(in, acts);
+    ASSERT_EQ(acts.size(), static_cast<size_t>(net->numLayers()));
+    ASSERT_EQ(acts.back().size(), out.size());
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_FLOAT_EQ(acts.back()[i], out[i]);
+}
+
+TEST(Network, PrefixResumeMatchesFullRun)
+{
+    auto net = makeBranchyNet();
+    randomize(*net, 3);
+    Tensor in({2, 4, 4});
+    Rng rng(4);
+    for (size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<float>(rng.uniform());
+
+    std::vector<Tensor> full;
+    net->forwardAll(in, full);
+
+    // Corrupt a suffix, then resume from layer 2; the result must
+    // match the full run.
+    std::vector<Tensor> resumed = full;
+    for (int i = 2; i < net->numLayers(); ++i)
+        resumed[i].fill(-99.0f);
+    net->forwardAll(in, resumed, nullptr, 2);
+    for (int i = 0; i < net->numLayers(); ++i) {
+        ASSERT_EQ(resumed[i].size(), full[i].size());
+        for (size_t j = 0; j < full[i].size(); ++j)
+            EXPECT_FLOAT_EQ(resumed[i][j], full[i][j]);
+    }
+}
+
+namespace {
+
+/** Override that zeroes one conv layer's output. */
+class ZeroOverride : public ConvOverride
+{
+  public:
+    explicit ZeroOverride(int target) : target_(target) {}
+
+    bool
+    runConv(int layer_idx, const Conv2D &, const Tensor &,
+            Tensor &out) override
+    {
+        ++calls_;
+        if (layer_idx != target_)
+            return false;
+        out.fill(0.0f);
+        return true;
+    }
+
+    int calls() const { return calls_; }
+
+  private:
+    int target_;
+    int calls_ = 0;
+};
+
+} // namespace
+
+TEST(Network, ConvOverrideIntercepts)
+{
+    auto net = makeBranchyNet();
+    randomize(*net, 5);
+    Tensor in({2, 4, 4});
+    in.fill(1.0f);
+
+    const int b1 = net->layerIndex("b1");
+    ZeroOverride ov(b1);
+    std::vector<Tensor> acts;
+    net->forwardAll(in, acts, &ov);
+    EXPECT_EQ(ov.calls(), 3);  // offered every conv layer
+    for (size_t i = 0; i < acts[b1].size(); ++i)
+        EXPECT_FLOAT_EQ(acts[b1][i], 0.0f);
+    // The other branch is untouched.
+    const int b2 = net->layerIndex("b2");
+    double sum = 0.0;
+    for (size_t i = 0; i < acts[b2].size(); ++i)
+        sum += std::abs(acts[b2][i]);
+    EXPECT_GT(sum, 0.0);
+}
+
+TEST(Network, TotalConvMacs)
+{
+    auto net = makeBranchyNet();
+    // a: 4 kernels x 18 taps x 16 outputs; b1: 4 x 4 x 16;
+    // b2: 4 x 36 x 16.
+    EXPECT_EQ(net->totalConvMacs(),
+              4u * 18 * 16 + 4u * 4 * 16 + 4u * 36 * 16);
+}
+
+TEST(NetworkDeath, DuplicateNameIsFatal)
+{
+    auto net = std::make_unique<Network>("t", std::vector<int>{1, 2, 2});
+    net->add(std::make_unique<ReLU>("r"));
+    EXPECT_EXIT(net->add(std::make_unique<ReLU>("r")),
+                testing::ExitedWithCode(1), "duplicate layer name");
+}
+
+TEST(NetworkDeath, UnknownLayerNameIsFatal)
+{
+    auto net = std::make_unique<Network>("t", std::vector<int>{1, 2, 2});
+    EXPECT_EXIT(net->layerIndex("nope"), testing::ExitedWithCode(1),
+                "no layer named");
+}
+
+TEST(NetworkDeath, ChannelMismatchIsFatal)
+{
+    auto net = std::make_unique<Network>("t", std::vector<int>{3, 4, 4});
+    EXPECT_EXIT(net->add(std::make_unique<Conv2D>(
+                    "c", ConvSpec{5, 4, 3, 1, 1, 1})),
+                testing::ExitedWithCode(1), "input channels");
+}

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for Algorithm 1 on a small network: candidate structure,
+ * constraint satisfaction, and the epsilon knob's monotonicity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/models/model_zoo.hh"
+#include "snapea/engine.hh"
+#include "snapea/optimizer.hh"
+#include "snapea/reorder.hh"
+#include "util/random.hh"
+#include "workload/dataset.hh"
+#include "workload/evaluator.hh"
+#include "workload/weight_init.hh"
+
+using namespace snapea;
+
+namespace {
+
+/** Small AlexNet + dataset, built once for the whole test binary. */
+struct Context
+{
+    std::unique_ptr<Network> net;
+    Dataset data;
+    std::unique_ptr<SpeculationOptimizer> opt;
+    OptimizerConfig cfg;
+
+    Context()
+    {
+        ModelScale scale;
+        scale.input_size = 48;
+        net = buildModel(ModelId::AlexNet, scale);
+        Rng rng(42);
+        DatasetSpec cspec;
+        cspec.num_classes = 4;
+        cspec.images_per_class = 1;
+        Rng crng = rng.fork(1);
+        Dataset calib = makeDataset(crng, net->inputShape(), cspec);
+        WeightInitSpec wspec;
+        wspec.neg_fraction = 0.55;
+        Rng wrng = rng.fork(2);
+        initializeWeights(*net, wrng, calib.images, wspec);
+
+        DatasetSpec dspec;
+        dspec.num_classes = 20;
+        dspec.images_per_class = 3;
+        Rng drng = rng.fork(3);
+        data = makeDataset(drng, net->inputShape(), dspec);
+        selfLabel(*net, data);
+        filterByMargin(*net, data, 0.5);
+
+        cfg.local_images = 10;
+        opt = std::make_unique<SpeculationOptimizer>(*net, data, cfg);
+    }
+};
+
+Context &
+ctx()
+{
+    static Context c;
+    return c;
+}
+
+} // namespace
+
+TEST(Optimizer, ParamLCoversAllConvLayers)
+{
+    const auto &paramL = ctx().opt->paramL();
+    EXPECT_EQ(paramL.size(), ctx().net->convLayers().size());
+}
+
+TEST(Optimizer, EveryLayerHasExactCandidate)
+{
+    for (const auto &[l, cands] : ctx().opt->paramL()) {
+        bool has_exact = false;
+        for (const auto &c : cands)
+            has_exact |= c.n_groups == 0;
+        EXPECT_TRUE(has_exact) << "layer " << l;
+    }
+}
+
+TEST(Optimizer, CandidatesSortedByOp)
+{
+    for (const auto &[l, cands] : ctx().opt->paramL()) {
+        for (size_t i = 1; i < cands.size(); ++i)
+            EXPECT_LE(cands[i - 1].op, cands[i].op) << "layer " << l;
+    }
+}
+
+TEST(Optimizer, ExactCandidateHasZeroError)
+{
+    for (const auto &[l, cands] : ctx().opt->paramL()) {
+        for (const auto &c : cands) {
+            if (c.n_groups == 0) {
+                EXPECT_DOUBLE_EQ(c.err, 0.0);
+            }
+        }
+    }
+}
+
+TEST(Optimizer, PredictiveCandidatesCheaperThanExact)
+{
+    // Kept predictive candidates should generally cost fewer ops
+    // than the exact configuration of the same layer (that is their
+    // purpose); assert it holds for at least one layer.
+    int cheaper = 0;
+    for (const auto &[l, cands] : ctx().opt->paramL()) {
+        double exact_op = 0.0;
+        for (const auto &c : cands)
+            if (c.n_groups == 0)
+                exact_op = c.op;
+        for (const auto &c : cands)
+            if (c.n_groups > 0 && c.op < exact_op)
+                ++cheaper;
+    }
+    EXPECT_GT(cheaper, 0);
+}
+
+TEST(Optimizer, ConstraintSatisfiedOnOptimizationSet)
+{
+    const double eps = 0.05;
+    OptimizerResult res = ctx().opt->run(eps);
+    EXPECT_LE(res.stats.final_err, eps + 1e-9);
+
+    // Cross-check with an independent accuracy measurement.
+    const NetworkPlan plan = makeNetworkPlan(*ctx().net, res.params);
+    SnapeaEngine engine(*ctx().net, plan);
+    engine.setMode(ExecMode::Fast);
+    const double acc = accuracy(*ctx().net, ctx().data, &engine);
+    EXPECT_GE(acc, 1.0 - eps - 1e-9);
+}
+
+TEST(Optimizer, ParamsCoverEveryKernel)
+{
+    OptimizerResult res = ctx().opt->run(0.05);
+    for (int l : ctx().net->convLayers()) {
+        ASSERT_TRUE(res.params.count(l));
+        const auto &conv =
+            static_cast<const Conv2D &>(ctx().net->layer(l));
+        EXPECT_EQ(static_cast<int>(res.params.at(l).size()),
+                  conv.spec().out_channels);
+    }
+}
+
+TEST(Optimizer, TighterEpsilonNeverCheaper)
+{
+    // The op total of the returned configuration should not decrease
+    // when the accuracy budget is tightened.
+    auto opTotal = [&](const OptimizerResult &res) {
+        // Proxy: count speculating kernels weighted by prefix size
+        // (monotone in aggressiveness).
+        double aggr = 0.0;
+        for (const auto &[l, ps] : res.params)
+            for (const auto &p : ps)
+                if (p.predictive())
+                    aggr += 1.0;
+        return aggr;
+    };
+    const OptimizerResult tight = ctx().opt->run(0.0);
+    const OptimizerResult loose = ctx().opt->run(0.10);
+    EXPECT_LE(opTotal(tight), opTotal(loose));
+}
+
+TEST(Optimizer, ZeroEpsilonMeansNoFlips)
+{
+    OptimizerResult res = ctx().opt->run(0.0);
+    const NetworkPlan plan = makeNetworkPlan(*ctx().net, res.params);
+    SnapeaEngine engine(*ctx().net, plan);
+    engine.setMode(ExecMode::Fast);
+    EXPECT_DOUBLE_EQ(accuracy(*ctx().net, ctx().data, &engine), 1.0);
+}
+
+TEST(Optimizer, StatsArepopulated)
+{
+    OptimizerResult res = ctx().opt->run(0.05);
+    EXPECT_EQ(res.stats.total_conv_layers, 5);
+    EXPECT_GE(res.stats.predictive_layers, 0);
+    EXPECT_LE(res.stats.predictive_layers, 5);
+    EXPECT_GE(res.stats.initial_err, res.stats.final_err - 1e-9);
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/random.hh"
+
+using namespace snapea;
+
+TEST(Random, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.nextU64() == b.nextU64();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Random, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Random, UniformRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Random, UniformIntBounds)
+{
+    Rng rng(9);
+    for (uint64_t n : {1ull, 2ull, 7ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.uniformInt(n), n);
+    }
+}
+
+TEST(Random, UniformIntCoversAlphabet)
+{
+    Rng rng(11);
+    bool seen[5] = {};
+    for (int i = 0; i < 500; ++i)
+        seen[rng.uniformInt(5)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Random, GaussianMoments)
+{
+    Rng rng(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Random, GaussianMeanStddev)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Random, ForkIsDeterministic)
+{
+    Rng parent(21);
+    Rng c1 = parent.fork(3);
+    Rng c2 = Rng(21).fork(3);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(c1.nextU64(), c2.nextU64());
+}
+
+TEST(Random, ForkStreamsIndependent)
+{
+    Rng parent(21);
+    Rng a = parent.fork(1);
+    Rng b = parent.fork(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.nextU64() == b.nextU64();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Random, ForkDoesNotPerturbParent)
+{
+    Rng a(33), b(33);
+    (void)a.fork(5);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Tests for the weight-reordering passes: permutation validity, sign
+ * ordering, descending-magnitude negatives, and the grouped-
+ * magnitude speculation prefix of Section IV-A.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "snapea/reorder.hh"
+#include "util/random.hh"
+
+using namespace snapea;
+
+namespace {
+
+std::unique_ptr<Conv2D>
+randomConv(uint64_t seed, int in_ch = 4, int out_ch = 2, int k = 3)
+{
+    auto conv = std::make_unique<Conv2D>(
+        "c", ConvSpec{in_ch, out_ch, k, 1, 1, 1});
+    Rng rng(seed);
+    for (size_t i = 0; i < conv->weights().size(); ++i)
+        conv->weights()[i] = static_cast<float>(rng.gaussian());
+    return conv;
+}
+
+bool
+isPermutation(const std::vector<int> &order, int n)
+{
+    if (static_cast<int>(order.size()) != n)
+        return false;
+    std::set<int> seen(order.begin(), order.end());
+    return static_cast<int>(seen.size()) == n && *seen.begin() == 0
+        && *seen.rbegin() == n - 1;
+}
+
+} // namespace
+
+class ReorderProperty : public testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(ReorderProperty, ExactPlanIsValidPermutation)
+{
+    auto conv_p = randomConv(GetParam());
+    Conv2D &conv = *conv_p;
+    for (int o = 0; o < conv.spec().out_channels; ++o) {
+        const KernelPlan plan = makeExactPlan(conv, o);
+        EXPECT_TRUE(isPermutation(plan.order, conv.kernelSize()));
+        EXPECT_EQ(plan.prefix_len, 0);
+        EXPECT_FALSE(plan.params.predictive());
+    }
+}
+
+TEST_P(ReorderProperty, ExactPlanSignOrdered)
+{
+    auto conv_p = randomConv(GetParam());
+    Conv2D &conv = *conv_p;
+    for (int o = 0; o < conv.spec().out_channels; ++o) {
+        const KernelPlan plan = makeExactPlan(conv, o);
+        for (int i = 0; i < plan.neg_start; ++i)
+            EXPECT_GE(conv.weightAt(o, plan.order[i]), 0.0f);
+        for (size_t i = plan.neg_start; i < plan.order.size(); ++i)
+            EXPECT_LT(conv.weightAt(o, plan.order[i]), 0.0f);
+    }
+}
+
+TEST_P(ReorderProperty, NegativesDescendInMagnitude)
+{
+    auto conv_p = randomConv(GetParam());
+    Conv2D &conv = *conv_p;
+    for (int o = 0; o < conv.spec().out_channels; ++o) {
+        const KernelPlan plan = makeExactPlan(conv, o);
+        for (size_t i = plan.neg_start + 1; i < plan.order.size();
+             ++i) {
+            EXPECT_LE(conv.weightAt(o, plan.order[i - 1]),
+                      conv.weightAt(o, plan.order[i]));
+        }
+    }
+}
+
+TEST_P(ReorderProperty, PredictivePlanIsValidPermutation)
+{
+    auto conv_p = randomConv(GetParam());
+    Conv2D &conv = *conv_p;
+    SpeculationParams p;
+    p.n_groups = 8;
+    p.th = 0.0f;
+    for (int o = 0; o < conv.spec().out_channels; ++o) {
+        const KernelPlan plan = makePredictivePlan(conv, o, p);
+        EXPECT_TRUE(isPermutation(plan.order, conv.kernelSize()));
+        EXPECT_EQ(plan.prefix_len, 8);
+        EXPECT_GE(plan.neg_start, plan.prefix_len);
+        EXPECT_LE(plan.neg_start,
+                  static_cast<int>(plan.order.size()));
+    }
+}
+
+TEST_P(ReorderProperty, PredictiveRestIsSignOrdered)
+{
+    auto conv_p = randomConv(GetParam());
+    Conv2D &conv = *conv_p;
+    SpeculationParams p;
+    p.n_groups = 6;
+    for (int o = 0; o < conv.spec().out_channels; ++o) {
+        const KernelPlan plan = makePredictivePlan(conv, o, p);
+        for (int i = plan.prefix_len; i < plan.neg_start; ++i)
+            EXPECT_GE(conv.weightAt(o, plan.order[i]), 0.0f);
+        for (size_t i = plan.neg_start; i < plan.order.size(); ++i)
+            EXPECT_LT(conv.weightAt(o, plan.order[i]), 0.0f);
+    }
+}
+
+TEST_P(ReorderProperty, GroupedSelectionTakesMaxOfEachGroup)
+{
+    // Section IV-A: sort ascending by |w|, split into n groups, take
+    // the largest-|w| member of each group.  Verify the prefix is
+    // exactly that set.
+    auto conv_p = randomConv(GetParam());
+    Conv2D &conv = *conv_p;
+    const int n = 5;
+    SpeculationParams p;
+    p.n_groups = n;
+    const int ks = conv.kernelSize();
+    for (int o = 0; o < conv.spec().out_channels; ++o) {
+        std::vector<int> sorted(ks);
+        for (int i = 0; i < ks; ++i)
+            sorted[i] = i;
+        std::stable_sort(sorted.begin(), sorted.end(),
+                         [&](int a, int b) {
+                             return std::fabs(conv.weightAt(o, a))
+                                  < std::fabs(conv.weightAt(o, b));
+                         });
+        std::set<int> expected;
+        for (int g = 0; g < n; ++g)
+            expected.insert(sorted[static_cast<size_t>(ks) * (g + 1) / n - 1]);
+
+        const KernelPlan plan = makePredictivePlan(conv, o, p);
+        const std::set<int> prefix(plan.order.begin(),
+                                   plan.order.begin() + plan.prefix_len);
+        EXPECT_EQ(prefix, expected);
+    }
+}
+
+TEST_P(ReorderProperty, DescendingPlanTakesTopMagnitudes)
+{
+    auto conv_p = randomConv(GetParam());
+    Conv2D &conv = *conv_p;
+    const int n = 4;
+    SpeculationParams p;
+    p.n_groups = n;
+    for (int o = 0; o < conv.spec().out_channels; ++o) {
+        const KernelPlan plan =
+            makeDescendingMagnitudePlan(conv, o, p);
+        EXPECT_TRUE(isPermutation(plan.order, conv.kernelSize()));
+        // Every prefix member's |w| is >= every non-prefix |w|.
+        float min_prefix = 1e30f;
+        for (int i = 0; i < plan.prefix_len; ++i) {
+            min_prefix = std::min(
+                min_prefix,
+                std::fabs(conv.weightAt(o, plan.order[i])));
+        }
+        for (size_t i = plan.prefix_len; i < plan.order.size(); ++i) {
+            EXPECT_LE(std::fabs(conv.weightAt(o, plan.order[i])),
+                      min_prefix + 1e-7f);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReorderProperty,
+                         testing::Values(1, 2, 3, 17, 99, 12345));
+
+TEST(Reorder, AllNegativeKernel)
+{
+    Conv2D conv("c", ConvSpec{1, 1, 2, 1, 0, 1});
+    conv.weights().fill(-1.0f);
+    const KernelPlan plan = makeExactPlan(conv, 0);
+    EXPECT_EQ(plan.neg_start, 0);
+    EXPECT_TRUE(isPermutation(plan.order, 4));
+}
+
+TEST(Reorder, AllPositiveKernel)
+{
+    Conv2D conv("c", ConvSpec{1, 1, 2, 1, 0, 1});
+    conv.weights().fill(1.0f);
+    const KernelPlan plan = makeExactPlan(conv, 0);
+    EXPECT_EQ(plan.neg_start, 4);
+}
+
+TEST(Reorder, PredictiveWithFewerNegativesThanPrefix)
+{
+    // Regression test: neg_start must stay within the kernel even
+    // when the prefix is larger than the negative subset.
+    Conv2D conv("c", ConvSpec{2, 1, 2, 1, 0, 1});
+    conv.weights().fill(1.0f);
+    conv.weights()[0] = -0.5f;  // single negative weight
+    SpeculationParams p;
+    p.n_groups = 4;
+    const KernelPlan plan = makePredictivePlan(conv, 0, p);
+    EXPECT_TRUE(isPermutation(plan.order, 8));
+    EXPECT_LE(plan.neg_start, 8);
+    EXPECT_GE(plan.neg_start, plan.prefix_len);
+}
+
+TEST(Reorder, NetworkPlanCoversAllConvLayers)
+{
+    auto net = std::make_unique<Network>("t", std::vector<int>{2, 6, 6});
+    net->add(std::make_unique<Conv2D>("a", ConvSpec{2, 8, 3, 1, 1, 1}));
+    net->add(std::make_unique<Conv2D>("b", ConvSpec{8, 4, 1, 1, 0, 1}));
+    const NetworkPlan plan = makeExactNetworkPlan(*net);
+    EXPECT_EQ(plan.size(), 2u);
+    EXPECT_EQ(plan.at(0).kernels.size(), 8u);
+    EXPECT_EQ(plan.at(1).kernels.size(), 4u);
+    EXPECT_FALSE(plan.at(0).predictive());
+}
+
+TEST(Reorder, MakeNetworkPlanMixesModes)
+{
+    auto net = std::make_unique<Network>("t", std::vector<int>{2, 6, 6});
+    net->add(std::make_unique<Conv2D>("a", ConvSpec{2, 2, 3, 1, 1, 1}));
+    Rng rng(4);
+    auto &conv = static_cast<Conv2D &>(net->layer(0));
+    for (size_t i = 0; i < conv.weights().size(); ++i)
+        conv.weights()[i] = static_cast<float>(rng.gaussian());
+
+    std::map<int, std::vector<SpeculationParams>> params;
+    params[0].resize(2);
+    params[0][1].n_groups = 4;
+    params[0][1].th = -0.25f;
+    const NetworkPlan plan = makeNetworkPlan(*net, params);
+    EXPECT_FALSE(plan.at(0).kernels[0].params.predictive());
+    EXPECT_TRUE(plan.at(0).kernels[1].params.predictive());
+    EXPECT_TRUE(plan.at(0).predictive());
+    EXPECT_FLOAT_EQ(plan.at(0).kernels[1].params.th, -0.25f);
+}

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for the cycle-level simulators: conservation laws, monotone
+ * behavior in op counts, DRAM accounting, configuration variants,
+ * and the EYERISS utilization model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/eyeriss.hh"
+#include "sim/snapea_accel.hh"
+#include "util/random.hh"
+
+using namespace snapea;
+
+namespace {
+
+/** A synthetic conv-layer trace with controllable op counts. */
+ConvLayerTrace
+makeTrace(int c_out, int oh, int ow, int ks, uint16_t ops_value)
+{
+    ConvLayerTrace lt;
+    lt.name = "L";
+    lt.out_channels = c_out;
+    lt.out_h = oh;
+    lt.out_w = ow;
+    lt.kernel_size = ks;
+    lt.kernel_w = 3;
+    lt.stride = 1;
+    lt.in_channels = ks / 9;
+    lt.in_h = oh + 2;
+    lt.in_w = ow + 2;
+    lt.ops.assign(static_cast<size_t>(c_out) * oh * ow, ops_value);
+    lt.macs_full = static_cast<uint64_t>(c_out) * oh * ow * ks;
+    lt.macs_performed = static_cast<uint64_t>(c_out) * oh * ow
+        * ops_value;
+    return lt;
+}
+
+ImageTrace
+wrap(ConvLayerTrace lt)
+{
+    ImageTrace t;
+    t.conv_layers.push_back(std::move(lt));
+    return t;
+}
+
+} // namespace
+
+TEST(SnapeaSim, FullOpsMatchIdealThroughputBound)
+{
+    SnapeaConfig cfg;
+    SnapeaAccelSim sim(cfg);
+    // Uniform full-cost windows: compute can't beat macs/256.
+    const ConvLayerTrace lt = makeTrace(32, 16, 16, 144, 144);
+    const SimResult r = sim.simulate(wrap(lt), {}, 0);
+    const double ideal =
+        static_cast<double>(lt.macs_performed) / cfg.totalMacs();
+    EXPECT_GE(r.layers[0].compute_cycles, ideal);
+    // ...and overheads stay bounded (< 40% above ideal here).
+    EXPECT_LT(r.layers[0].compute_cycles, ideal * 1.4);
+}
+
+TEST(SnapeaSim, FewerOpsFewerCycles)
+{
+    SnapeaAccelSim sim;
+    const SimResult full =
+        sim.simulate(wrap(makeTrace(32, 16, 16, 144, 144)), {}, 0);
+    const SimResult cut =
+        sim.simulate(wrap(makeTrace(32, 16, 16, 144, 36)), {}, 0);
+    EXPECT_LT(cut.layers[0].compute_cycles,
+              full.layers[0].compute_cycles);
+    EXPECT_LT(cut.energy.mac_pj, full.energy.mac_pj);
+}
+
+TEST(SnapeaSim, MacsConserved)
+{
+    SnapeaAccelSim sim;
+    const ConvLayerTrace lt = makeTrace(16, 8, 8, 72, 40);
+    const SimResult r = sim.simulate(wrap(lt), {}, 0);
+    EXPECT_EQ(r.layers[0].macs, lt.macs_performed);
+}
+
+TEST(SnapeaSim, LaneUtilizationBounded)
+{
+    SnapeaAccelSim sim;
+    Rng rng(3);
+    ConvLayerTrace lt = makeTrace(16, 8, 8, 72, 0);
+    for (auto &o : lt.ops)
+        o = static_cast<uint16_t>(1 + rng.uniformInt(72));
+    lt.macs_performed = 0;
+    for (auto o : lt.ops)
+        lt.macs_performed += o;
+    const SimResult r = sim.simulate(wrap(lt), {}, 0);
+    EXPECT_GT(r.layers[0].lane_utilization, 0.0);
+    EXPECT_LE(r.layers[0].lane_utilization, 1.0);
+}
+
+TEST(SnapeaSim, DramIncludesWeightsAndIndices)
+{
+    SnapeaConfig cfg;
+    cfg.weight_reuse = 1.0;
+    SnapeaAccelSim sim(cfg);
+    const ConvLayerTrace lt = makeTrace(16, 8, 8, 72, 36);
+    const SimResult r = sim.simulate(wrap(lt), {}, 0);
+    const uint64_t weights = 16ull * 72 * 2;  // values * 2 bytes
+    // Weights + index stream, plus the first layer's input fetch.
+    EXPECT_GE(r.layers[0].dram_bytes, weights * 2);
+}
+
+TEST(SnapeaSim, WeightReuseShrinksDram)
+{
+    SnapeaConfig a, b;
+    a.weight_reuse = 1.0;
+    b.weight_reuse = 8.0;
+    const ConvLayerTrace lt = makeTrace(64, 4, 4, 288, 288);
+    const SimResult ra = SnapeaAccelSim(a).simulate(wrap(lt), {}, 0);
+    const SimResult rb = SnapeaAccelSim(b).simulate(wrap(lt), {}, 0);
+    EXPECT_GT(ra.layers[0].dram_bytes, rb.layers[0].dram_bytes);
+}
+
+TEST(SnapeaSim, FcIsComputeOrDramBound)
+{
+    SnapeaConfig cfg;
+    SnapeaAccelSim sim(cfg);
+    ImageTrace empty;
+    const FcWork fc{"fc", 1 << 20, 2 << 20};
+    const SimResult r = sim.simulate(empty, {fc}, 0);
+    ASSERT_EQ(r.layers.size(), 1u);
+    EXPECT_EQ(r.layers[0].cycles,
+              std::max(r.layers[0].compute_cycles,
+                       r.layers[0].dram_cycles));
+    // FC batch amortization reduces the DRAM bytes.
+    EXPECT_EQ(r.layers[0].dram_bytes,
+              (2ull << 20) / cfg.fc_batch);
+}
+
+TEST(SnapeaSim, WithLanesKeepsPeakThroughput)
+{
+    SnapeaConfig cfg;
+    for (int lanes : {2, 4, 8, 16}) {
+        const SnapeaConfig v = cfg.withLanes(lanes);
+        EXPECT_EQ(v.totalMacs(), cfg.totalMacs());
+        EXPECT_EQ(v.lanes_per_pe, lanes);
+    }
+}
+
+TEST(SnapeaSim, TotalsAreLayerSums)
+{
+    SnapeaAccelSim sim;
+    ImageTrace t;
+    t.conv_layers.push_back(makeTrace(16, 8, 8, 72, 40));
+    t.conv_layers.push_back(makeTrace(8, 4, 4, 144, 100));
+    const SimResult r = sim.simulate(t, {}, 0);
+    uint64_t cycles = 0;
+    for (const auto &l : r.layers)
+        cycles += l.cycles;
+    EXPECT_EQ(r.total_cycles, cycles);
+}
+
+TEST(SimResultTest, AccumulateAcrossImages)
+{
+    SnapeaAccelSim sim;
+    const ImageTrace t = wrap(makeTrace(16, 8, 8, 72, 40));
+    SimResult acc;
+    acc += sim.simulate(t, {}, 0);
+    acc += sim.simulate(t, {}, 0);
+    const SimResult one = sim.simulate(t, {}, 0);
+    EXPECT_EQ(acc.total_cycles, 2 * one.total_cycles);
+    EXPECT_DOUBLE_EQ(acc.energy.total(), 2 * one.energy.total());
+    EXPECT_EQ(acc.layers[0].macs, 2 * one.layers[0].macs);
+}
+
+TEST(EyerissSim, ExecutesAllMacs)
+{
+    EyerissSim sim;
+    const ConvLayerTrace lt = makeTrace(16, 8, 8, 72, 1);  // ops ignored
+    const SimResult r = sim.simulate(wrap(lt), {}, 0);
+    EXPECT_EQ(r.layers[0].macs, lt.macs_full);
+}
+
+TEST(EyerissSim, UtilizationInUnitInterval)
+{
+    EyerissSim sim;
+    for (int kw : {1, 3, 5, 7, 11}) {
+        for (int oh : {2, 7, 16, 40}) {
+            ConvLayerTrace lt = makeTrace(8, oh, oh, kw * kw, 1);
+            lt.kernel_w = kw;
+            const double u = sim.utilization(lt);
+            EXPECT_GT(u, 0.0) << kw << "x" << oh;
+            EXPECT_LE(u, 1.0) << kw << "x" << oh;
+        }
+    }
+}
+
+TEST(EyerissSim, PointwiseMapsWorseThan3x3)
+{
+    EyerissSim sim;
+    ConvLayerTrace p = makeTrace(8, 16, 16, 16, 1);
+    p.kernel_w = 1;
+    ConvLayerTrace s = makeTrace(8, 16, 16, 144, 1);
+    s.kernel_w = 3;
+    EXPECT_LT(sim.utilization(p), sim.utilization(s));
+}
+
+TEST(EyerissSim, MoreMacsMoreCycles)
+{
+    EyerissSim sim;
+    const SimResult a =
+        sim.simulate(wrap(makeTrace(16, 8, 8, 72, 1)), {}, 0);
+    const SimResult b =
+        sim.simulate(wrap(makeTrace(32, 8, 8, 72, 1)), {}, 0);
+    EXPECT_LT(a.layers[0].compute_cycles, b.layers[0].compute_cycles);
+}
+
+TEST(EyerissSim, NoIndexStreamInDram)
+{
+    // At equal geometry SnaPEA pays the index stream, EYERISS does
+    // not: SnaPEA's weight-related DRAM traffic is twice as large.
+    SnapeaConfig sc;
+    EyerissConfig ec;
+    const ConvLayerTrace lt = makeTrace(16, 8, 8, 72, 36);
+    const SimResult s =
+        SnapeaAccelSim(sc).simulate(wrap(lt), {}, 0);
+    const SimResult e = EyerissSim(ec).simulate(wrap(lt), {}, 0);
+    const uint64_t in_bytes =
+        static_cast<uint64_t>(lt.in_channels) * lt.in_h * lt.in_w * 2;
+    EXPECT_EQ(s.layers[0].dram_bytes - in_bytes,
+              2 * (e.layers[0].dram_bytes - in_bytes));
+}
+
+TEST(EyerissSim, SpillsWhenActivationsExceedBuffer)
+{
+    EyerissConfig cfg;
+    cfg.global_buffer_bytes = 1024;  // force a spill
+    EyerissSim small(cfg);
+    EyerissSim big;
+    const ConvLayerTrace lt = makeTrace(16, 8, 8, 72, 1);
+    ImageTrace two;
+    two.conv_layers.push_back(lt);
+    two.conv_layers.push_back(lt);  // second layer: input not from DRAM
+    const SimResult rs = small.simulate(two, {}, 0);
+    const SimResult rb = big.simulate(two, {}, 0);
+    EXPECT_GT(rs.layers[1].dram_bytes, rb.layers[1].dram_bytes);
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hh"
+
+using namespace snapea;
+
+TEST(Stats, MeanBasics)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({4.0}), 4.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, GeomeanBasics)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(Stats, GeomeanBetweenMinAndMax)
+{
+    const std::vector<double> xs{0.5, 1.3, 2.7, 4.1};
+    const double g = geomean(xs);
+    EXPECT_GT(g, 0.5);
+    EXPECT_LT(g, 4.1);
+    EXPECT_LT(g, mean(xs));  // AM-GM
+}
+
+TEST(Stats, QuantileEndpoints)
+{
+    const std::vector<double> xs{3.0, 1.0, 2.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 3.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.0);
+}
+
+TEST(Stats, QuantileInterpolates)
+{
+    const std::vector<double> xs{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 7.5);
+}
+
+TEST(Stats, QuantileSingleElement)
+{
+    EXPECT_DOUBLE_EQ(quantile({5.0}, 0.3), 5.0);
+}
+
+TEST(Stats, StddevBasics)
+{
+    EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+    EXPECT_NEAR(stddev({2.0, 4.0}), 1.0, 1e-12);
+}
+
+TEST(Stats, RunningStatMatchesBatch)
+{
+    RunningStat rs;
+    const std::vector<double> xs{1.0, -2.0, 3.5, 0.25, 9.0};
+    for (double x : xs)
+        rs.add(x);
+    EXPECT_EQ(rs.count(), xs.size());
+    EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+    EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-9);
+    EXPECT_DOUBLE_EQ(rs.min(), -2.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(Stats, RunningStatEmpty)
+{
+    RunningStat rs;
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+}

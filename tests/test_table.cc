@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Tests for the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/table.hh"
+
+using namespace snapea;
+
+TEST(Table, RenderContainsCells)
+{
+    Table t({"A", "Bee"});
+    t.addRow({"one", "two"});
+    t.addRow({"three", "4"});
+    const std::string s = t.render();
+    EXPECT_NE(s.find("A"), std::string::npos);
+    EXPECT_NE(s.find("three"), std::string::npos);
+    EXPECT_NE(s.find("two"), std::string::npos);
+}
+
+TEST(Table, RowsAlign)
+{
+    Table t({"x", "y"});
+    t.addRow({"long-cell-value", "1"});
+    const std::string s = t.render();
+    // Every line has the same length.
+    size_t prev = std::string::npos;
+    size_t start = 0;
+    while (start < s.size()) {
+        const size_t end = s.find('\n', start);
+        const size_t len = end - start;
+        if (prev != std::string::npos) {
+            EXPECT_EQ(len, prev);
+        }
+        prev = len;
+        start = end + 1;
+    }
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(Table::num(1.234, 2), "1.23");
+    EXPECT_EQ(Table::num(1.0, 0), "1");
+}
+
+TEST(Table, RatioFormatting)
+{
+    EXPECT_EQ(Table::ratio(1.3), "1.30x");
+    EXPECT_EQ(Table::ratio(2.0, 1), "2.0x");
+}
+
+TEST(Table, PercentFormatting)
+{
+    EXPECT_EQ(Table::percent(0.28), "28.0%");
+    EXPECT_EQ(Table::percent(1.0, 0), "100%");
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for the Tensor container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/tensor.hh"
+
+using namespace snapea;
+
+TEST(Tensor, EmptyDefault)
+{
+    Tensor t;
+    EXPECT_EQ(t.rank(), 0);
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor t({2, 3, 4});
+    EXPECT_EQ(t.size(), 24u);
+    for (size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, ThreeDIndexing)
+{
+    Tensor t({2, 3, 4});
+    t.at(1, 2, 3) = 7.0f;
+    EXPECT_EQ(t[1 * 12 + 2 * 4 + 3], 7.0f);
+    EXPECT_EQ(t.at(1, 2, 3), 7.0f);
+    EXPECT_EQ(t.index(0, 1, 2), 6u);
+}
+
+TEST(Tensor, FourDIndexing)
+{
+    Tensor t({2, 3, 2, 2});
+    t.at(1, 2, 1, 0) = 5.0f;
+    EXPECT_EQ(t[1 * 12 + 2 * 4 + 1 * 2 + 0], 5.0f);
+}
+
+TEST(Tensor, FillAndSum)
+{
+    Tensor t({4, 2, 2});
+    t.fill(0.5f);
+    EXPECT_DOUBLE_EQ(t.sum(), 8.0);
+}
+
+TEST(Tensor, Argmax)
+{
+    Tensor t({5});
+    t[3] = 2.0f;
+    t[1] = 1.0f;
+    EXPECT_EQ(t.argmax(), 3u);
+}
+
+TEST(Tensor, ArgmaxFirstOnTies)
+{
+    Tensor t({4});
+    t[1] = 3.0f;
+    t[2] = 3.0f;
+    EXPECT_EQ(t.argmax(), 1u);
+}
+
+TEST(Tensor, ElemCount)
+{
+    EXPECT_EQ(Tensor::elemCount({}), 0u);
+    EXPECT_EQ(Tensor::elemCount({7}), 7u);
+    EXPECT_EQ(Tensor::elemCount({2, 3, 5}), 30u);
+}
+
+TEST(Tensor, ShapeString)
+{
+    Tensor t({3, 64, 64});
+    EXPECT_EQ(t.shapeString(), "[3, 64, 64]");
+}

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the synthetic workload: dataset generation, self-
+ * labeling, margin filtering, and calibrated weight initialization.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/models/model_zoo.hh"
+#include "util/random.hh"
+#include "workload/dataset.hh"
+#include "workload/evaluator.hh"
+#include "workload/weight_init.hh"
+
+using namespace snapea;
+
+namespace {
+
+/** Small AlexNet-shaped experiment context shared by tests. */
+struct SmallNet
+{
+    std::unique_ptr<Network> net;
+    Dataset calib;
+
+    SmallNet()
+    {
+        ModelScale scale;
+        scale.input_size = 48;
+        net = buildModel(ModelId::AlexNet, scale);
+        Rng rng(42);
+        DatasetSpec spec;
+        spec.num_classes = 4;
+        spec.images_per_class = 1;
+        Rng crng = rng.fork(1);
+        calib = makeDataset(crng, net->inputShape(), spec);
+        WeightInitSpec wspec;
+        wspec.neg_fraction = 0.55;
+        Rng wrng = rng.fork(2);
+        initializeWeights(*net, wrng, calib.images, wspec);
+    }
+};
+
+SmallNet &
+smallNet()
+{
+    static SmallNet s;
+    return s;
+}
+
+} // namespace
+
+TEST(Dataset, Deterministic)
+{
+    Rng a(5), b(5);
+    DatasetSpec spec;
+    const auto d1 = makeDataset(a, {3, 16, 16}, spec);
+    const auto d2 = makeDataset(b, {3, 16, 16}, spec);
+    ASSERT_EQ(d1.images.size(), d2.images.size());
+    for (size_t i = 0; i < d1.images.size(); ++i)
+        for (size_t j = 0; j < d1.images[i].size(); ++j)
+            EXPECT_EQ(d1.images[i][j], d2.images[i][j]);
+}
+
+TEST(Dataset, ImagesNonNegativeAndBounded)
+{
+    Rng rng(6);
+    DatasetSpec spec;
+    spec.noise = 0.5f;  // force the clamp to matter
+    const auto d = makeDataset(rng, {3, 12, 12}, spec);
+    for (const auto &img : d.images) {
+        for (size_t i = 0; i < img.size(); ++i) {
+            EXPECT_GE(img[i], 0.0f);
+            EXPECT_LE(img[i], 1.0f);
+        }
+    }
+}
+
+TEST(Dataset, SizeMatchesSpec)
+{
+    Rng rng(7);
+    DatasetSpec spec;
+    spec.num_classes = 5;
+    spec.images_per_class = 3;
+    const auto d = makeDataset(rng, {3, 8, 8}, spec);
+    EXPECT_EQ(d.images.size(), 15u);
+    EXPECT_EQ(d.num_classes, 5);
+}
+
+TEST(Dataset, SameClassImagesCorrelate)
+{
+    Rng rng(8);
+    DatasetSpec spec;
+    spec.num_classes = 2;
+    spec.images_per_class = 2;
+    const auto d = makeDataset(rng, {3, 16, 16}, spec);
+    auto dist = [&](const Tensor &a, const Tensor &b) {
+        double acc = 0.0;
+        for (size_t i = 0; i < a.size(); ++i)
+            acc += (a[i] - b[i]) * (a[i] - b[i]);
+        return acc;
+    };
+    // Within-class distance below cross-class distance.
+    EXPECT_LT(dist(d.images[0], d.images[1]),
+              dist(d.images[0], d.images[2]));
+}
+
+TEST(Workload, SelfLabelGivesPerfectAccuracy)
+{
+    SmallNet &s = smallNet();
+    Rng rng(9);
+    DatasetSpec spec;
+    spec.num_classes = 6;
+    spec.images_per_class = 2;
+    Dataset d = makeDataset(rng, s.net->inputShape(), spec);
+    selfLabel(*s.net, d);
+    EXPECT_DOUBLE_EQ(accuracy(*s.net, d), 1.0);
+}
+
+TEST(Workload, FilterByMarginKeepsRequestedCount)
+{
+    SmallNet &s = smallNet();
+    Rng rng(10);
+    DatasetSpec spec;
+    spec.num_classes = 8;
+    spec.images_per_class = 2;
+    Dataset d = makeDataset(rng, s.net->inputShape(), spec);
+    selfLabel(*s.net, d);
+    const size_t kept = filterByMargin(*s.net, d, 0.5);
+    EXPECT_EQ(kept, 8u);
+    EXPECT_EQ(d.images.size(), 8u);
+    EXPECT_EQ(d.labels.size(), 8u);
+    // Still perfectly self-labeled after the filter.
+    EXPECT_DOUBLE_EQ(accuracy(*s.net, d), 1.0);
+}
+
+TEST(Workload, NegativeFractionNearTarget)
+{
+    SmallNet &s = smallNet();
+    const NegativeStats ns =
+        measureNegativeFraction(*s.net, s.calib.images);
+    EXPECT_NEAR(ns.overall_fraction, 0.55, 0.06);
+}
+
+TEST(Workload, NegativeFractionVariesAcrossChannels)
+{
+    // The per-channel jitter must produce heterogeneous layers (this
+    // drives the per-layer speedup spread of Fig. 10).
+    SmallNet &s = smallNet();
+    const NegativeStats ns =
+        measureNegativeFraction(*s.net, s.calib.images);
+    double lo = 1.0, hi = 0.0;
+    for (double f : ns.layer_fraction) {
+        lo = std::min(lo, f);
+        hi = std::max(hi, f);
+    }
+    EXPECT_GT(hi - lo, 0.01);
+}
+
+TEST(Workload, ActivationsStayFinite)
+{
+    SmallNet &s = smallNet();
+    std::vector<Tensor> acts;
+    s.net->forwardAll(s.calib.images[0], acts);
+    for (const auto &a : acts)
+        for (size_t i = 0; i < a.size(); ++i)
+            ASSERT_TRUE(std::isfinite(a[i]));
+}
+
+TEST(Workload, CalibrationNormalizesScale)
+{
+    // Unit-variance calibration: conv outputs should have O(1)
+    // magnitudes even deep in the network (no blow-up / vanishing).
+    SmallNet &s = smallNet();
+    std::vector<Tensor> acts;
+    s.net->forwardAll(s.calib.images[0], acts);
+    for (int idx : s.net->convLayers()) {
+        double sq = 0.0;
+        const Tensor &a = acts[idx];
+        for (size_t i = 0; i < a.size(); ++i)
+            sq += static_cast<double>(a[i]) * a[i];
+        const double rms = std::sqrt(sq / a.size());
+        EXPECT_GT(rms, 0.05) << s.net->layer(idx).name();
+        EXPECT_LT(rms, 20.0) << s.net->layer(idx).name();
+    }
+}
+
+TEST(Workload, ZeroPatternDisagreementPositive)
+{
+    SmallNet &s = smallNet();
+    const double d = zeroPatternDisagreement(
+        *s.net, s.calib.images, s.net->convLayers()[2]);
+    EXPECT_GT(d, 0.0);
+    EXPECT_LT(d, 1.0);
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Command-line front end for the SnaPEA library.
+ *
+ * Subcommands:
+ *   info  <model>                    topology summary
+ *   exact <model>                    exact-mode measurement
+ *   predictive <model> <epsilon>     Algorithm 1 + measurement
+ *   sweep <model>                    epsilon sweep (0/1/2/3%)
+ *   save-weights <model> <path>      calibrate and snapshot weights
+ *
+ * Options:
+ *   --input <px>     override the input resolution
+ *   --seed <n>       experiment seed
+ *   --no-cache       disable the on-disk result cache
+ *
+ * Exit status: 0 on success, 1 on usage or configuration errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/result_cache.hh"
+#include "nn/dense.hh"
+#include "nn/serialize.hh"
+#include "util/table.hh"
+
+using namespace snapea;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: snapea_cli [options] <command> ...\n"
+                 "  info <model>\n"
+                 "  exact <model>\n"
+                 "  predictive <model> <epsilon>\n"
+                 "  sweep <model>\n"
+                 "  save-weights <model> <path>\n"
+                 "models: AlexNet GoogLeNet SqueezeNet VGGNet\n"
+                 "options: --input <px>  --seed <n>  --no-cache\n");
+    std::exit(1);
+}
+
+void
+printMode(const char *label, const ModeResult &r)
+{
+    std::printf("%-18s speedup %.2fx  energy %.2fx  MAC ratio %.3f  "
+                "accuracy %.1f%%\n", label, r.speedup(),
+                r.energyReduction(), r.mac_ratio, r.accuracy * 100.0);
+}
+
+void
+cmdInfo(ModelId id, const HarnessConfig &cfg)
+{
+    ModelScale scale = defaultScale(id);
+    if (cfg.input_size_override > 0)
+        scale.input_size = cfg.input_size_override;
+    auto net = buildModel(id, scale);
+    const ModelInfo &info = modelInfo(id);
+    std::printf("%s (%d)\n", info.name, info.year);
+    std::printf("  conv layers: %zu   (paper: %d)\n",
+                net->convLayers().size(), info.conv_layers_paper);
+    std::printf("  input: %s   weights: %.1fK   conv MACs: %.2fM\n",
+                Tensor(net->inputShape()).shapeString().c_str(),
+                net->totalWeights() / 1e3,
+                net->totalConvMacs() / 1e6);
+    Table t({"Layer", "Kind", "Output"});
+    for (int i = 0; i < net->numLayers(); ++i) {
+        t.addRow({net->layer(i).name(),
+                  layerKindName(net->layer(i).kind()),
+                  Tensor(net->outputShape(i)).shapeString()});
+    }
+    t.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    HarnessConfig cfg = benchHarnessConfig();
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--input") && i + 1 < argc) {
+            cfg.input_size_override = std::atoi(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+            cfg.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--no-cache")) {
+            cfg.cache_dir = "";
+        } else {
+            args.emplace_back(argv[i]);
+        }
+    }
+    if (args.size() < 2)
+        usage();
+
+    const std::string &cmd = args[0];
+    const ModelId id = modelByName(args[1]);
+
+    if (cmd == "info") {
+        cmdInfo(id, cfg);
+        return 0;
+    }
+
+    Experiment exp(id, cfg);
+    if (cmd == "exact") {
+        printMode("exact:", exp.runExact());
+    } else if (cmd == "predictive") {
+        if (args.size() < 3)
+            usage();
+        const double eps = std::atof(args[2].c_str());
+        char label[32];
+        std::snprintf(label, sizeof(label), "eps=%.3f:", eps);
+        printMode(label, exp.runPredictive(eps));
+    } else if (cmd == "sweep") {
+        printMode("exact (0%):", exp.runExact());
+        for (double eps : {0.01, 0.02, 0.03}) {
+            char label[32];
+            std::snprintf(label, sizeof(label), "eps=%.0f%%:",
+                          eps * 100);
+            printMode(label, exp.runPredictive(eps));
+        }
+    } else if (cmd == "save-weights") {
+        if (args.size() < 3)
+            usage();
+        saveWeights(exp.net(), args[2]);
+        std::printf("wrote calibrated weights to %s\n",
+                    args[2].c_str());
+    } else {
+        usage();
+    }
+    return 0;
+}
