@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_negorder.dir/bench_ablation_negorder.cc.o"
+  "CMakeFiles/bench_ablation_negorder.dir/bench_ablation_negorder.cc.o.d"
+  "bench_ablation_negorder"
+  "bench_ablation_negorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_negorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

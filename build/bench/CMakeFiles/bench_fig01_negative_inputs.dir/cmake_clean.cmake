@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_negative_inputs.dir/bench_fig01_negative_inputs.cc.o"
+  "CMakeFiles/bench_fig01_negative_inputs.dir/bench_fig01_negative_inputs.cc.o.d"
+  "bench_fig01_negative_inputs"
+  "bench_fig01_negative_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_negative_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

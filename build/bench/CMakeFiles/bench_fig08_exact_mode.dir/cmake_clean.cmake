@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_exact_mode.dir/bench_fig08_exact_mode.cc.o"
+  "CMakeFiles/bench_fig08_exact_mode.dir/bench_fig08_exact_mode.cc.o.d"
+  "bench_fig08_exact_mode"
+  "bench_fig08_exact_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_exact_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

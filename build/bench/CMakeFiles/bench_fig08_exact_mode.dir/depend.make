@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_exact_mode.
+# This may be replaced when dependencies are built.

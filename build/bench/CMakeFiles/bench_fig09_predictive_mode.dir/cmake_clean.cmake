@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_predictive_mode.dir/bench_fig09_predictive_mode.cc.o"
+  "CMakeFiles/bench_fig09_predictive_mode.dir/bench_fig09_predictive_mode.cc.o.d"
+  "bench_fig09_predictive_mode"
+  "bench_fig09_predictive_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_predictive_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

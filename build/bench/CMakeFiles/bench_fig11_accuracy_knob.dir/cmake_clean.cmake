@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_accuracy_knob.dir/bench_fig11_accuracy_knob.cc.o"
+  "CMakeFiles/bench_fig11_accuracy_knob.dir/bench_fig11_accuracy_knob.cc.o.d"
+  "bench_fig11_accuracy_knob"
+  "bench_fig11_accuracy_knob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_accuracy_knob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_comparison.dir/accelerator_comparison.cpp.o"
+  "CMakeFiles/accelerator_comparison.dir/accelerator_comparison.cpp.o.d"
+  "accelerator_comparison"
+  "accelerator_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapea_harness.dir/experiment.cc.o"
+  "CMakeFiles/snapea_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/snapea_harness.dir/result_cache.cc.o"
+  "CMakeFiles/snapea_harness.dir/result_cache.cc.o.d"
+  "libsnapea_harness.a"
+  "libsnapea_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapea_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

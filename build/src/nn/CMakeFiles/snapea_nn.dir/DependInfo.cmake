@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/concat.cc" "src/nn/CMakeFiles/snapea_nn.dir/concat.cc.o" "gcc" "src/nn/CMakeFiles/snapea_nn.dir/concat.cc.o.d"
+  "/root/repo/src/nn/conv.cc" "src/nn/CMakeFiles/snapea_nn.dir/conv.cc.o" "gcc" "src/nn/CMakeFiles/snapea_nn.dir/conv.cc.o.d"
+  "/root/repo/src/nn/dense.cc" "src/nn/CMakeFiles/snapea_nn.dir/dense.cc.o" "gcc" "src/nn/CMakeFiles/snapea_nn.dir/dense.cc.o.d"
+  "/root/repo/src/nn/layer.cc" "src/nn/CMakeFiles/snapea_nn.dir/layer.cc.o" "gcc" "src/nn/CMakeFiles/snapea_nn.dir/layer.cc.o.d"
+  "/root/repo/src/nn/lrn.cc" "src/nn/CMakeFiles/snapea_nn.dir/lrn.cc.o" "gcc" "src/nn/CMakeFiles/snapea_nn.dir/lrn.cc.o.d"
+  "/root/repo/src/nn/models/alexnet.cc" "src/nn/CMakeFiles/snapea_nn.dir/models/alexnet.cc.o" "gcc" "src/nn/CMakeFiles/snapea_nn.dir/models/alexnet.cc.o.d"
+  "/root/repo/src/nn/models/googlenet.cc" "src/nn/CMakeFiles/snapea_nn.dir/models/googlenet.cc.o" "gcc" "src/nn/CMakeFiles/snapea_nn.dir/models/googlenet.cc.o.d"
+  "/root/repo/src/nn/models/model_zoo.cc" "src/nn/CMakeFiles/snapea_nn.dir/models/model_zoo.cc.o" "gcc" "src/nn/CMakeFiles/snapea_nn.dir/models/model_zoo.cc.o.d"
+  "/root/repo/src/nn/models/squeezenet.cc" "src/nn/CMakeFiles/snapea_nn.dir/models/squeezenet.cc.o" "gcc" "src/nn/CMakeFiles/snapea_nn.dir/models/squeezenet.cc.o.d"
+  "/root/repo/src/nn/models/vggnet.cc" "src/nn/CMakeFiles/snapea_nn.dir/models/vggnet.cc.o" "gcc" "src/nn/CMakeFiles/snapea_nn.dir/models/vggnet.cc.o.d"
+  "/root/repo/src/nn/network.cc" "src/nn/CMakeFiles/snapea_nn.dir/network.cc.o" "gcc" "src/nn/CMakeFiles/snapea_nn.dir/network.cc.o.d"
+  "/root/repo/src/nn/pooling.cc" "src/nn/CMakeFiles/snapea_nn.dir/pooling.cc.o" "gcc" "src/nn/CMakeFiles/snapea_nn.dir/pooling.cc.o.d"
+  "/root/repo/src/nn/relu.cc" "src/nn/CMakeFiles/snapea_nn.dir/relu.cc.o" "gcc" "src/nn/CMakeFiles/snapea_nn.dir/relu.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/snapea_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/snapea_nn.dir/serialize.cc.o.d"
+  "/root/repo/src/nn/softmax.cc" "src/nn/CMakeFiles/snapea_nn.dir/softmax.cc.o" "gcc" "src/nn/CMakeFiles/snapea_nn.dir/softmax.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/nn/CMakeFiles/snapea_nn.dir/tensor.cc.o" "gcc" "src/nn/CMakeFiles/snapea_nn.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/snapea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

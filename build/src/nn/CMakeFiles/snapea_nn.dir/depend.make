@@ -1,0 +1,2 @@
+# Empty dependencies file for snapea_nn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/area.cc" "src/sim/CMakeFiles/snapea_sim.dir/area.cc.o" "gcc" "src/sim/CMakeFiles/snapea_sim.dir/area.cc.o.d"
+  "/root/repo/src/sim/detailed_sim.cc" "src/sim/CMakeFiles/snapea_sim.dir/detailed_sim.cc.o" "gcc" "src/sim/CMakeFiles/snapea_sim.dir/detailed_sim.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/snapea_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/snapea_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/eyeriss.cc" "src/sim/CMakeFiles/snapea_sim.dir/eyeriss.cc.o" "gcc" "src/sim/CMakeFiles/snapea_sim.dir/eyeriss.cc.o.d"
+  "/root/repo/src/sim/result.cc" "src/sim/CMakeFiles/snapea_sim.dir/result.cc.o" "gcc" "src/sim/CMakeFiles/snapea_sim.dir/result.cc.o.d"
+  "/root/repo/src/sim/snapea_accel.cc" "src/sim/CMakeFiles/snapea_sim.dir/snapea_accel.cc.o" "gcc" "src/sim/CMakeFiles/snapea_sim.dir/snapea_accel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/snapea/CMakeFiles/snapea_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/snapea_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/snapea_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snapea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

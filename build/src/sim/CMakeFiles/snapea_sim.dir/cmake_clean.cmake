@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapea_sim.dir/area.cc.o"
+  "CMakeFiles/snapea_sim.dir/area.cc.o.d"
+  "CMakeFiles/snapea_sim.dir/detailed_sim.cc.o"
+  "CMakeFiles/snapea_sim.dir/detailed_sim.cc.o.d"
+  "CMakeFiles/snapea_sim.dir/event_queue.cc.o"
+  "CMakeFiles/snapea_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/snapea_sim.dir/eyeriss.cc.o"
+  "CMakeFiles/snapea_sim.dir/eyeriss.cc.o.d"
+  "CMakeFiles/snapea_sim.dir/result.cc.o"
+  "CMakeFiles/snapea_sim.dir/result.cc.o.d"
+  "CMakeFiles/snapea_sim.dir/snapea_accel.cc.o"
+  "CMakeFiles/snapea_sim.dir/snapea_accel.cc.o.d"
+  "libsnapea_sim.a"
+  "libsnapea_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapea_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

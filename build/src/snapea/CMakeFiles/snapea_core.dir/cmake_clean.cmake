@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapea_core.dir/engine.cc.o"
+  "CMakeFiles/snapea_core.dir/engine.cc.o.d"
+  "CMakeFiles/snapea_core.dir/fc_engine.cc.o"
+  "CMakeFiles/snapea_core.dir/fc_engine.cc.o.d"
+  "CMakeFiles/snapea_core.dir/optimizer.cc.o"
+  "CMakeFiles/snapea_core.dir/optimizer.cc.o.d"
+  "CMakeFiles/snapea_core.dir/reorder.cc.o"
+  "CMakeFiles/snapea_core.dir/reorder.cc.o.d"
+  "libsnapea_core.a"
+  "libsnapea_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapea_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapea_util.dir/logging.cc.o"
+  "CMakeFiles/snapea_util.dir/logging.cc.o.d"
+  "CMakeFiles/snapea_util.dir/random.cc.o"
+  "CMakeFiles/snapea_util.dir/random.cc.o.d"
+  "CMakeFiles/snapea_util.dir/stats.cc.o"
+  "CMakeFiles/snapea_util.dir/stats.cc.o.d"
+  "CMakeFiles/snapea_util.dir/table.cc.o"
+  "CMakeFiles/snapea_util.dir/table.cc.o.d"
+  "libsnapea_util.a"
+  "libsnapea_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapea_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsnapea_util.a"
+)

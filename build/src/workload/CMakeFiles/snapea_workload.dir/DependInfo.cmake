@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/dataset.cc" "src/workload/CMakeFiles/snapea_workload.dir/dataset.cc.o" "gcc" "src/workload/CMakeFiles/snapea_workload.dir/dataset.cc.o.d"
+  "/root/repo/src/workload/evaluator.cc" "src/workload/CMakeFiles/snapea_workload.dir/evaluator.cc.o" "gcc" "src/workload/CMakeFiles/snapea_workload.dir/evaluator.cc.o.d"
+  "/root/repo/src/workload/weight_init.cc" "src/workload/CMakeFiles/snapea_workload.dir/weight_init.cc.o" "gcc" "src/workload/CMakeFiles/snapea_workload.dir/weight_init.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/snapea_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snapea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapea_workload.dir/dataset.cc.o"
+  "CMakeFiles/snapea_workload.dir/dataset.cc.o.d"
+  "CMakeFiles/snapea_workload.dir/evaluator.cc.o"
+  "CMakeFiles/snapea_workload.dir/evaluator.cc.o.d"
+  "CMakeFiles/snapea_workload.dir/weight_init.cc.o"
+  "CMakeFiles/snapea_workload.dir/weight_init.cc.o.d"
+  "libsnapea_workload.a"
+  "libsnapea_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapea_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

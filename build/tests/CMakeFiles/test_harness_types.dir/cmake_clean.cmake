@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harness_types.dir/test_harness_types.cc.o"
+  "CMakeFiles/test_harness_types.dir/test_harness_types.cc.o.d"
+  "test_harness_types"
+  "test_harness_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harness_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

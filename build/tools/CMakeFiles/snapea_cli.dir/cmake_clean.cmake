@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapea_cli.dir/snapea_cli.cc.o"
+  "CMakeFiles/snapea_cli.dir/snapea_cli.cc.o.d"
+  "snapea_cli"
+  "snapea_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapea_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
