@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Thread-scaling throughput baseline: end-to-end images/sec and
+ * engine MACs/sec at 1, 2, and N worker threads, written to
+ * BENCH_throughput.json so successive PRs accumulate a perf
+ * trajectory.
+ *
+ * Two measurements per thread count:
+ *
+ *  - instrumented: the honest per-window walk (Eq. (1) op counts +
+ *    Table V statistics), one serial image loop with the engine
+ *    parallelizing over output channels internally.
+ *  - fast: the Fast-mode engine driven by the parallel dataset loop
+ *    of workload/evaluator.cc (the end-to-end accuracy path).
+ *
+ * The run doubles as a determinism check: outputs and statistics at
+ * the highest thread count must be bitwise identical to the
+ * single-thread run.
+ *
+ * Usage: bench_throughput [--model M] [--input px] [--images N]
+ *                         [--out path]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "nn/models/model_zoo.hh"
+#include "snapea/engine.hh"
+#include "snapea/reorder.hh"
+#include "util/random.hh"
+#include "util/table.hh"
+#include "util/thread_pool.hh"
+#include "workload/dataset.hh"
+#include "workload/evaluator.hh"
+#include "workload/weight_init.hh"
+
+using namespace snapea;
+
+namespace {
+
+double
+seconds(std::chrono::steady_clock::time_point a,
+        std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+struct Run
+{
+    int threads = 1;
+    double instr_sec = 0.0;
+    double instr_imgs_per_sec = 0.0;
+    double instr_macs_per_sec = 0.0;
+    double fast_sec = 0.0;
+    double fast_imgs_per_sec = 0.0;
+};
+
+/** Instrumented stats + outputs of one pass, for the determinism check. */
+struct InstrResult
+{
+    std::vector<Tensor> outputs;
+    size_t macs_performed = 0;
+    size_t windows = 0;
+    std::vector<float> pos_sample_concat;
+};
+
+InstrResult
+runInstrumentedPass(const Network &net, const NetworkPlan &plan,
+                    const std::vector<Tensor> &images)
+{
+    SnapeaEngine engine(net, plan);
+    engine.setMode(ExecMode::Instrumented);
+    InstrResult r;
+    for (const Tensor &img : images)
+        r.outputs.push_back(net.forward(img, &engine));
+    for (const auto &[l, st] : engine.stats()) {
+        r.macs_performed += st.macs_performed;
+        r.windows += st.windows;
+        r.pos_sample_concat.insert(r.pos_sample_concat.end(),
+                                   st.pos_sample.begin(),
+                                   st.pos_sample.end());
+    }
+    return r;
+}
+
+bool
+sameResult(const InstrResult &a, const InstrResult &b)
+{
+    if (a.macs_performed != b.macs_performed || a.windows != b.windows)
+        return false;
+    if (a.pos_sample_concat != b.pos_sample_concat)
+        return false;
+    if (a.outputs.size() != b.outputs.size())
+        return false;
+    for (size_t i = 0; i < a.outputs.size(); ++i) {
+        const Tensor &x = a.outputs[i], &y = b.outputs[i];
+        if (x.size() != y.size())
+            return false;
+        if (std::memcmp(x.data(), y.data(), x.size() * sizeof(float)))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string model_name = "AlexNet";
+    std::string out_path = "BENCH_throughput.json";
+    int input_px = 48;
+    int n_images = 8;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--model") && i + 1 < argc)
+            model_name = argv[++i];
+        else if (!std::strcmp(argv[i], "--input") && i + 1 < argc)
+            input_px = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--images") && i + 1 < argc)
+            n_images = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
+            out_path = argv[++i];
+        else {
+            std::fprintf(stderr,
+                         "usage: bench_throughput [--model M] "
+                         "[--input px] [--images N] [--out path]\n");
+            return 1;
+        }
+    }
+
+    std::printf("=== SnaPEA reproduction: thread-scaling throughput "
+                "baseline ===\n");
+
+    const ModelId id = modelByName(model_name);
+    ModelScale scale = defaultScale(id);
+    scale.input_size = input_px;
+    auto net = buildModel(id, scale);
+
+    Rng rng(42);
+    DatasetSpec cspec;
+    cspec.num_classes = 4;
+    cspec.images_per_class = 1;
+    Rng crng = rng.fork(1);
+    Dataset calib = makeDataset(crng, net->inputShape(), cspec);
+    WeightInitSpec wspec;
+    wspec.neg_fraction = modelInfo(id).neg_fraction_target;
+    Rng wrng = rng.fork(2);
+    initializeWeights(*net, wrng, calib.images, wspec);
+
+    DatasetSpec dspec;
+    dspec.num_classes = n_images;
+    dspec.images_per_class = 1;
+    Rng drng = rng.fork(3);
+    Dataset data = makeDataset(drng, net->inputShape(), dspec);
+    selfLabel(*net, data);
+
+    // A synthetic predictive plan (every kernel speculates with
+    // n = 8, th = 0) so the instrumented walk exercises the
+    // speculation prefix, both termination checks, and the need_full
+    // continuation — without paying for an optimizer run.
+    std::map<int, std::vector<SpeculationParams>> params;
+    for (int l : net->convLayers()) {
+        const auto &conv = static_cast<const Conv2D &>(net->layer(l));
+        SpeculationParams sp;
+        sp.n_groups = 8;
+        sp.th = 0.0f;
+        params[l].assign(conv.spec().out_channels, sp);
+    }
+    const NetworkPlan plan = makeNetworkPlan(*net, params);
+
+    const int hw = util::threadCount();
+    std::set<int> counts{1, 2, 8, hw};
+
+    std::vector<Run> runs;
+    InstrResult ref, last;
+    for (int t : counts) {
+        util::setThreadCount(t);
+        Run run;
+        run.threads = t;
+
+        // Warmup (also spawns the pool's workers).
+        runInstrumentedPass(*net, plan, {data.images[0]});
+
+        auto t0 = std::chrono::steady_clock::now();
+        InstrResult ir = runInstrumentedPass(*net, plan, data.images);
+        auto t1 = std::chrono::steady_clock::now();
+        run.instr_sec = seconds(t0, t1);
+        run.instr_imgs_per_sec = data.images.size() / run.instr_sec;
+        run.instr_macs_per_sec = ir.macs_performed / run.instr_sec;
+
+        SnapeaEngine fast(*net, plan);
+        fast.setMode(ExecMode::Fast);
+        accuracy(*net, data, &fast);  // warmup
+        t0 = std::chrono::steady_clock::now();
+        accuracy(*net, data, &fast);
+        t1 = std::chrono::steady_clock::now();
+        run.fast_sec = seconds(t0, t1);
+        run.fast_imgs_per_sec = data.images.size() / run.fast_sec;
+
+        if (t == 1)
+            ref = ir;
+        last = std::move(ir);
+        runs.push_back(run);
+    }
+    util::setThreadCount(0);
+
+    const bool deterministic = sameResult(ref, last);
+    const Run &r1 = runs.front();
+    const Run *r8 = nullptr;
+    for (const Run &r : runs)
+        if (r.threads == 8)
+            r8 = &r;
+    const double speedup8 =
+        r8 ? r8->instr_imgs_per_sec / r1.instr_imgs_per_sec : 0.0;
+
+    Table tbl({"Threads", "Instr img/s", "Instr MMAC/s", "Fast img/s"});
+    char buf[4][64];
+    for (const Run &r : runs) {
+        std::snprintf(buf[0], sizeof(buf[0]), "%d", r.threads);
+        std::snprintf(buf[1], sizeof(buf[1]), "%.2f",
+                      r.instr_imgs_per_sec);
+        std::snprintf(buf[2], sizeof(buf[2]), "%.2f",
+                      r.instr_macs_per_sec / 1e6);
+        std::snprintf(buf[3], sizeof(buf[3]), "%.2f",
+                      r.fast_imgs_per_sec);
+        tbl.addRow({buf[0], buf[1], buf[2], buf[3]});
+    }
+    tbl.print();
+    std::printf("\nhardware threads: %d\n", hw);
+    std::printf("instrumented speedup 8 over 1 threads: %.2fx\n",
+                speedup8);
+    std::printf("deterministic (1 vs max threads, bitwise): %s\n",
+                deterministic ? "yes" : "NO");
+
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"model\": \"%s\",\n", model_name.c_str());
+    std::fprintf(f, "  \"input_size\": %d,\n", input_px);
+    std::fprintf(f, "  \"images\": %zu,\n", data.images.size());
+    std::fprintf(f, "  \"hardware_threads\": %d,\n", hw);
+    std::fprintf(f, "  \"deterministic_1_vs_max\": %s,\n",
+                 deterministic ? "true" : "false");
+    std::fprintf(f, "  \"instrumented_speedup_8_over_1\": %.3f,\n",
+                 speedup8);
+    std::fprintf(f, "  \"runs\": [\n");
+    for (size_t i = 0; i < runs.size(); ++i) {
+        const Run &r = runs[i];
+        std::fprintf(f,
+                     "    {\"threads\": %d, "
+                     "\"instrumented_sec\": %.4f, "
+                     "\"instrumented_images_per_sec\": %.3f, "
+                     "\"instrumented_macs_per_sec\": %.0f, "
+                     "\"fast_sec\": %.4f, "
+                     "\"fast_images_per_sec\": %.3f}%s\n",
+                     r.threads, r.instr_sec, r.instr_imgs_per_sec,
+                     r.instr_macs_per_sec, r.fast_sec,
+                     r.fast_imgs_per_sec,
+                     i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+    return deterministic ? 0 : 1;
+}

@@ -1,6 +1,7 @@
 #include "nn/conv.hh"
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace snapea {
 
@@ -92,7 +93,11 @@ Conv2D::forward(const std::vector<const Tensor *> &inputs) const
     const int cin_g = spec_.in_channels / spec_.groups;
     const int cout_g = spec_.out_channels / spec_.groups;
 
-    for (int o = 0; o < spec_.out_channels; ++o) {
+    // Output channels are independent and write disjoint planes, so
+    // the per-channel arithmetic (and thus the result bits) does not
+    // depend on the thread count.
+    util::parallel_for(0, spec_.out_channels, 1, [&](std::int64_t oi) {
+        const int o = static_cast<int>(oi);
         const int g = o / cout_g;
         const int ic0 = g * cin_g;
         const float *w = weights_.data()
@@ -125,7 +130,7 @@ Conv2D::forward(const std::vector<const Tensor *> &inputs) const
                 out.at(o, y, x) = acc;
             }
         }
-    }
+    });
     return out;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace snapea {
 
@@ -70,6 +71,27 @@ tapValue(const PreparedKernel &pk, const Tensor &in, int ih, int iw,
         return 0.0f;
     return in.data()[(static_cast<size_t>(pk.ic[i]) * ih + iy) * iw + ix];
 }
+
+/**
+ * Instrumentation counters of one kernel's walk over one input,
+ * merged into LayerExecStats in kernel order after the parallel
+ * region joins.
+ */
+struct ChannelPartial
+{
+    size_t windows = 0;
+    size_t macs_performed = 0;
+    size_t spec_terminated = 0;
+    size_t sign_terminated = 0;
+    size_t completed = 0;
+    size_t actual_negative = 0;
+    size_t actual_positive = 0;
+    size_t true_negative = 0;
+    size_t false_negative = 0;
+    std::vector<float> fn_values;
+    std::vector<float> pos_sample;
+    size_t pos_seen = 0;
+};
 
 } // namespace
 
@@ -173,21 +195,23 @@ SnapeaEngine::SnapeaEngine(const Network &net, NetworkPlan plan)
         SNAPEA_ASSERT(static_cast<int>(lp.kernels.size())
                       == conv.spec().out_channels);
 
-        PreparedLayer pl;
-        pl.kernels.reserve(lp.kernels.size());
-        for (int o = 0; o < conv.spec().out_channels; ++o) {
-            PreparedKernel pk = prepareKernel(conv, o, lp.kernels[o]);
-            pl.any_predictive |= lp.kernels[o].params.predictive();
-            pl.kernels.push_back(std::move(pk));
-        }
-
         // Interior offsets depend on the layer's input geometry,
         // which is known statically from the network graph.
         const int prod = net_.producers(idx)[0];
         const auto &in_shape = prod == Network::kInput
             ? net_.inputShape() : net_.outputShape(prod);
-        for (auto &pk : pl.kernels)
-            computeInteriorOffsets(pk, in_shape[1], in_shape[2]);
+
+        PreparedLayer pl;
+        pl.kernels.resize(lp.kernels.size());
+        util::parallel_for(
+            0, conv.spec().out_channels, 1, [&](std::int64_t o) {
+                PreparedKernel pk = prepareKernel(
+                    conv, static_cast<int>(o), lp.kernels[o]);
+                computeInteriorOffsets(pk, in_shape[1], in_shape[2]);
+                pl.kernels[o] = std::move(pk);
+            });
+        for (const auto &kp : lp.kernels)
+            pl.any_predictive |= kp.params.predictive();
 
         prepared_.emplace(idx, std::move(pl));
     }
@@ -243,20 +267,25 @@ SnapeaEngine::runFast(int layer_idx, const Conv2D &conv, const Tensor &in,
     const int oh = out.dim(1), ow = out.dim(2);
     const int stride = conv.spec().stride, pad = conv.spec().pad;
 
-    for (size_t o = 0; o < pl.kernels.size(); ++o) {
-        const PreparedKernel &pk = pl.kernels[o];
-        if (pk.prefix_len == 0)
-            continue;
-        float *row = plain.data() + o * static_cast<size_t>(oh) * ow;
-        for (int y = 0; y < oh; ++y) {
-            const int iy0 = y * stride - pad;
-            for (int x = 0; x < ow; ++x) {
-                const int ix0 = x * stride - pad;
-                if (prefixSum(pk, in, iy0, ix0) <= pk.th)
-                    row[static_cast<size_t>(y) * ow + x] = -1.0f;
+    // Kernels write disjoint output planes; the per-window prefix
+    // sums are unchanged, so the squashing decisions are identical
+    // for any thread count.
+    util::parallel_for(
+        0, static_cast<std::int64_t>(pl.kernels.size()), 1,
+        [&](std::int64_t o) {
+            const PreparedKernel &pk = pl.kernels[o];
+            if (pk.prefix_len == 0)
+                return;
+            float *row = plain.data() + o * static_cast<size_t>(oh) * ow;
+            for (int y = 0; y < oh; ++y) {
+                const int iy0 = y * stride - pad;
+                for (int x = 0; x < ow; ++x) {
+                    const int ix0 = x * stride - pad;
+                    if (prefixSum(pk, in, iy0, ix0) <= pk.th)
+                        row[static_cast<size_t>(y) * ow + x] = -1.0f;
+                }
             }
-        }
-    }
+        });
     out = std::move(plain);
 }
 
@@ -294,10 +323,22 @@ SnapeaEngine::runInstrumented(int layer_idx, const Conv2D &conv,
                           * oh * ow);
     }
 
-    size_t widx = 0;
-    size_t macs_performed = 0;
-    for (size_t o = 0; o < pl.kernels.size(); ++o) {
+    // Kernels walk in parallel into per-kernel partials which are
+    // merged below on this thread in kernel order.  Every partial
+    // depends only on its own kernel's windows and the merge order
+    // is fixed, so outputs, counters, fn_values, and the positive
+    // sample are bitwise identical for any thread count (including
+    // the serial path, which runs the very same code).
+    const std::int64_t n_ch =
+        static_cast<std::int64_t>(pl.kernels.size());
+    std::vector<ChannelPartial> parts(n_ch);
+    util::parallel_for(0, n_ch, 1, [&](std::int64_t o) {
+        ChannelPartial &p = parts[o];
         const PreparedKernel &pk = pl.kernels[o];
+        uint16_t *trace_ops = trace
+            ? trace->ops.data() + static_cast<size_t>(o) * oh * ow
+            : nullptr;
+        size_t widx = 0;
         for (int y = 0; y < oh; ++y) {
             const int iy0 = y * stride - pad;
             for (int x = 0; x < ow; ++x, ++widx) {
@@ -306,12 +347,10 @@ SnapeaEngine::runInstrumented(int layer_idx, const Conv2D &conv,
                     walkWindow(pk, in, iy0, ix0, /*need_full=*/true);
                 out.at(static_cast<int>(o), y, x) = ww.out;
 
-                ++st.windows;
-                st.macs_full += ks;
-                st.macs_performed += ww.ops;
-                macs_performed += ww.ops;
-                if (trace) {
-                    trace->ops[widx] = static_cast<uint16_t>(
+                ++p.windows;
+                p.macs_performed += ww.ops;
+                if (trace_ops) {
+                    trace_ops[widx] = static_cast<uint16_t>(
                         std::min(ww.ops, 65535));
                 }
 
@@ -325,38 +364,65 @@ SnapeaEngine::runInstrumented(int layer_idx, const Conv2D &conv,
                     actual_neg = ww.out <= 0.0f;
                 }
                 if (actual_neg)
-                    ++st.actual_negative;
+                    ++p.actual_negative;
                 else
-                    ++st.actual_positive;
+                    ++p.actual_positive;
 
                 if (ww.spec_fired) {
-                    ++st.spec_terminated;
+                    ++p.spec_terminated;
                     if (actual_neg) {
-                        ++st.true_negative;
+                        ++p.true_negative;
                     } else {
-                        ++st.false_negative;
-                        st.fn_values.push_back(ww.full_sum);
+                        ++p.false_negative;
+                        p.fn_values.push_back(ww.full_sum);
                     }
                 } else if (ww.sign_fired) {
-                    ++st.sign_terminated;
+                    ++p.sign_terminated;
                 } else {
-                    ++st.completed;
+                    ++p.completed;
                     if (ww.out > 0.0f) {
-                        // Deterministic reservoir sample of positive
-                        // magnitudes for the "errors land on small
-                        // positives" statistic of Section VI-B.
-                        ++st.pos_seen;
-                        constexpr size_t kCap = 4096;
-                        if (st.pos_sample.size() < kCap) {
-                            st.pos_sample.push_back(ww.out);
-                        } else if (st.pos_seen % 7 == 0) {
-                            st.pos_sample[(st.pos_seen / 7) % kCap] =
-                                ww.out;
+                        // Fixed-stride sample of positive magnitudes
+                        // for the "errors land on small positives"
+                        // statistic of Section VI-B: every
+                        // kPosSampleStride-th positive of this
+                        // kernel, in (y, x) order.  Unlike a count-
+                        // keyed reservoir, the stride sample depends
+                        // only on this kernel's own windows, so it
+                        // survives the per-kernel merge unchanged.
+                        if (p.pos_seen % LayerExecStats::kPosSampleStride
+                                == 0
+                            && p.pos_sample.size()
+                                   < LayerExecStats::kPosSampleCap) {
+                            p.pos_sample.push_back(ww.out);
                         }
+                        ++p.pos_seen;
                     }
                 }
             }
         }
+    });
+
+    size_t macs_performed = 0;
+    for (std::int64_t o = 0; o < n_ch; ++o) {
+        const ChannelPartial &p = parts[o];
+        st.windows += p.windows;
+        st.macs_full += p.windows * static_cast<size_t>(ks);
+        st.macs_performed += p.macs_performed;
+        st.spec_terminated += p.spec_terminated;
+        st.sign_terminated += p.sign_terminated;
+        st.completed += p.completed;
+        st.actual_negative += p.actual_negative;
+        st.actual_positive += p.actual_positive;
+        st.true_negative += p.true_negative;
+        st.false_negative += p.false_negative;
+        st.fn_values.insert(st.fn_values.end(), p.fn_values.begin(),
+                            p.fn_values.end());
+        for (float v : p.pos_sample) {
+            if (st.pos_sample.size() < LayerExecStats::kPosSampleCap)
+                st.pos_sample.push_back(v);
+        }
+        st.pos_seen += p.pos_seen;
+        macs_performed += p.macs_performed;
     }
     if (trace) {
         trace->macs_performed = macs_performed;

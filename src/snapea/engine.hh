@@ -97,6 +97,18 @@ float prefixSum(const PreparedKernel &pk, const Tensor &in,
 /** Per-conv-layer instrumentation counters (Table V inputs). */
 struct LayerExecStats
 {
+    /** Bound on the positive-magnitude sample size. */
+    static constexpr size_t kPosSampleCap = 4096;
+    /**
+     * Stride of the positive-magnitude sample: every
+     * kPosSampleStride-th positive output of each kernel (in (y, x)
+     * order) enters @c pos_sample; kernels are merged in channel
+     * order and the merged sample truncates at kPosSampleCap.  The
+     * per-kernel keying makes the sample independent of how kernels
+     * are distributed over threads.
+     */
+    static constexpr size_t kPosSampleStride = 7;
+
     std::string name;
     size_t windows = 0;
     size_t macs_full = 0;        ///< MACs an unaltered conv performs.
@@ -109,8 +121,9 @@ struct LayerExecStats
     size_t true_negative = 0;    ///< Speculated negative, actually so.
     size_t false_negative = 0;   ///< Speculated negative, actually > 0.
     std::vector<float> fn_values;   ///< True values of squashed positives.
-    std::vector<float> pos_sample;  ///< Reservoir of positive outputs.
-    size_t pos_seen = 0;            ///< Positives offered to the reservoir.
+    std::vector<float> pos_sample;  ///< Strided sample of positive
+                                    ///< outputs (see kPosSampleStride).
+    size_t pos_seen = 0;            ///< Positives offered to the sample.
 };
 
 /** Eq. (1) op counts of one conv layer for one image. */

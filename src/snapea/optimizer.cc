@@ -8,6 +8,7 @@
 #include "snapea/reorder.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
+#include "util/thread_pool.hh"
 
 namespace snapea {
 
@@ -33,10 +34,24 @@ struct SpeculationOptimizer::Impl
 
     /** Baseline activations of the local-subset images. */
     std::vector<std::vector<Tensor>> base_acts;
-    /** Scratch activations reused across local-pass simulations. */
-    std::vector<std::vector<Tensor>> scratch;
-    /** First scratch layer differing from baseline, per image. */
-    std::vector<int> dirty_from;
+
+    /**
+     * Scratch activations reused across local-pass simulations.  One
+     * context per pool worker, so concurrently evaluated candidates
+     * never share mutable per-image state; a context's content is
+     * fully determined by base_acts before every use (restore +
+     * downstream re-simulation), so which context evaluates which
+     * candidate cannot affect results.
+     */
+    struct ScratchCtx
+    {
+        std::vector<std::vector<Tensor>> scratch;
+        /** First scratch layer differing from baseline, per image. */
+        std::vector<int> dirty_from;
+    };
+    ScratchCtx main_scratch;
+    /** Lazily populated contexts for workers 1..threads-1. */
+    std::vector<std::unique_ptr<ScratchCtx>> extra_scratch;
 
     /** ParamL: per conv layer, candidates sorted ascending by op. */
     std::map<int, std::vector<LayerCandidate>> paramL;
@@ -55,16 +70,32 @@ struct SpeculationOptimizer::Impl
         SNAPEA_ASSERT(n_profile >= 1);
 
         base_acts.resize(n_local);
-        scratch.resize(n_local);
-        dirty_from.assign(n_local, net.numLayers());
         base_label_prob.resize(n_local);
-        for (int i = 0; i < n_local; ++i) {
+        util::parallel_for(0, n_local, 1, [&](std::int64_t i) {
             net.forwardAll(data.images[i], base_acts[i]);
-            scratch[i] = base_acts[i];
             base_label_prob[i] = base_acts[i].back()[data.labels[i]];
-        }
+        });
+        main_scratch.scratch = base_acts;
+        main_scratch.dirty_from.assign(n_local, net.numLayers());
+        extra_scratch.resize(
+            std::max(0, util::threadCount() - 1));
 
         buildParamL();
+    }
+
+    /** Scratch context owned by pool worker @p worker. */
+    ScratchCtx &
+    scratchFor(int worker)
+    {
+        if (worker == 0)
+            return main_scratch;
+        auto &slot = extra_scratch[worker - 1];
+        if (!slot) {
+            slot = std::make_unique<ScratchCtx>();
+            slot->scratch = base_acts;
+            slot->dirty_from.assign(n_local, net.numLayers());
+        }
+        return *slot;
     }
 
     /** Input activation of conv layer @p l for local image @p img. */
@@ -76,13 +107,13 @@ struct SpeculationOptimizer::Impl
                                        : base_acts[img][prod];
     }
 
-    /** Restore scratch[img][i] = baseline for all i < upto. */
+    /** Restore sc.scratch[img][i] = baseline for all i < upto. */
     void
-    restoreScratch(int img, int upto)
+    restoreScratch(ScratchCtx &sc, int img, int upto)
     {
-        for (int i = dirty_from[img]; i < upto; ++i)
-            scratch[img][i] = base_acts[img][i];
-        dirty_from[img] = std::max(dirty_from[img], upto);
+        for (int i = sc.dirty_from[img]; i < upto; ++i)
+            sc.scratch[img][i] = base_acts[img][i];
+        sc.dirty_from[img] = std::max(sc.dirty_from[img], upto);
     }
 
     /** Baseline probability of the self-label, per local image. */
@@ -99,23 +130,28 @@ struct SpeculationOptimizer::Impl
      * zero for most single-layer candidates, which would leave the
      * global pass's -derr/dop merit rule with no gradient to rank
      * back-off steps by.
+     *
+     * Images are independent (each touches only its own slots of
+     * @p sc) and the flip/soft reductions run in image order, so the
+     * result is identical for any thread count.
      */
     double
-    localErr(int l, const std::vector<PreparedKernel> &pks)
+    localErr(int l, const std::vector<PreparedKernel> &pks,
+             ScratchCtx &sc)
     {
         const auto &out_shape = net.outputShape(l);
         const int oh = out_shape[1], ow = out_shape[2];
         const auto &conv = static_cast<const Conv2D &>(net.layer(l));
         const int stride = conv.spec().stride, pad = conv.spec().pad;
 
-        int flips = 0;
-        double soft = 0.0;
-        for (int img = 0; img < n_local; ++img) {
-            restoreScratch(img, l);
-            dirty_from[img] = std::min(dirty_from[img], l);
-            Tensor &mod = scratch[img][l];
+        std::vector<int> flips(n_local, 0);
+        std::vector<double> softs(n_local, 0.0);
+        util::parallel_for(0, n_local, 1, [&](std::int64_t img) {
+            restoreScratch(sc, static_cast<int>(img), l);
+            sc.dirty_from[img] = std::min(sc.dirty_from[img], l);
+            Tensor &mod = sc.scratch[img][l];
             mod = base_acts[img][l];
-            const Tensor &in = layerInput(l, img);
+            const Tensor &in = layerInput(l, static_cast<int>(img));
 
             for (size_t o = 0; o < pks.size(); ++o) {
                 const PreparedKernel &pk = pks[o];
@@ -133,15 +169,23 @@ struct SpeculationOptimizer::Impl
                 }
             }
 
-            net.forwardAll(data.images[img], scratch[img], nullptr, l + 1);
-            const Tensor &probs = scratch[img].back();
+            net.forwardAll(data.images[img], sc.scratch[img], nullptr,
+                           l + 1);
+            const Tensor &probs = sc.scratch[img].back();
             if (static_cast<int>(probs.argmax()) != data.labels[img])
-                ++flips;
+                flips[img] = 1;
             const double base_p = std::max(base_label_prob[img], 1e-6);
             const double drop = base_p - probs[data.labels[img]];
-            soft += std::max(0.0, drop) / base_p;
+            softs[img] = std::max(0.0, drop) / base_p;
+        });
+
+        int flip_sum = 0;
+        double soft = 0.0;
+        for (int img = 0; img < n_local; ++img) {
+            flip_sum += flips[img];
+            soft += softs[img];
         }
-        return static_cast<double>(flips) / n_local
+        return static_cast<double>(flip_sum) / n_local
             + 0.1 * soft / n_local;
     }
 
@@ -150,6 +194,13 @@ struct SpeculationOptimizer::Impl
      * thresholds and honest op counts per recipe, evaluate each
      * recipe's isolated error, keep the acceptable ones plus the
      * exact configuration.
+     *
+     * Kernels profile in parallel (per-kernel slots); the (n, q)
+     * candidates of one n-group evaluate in parallel, each on a
+     * private copy of the prepared kernels and a thread-confined
+     * scratch context.  Results land in per-candidate slots read
+     * back in recipe order, so the candidate list matches the serial
+     * walk exactly.
      */
     void
     profileLayer(int l, const std::vector<Recipe> &recipes)
@@ -174,134 +225,175 @@ struct SpeculationOptimizer::Impl
             LayerCandidate exact;
             exact.params.assign(c_out, SpeculationParams{});
             exact.n_groups = 0;
-            for (int o = 0; o < c_out; ++o) {
-                PreparedKernel pk =
-                    prepareKernel(conv, o, makeExactPlan(conv, o));
+            util::parallel_for(0, c_out, 1, [&](std::int64_t o) {
+                PreparedKernel pk = prepareKernel(
+                    conv, static_cast<int>(o),
+                    makeExactPlan(conv, static_cast<int>(o)));
                 computeInteriorOffsets(pk, ih, iw);
+                double op = 0.0;
                 for (int img = 0; img < n_profile; ++img) {
                     const Tensor &in = layerInput(l, img);
                     for (int y = 0; y < oh; ++y) {
                         for (int x = 0; x < ow; ++x) {
-                            exact_op[o] += walkWindow(
+                            op += walkWindow(
                                 pk, in, y * stride - pad,
                                 x * stride - pad, false).ops;
                         }
                     }
                 }
+                exact_op[o] = op;
+            });
+            for (int o = 0; o < c_out; ++o)
                 exact.op += exact_op[o];
-            }
             exact.err = 0.0;
             cands.push_back(std::move(exact));
         }
 
-        // Predictive recipes.  Recipes sharing n reuse the prefix
-        // construction and the per-kernel prefix-sum profiles.
-        int last_n = -1;
-        std::vector<PreparedKernel> pks;
-        std::vector<std::vector<double>> pos_psums;  // per kernel
-        std::vector<std::vector<double>> pos_vals;   // aligned values
-        std::vector<float> max_psum;
-        for (const Recipe &r : recipes) {
-            const int n = std::min(r.n_groups, std::max(1, ks / 2));
-            if (n != last_n) {
-                last_n = n;
-                pks.clear();
-                pos_psums.assign(c_out, {});
-                pos_vals.assign(c_out, {});
-                max_psum.assign(c_out,
-                                -std::numeric_limits<float>::infinity());
-                SpeculationParams p;
-                p.n_groups = n;
-                p.th = 0.0f;  // placeholder; set per candidate below
-                for (int o = 0; o < c_out; ++o) {
-                    PreparedKernel pk = prepareKernel(
-                        conv, o, makePredictivePlan(conv, o, p));
-                    computeInteriorOffsets(pk, ih, iw);
-                    for (int img = 0; img < n_profile; ++img) {
-                        const Tensor &in = layerInput(l, img);
-                        const Tensor &out = base_acts[img][l];
-                        for (int y = 0; y < oh; ++y) {
-                            for (int x = 0; x < ow; ++x) {
-                                const float ps = prefixSum(
-                                    pk, in, y * stride - pad,
-                                    x * stride - pad);
-                                max_psum[o] = std::max(max_psum[o], ps);
-                                const float v = out.at(o, y, x);
-                                if (v > 0.0f) {
-                                    pos_psums[o].push_back(ps);
-                                    pos_vals[o].push_back(v);
+        // Predictive recipes, grouped by effective n (recipes come
+        // n-major, so groups are contiguous runs).  Recipes sharing
+        // n reuse the prefix construction and the per-kernel
+        // prefix-sum profiles.
+        struct Slot
+        {
+            LayerCandidate cand;
+            bool evaluated = false;
+            bool kept = false;
+        };
+        size_t r0 = 0;
+        while (r0 < recipes.size()) {
+            const int n = std::min(recipes[r0].n_groups,
+                                   std::max(1, ks / 2));
+            size_t r1 = r0;
+            while (r1 < recipes.size()
+                   && std::min(recipes[r1].n_groups,
+                               std::max(1, ks / 2)) == n) {
+                ++r1;
+            }
+
+            // Shared, read-only after construction: the group's
+            // prepared kernels and per-kernel prefix-sum profiles.
+            std::vector<PreparedKernel> pks(c_out);
+            std::vector<std::vector<double>> pos_psums(c_out);
+            std::vector<std::vector<double>> pos_vals(c_out);
+            std::vector<float> max_psum(
+                c_out, -std::numeric_limits<float>::infinity());
+            SpeculationParams p;
+            p.n_groups = n;
+            p.th = 0.0f;  // placeholder; set per candidate below
+            util::parallel_for(0, c_out, 1, [&](std::int64_t o) {
+                PreparedKernel pk = prepareKernel(
+                    conv, static_cast<int>(o),
+                    makePredictivePlan(conv, static_cast<int>(o), p));
+                computeInteriorOffsets(pk, ih, iw);
+                for (int img = 0; img < n_profile; ++img) {
+                    const Tensor &in = layerInput(l, img);
+                    const Tensor &out = base_acts[img][l];
+                    for (int y = 0; y < oh; ++y) {
+                        for (int x = 0; x < ow; ++x) {
+                            const float ps = prefixSum(
+                                pk, in, y * stride - pad,
+                                x * stride - pad);
+                            max_psum[o] = std::max(max_psum[o], ps);
+                            const float v =
+                                out.at(static_cast<int>(o), y, x);
+                            if (v > 0.0f) {
+                                pos_psums[o].push_back(ps);
+                                pos_vals[o].push_back(v);
+                            }
+                        }
+                    }
+                }
+                pks[o] = std::move(pk);
+            });
+
+            std::vector<Slot> slots(r1 - r0);
+            util::parallel_for(
+                0, static_cast<std::int64_t>(r1 - r0), 1,
+                [&](std::int64_t ci) {
+                    const Recipe &r = recipes[r0 + ci];
+                    Slot &slot = slots[ci];
+                    LayerCandidate &cand = slot.cand;
+                    cand.n_groups = n;
+                    cand.fn_quantile = r.fn_quantile;
+                    cand.params.assign(c_out, SpeculationParams{});
+
+                    // Private copy: thresholds are per-candidate.
+                    std::vector<PreparedKernel> cpks = pks;
+                    double op = 0.0;
+                    int speculating = 0;
+                    for (int o = 0; o < c_out; ++o) {
+                        // Threshold: the q-quantile of prefix sums
+                        // over truly-positive windows, so about a
+                        // fraction q of this kernel's positive
+                        // windows would be squashed on the
+                        // optimization data.  With no positive
+                        // windows any threshold is error-free; fire
+                        // always.
+                        const float th = pos_psums[o].empty()
+                            ? max_psum[o] + 1.0f
+                            : static_cast<float>(quantile(
+                                  pos_psums[o], r.fn_quantile));
+
+                        // Damage cap: the positive output mass this
+                        // kernel would squash, as a fraction of its
+                        // total positive mass.  Sensitive kernels
+                        // revert to exact.
+                        double mass = 0.0, squashed = 0.0;
+                        for (size_t i = 0; i < pos_psums[o].size();
+                             ++i) {
+                            mass += pos_vals[o][i];
+                            if (pos_psums[o][i] <= th)
+                                squashed += pos_vals[o][i];
+                        }
+                        // The cap scales with the recipe's
+                        // aggressiveness so high-q rungs stay
+                        // genuinely aggressive; the global pass
+                        // arbitrates with the real accuracy budget.
+                        const double cap =
+                            std::max(cfg.damage_cap, r.fn_quantile);
+                        if (mass > 0.0 && squashed > cap * mass) {
+                            cand.params[o] = SpeculationParams{};
+                            cpks[o].th = -std::numeric_limits<
+                                float>::infinity();
+                            op += exact_op[o];
+                            continue;
+                        }
+
+                        ++speculating;
+                        cpks[o].th = th;
+                        cand.params[o].th = th;
+                        cand.params[o].n_groups = n;
+                        for (int img = 0; img < n_profile; ++img) {
+                            const Tensor &in = layerInput(l, img);
+                            for (int y = 0; y < oh; ++y) {
+                                for (int x = 0; x < ow; ++x) {
+                                    op += walkWindow(
+                                        cpks[o], in,
+                                        y * stride - pad,
+                                        x * stride - pad, false).ops;
                                 }
                             }
                         }
                     }
-                    pks.push_back(std::move(pk));
-                }
-            }
+                    if (speculating == 0)
+                        return;  // degenerates to the exact config
+                    cand.op = op;
+                    cand.err = localErr(
+                        l, cpks, scratchFor(util::workerIndex()));
+                    slot.evaluated = true;
+                    slot.kept = cand.err <= cfg.local_slack;
+                });
 
-            LayerCandidate cand;
-            cand.n_groups = n;
-            cand.fn_quantile = r.fn_quantile;
-            cand.params.assign(c_out, SpeculationParams{});
-            double op = 0.0;
-            int speculating = 0;
-            for (int o = 0; o < c_out; ++o) {
-                // Threshold: the q-quantile of prefix sums over
-                // truly-positive windows, so about a fraction q of
-                // this kernel's positive windows would be squashed
-                // on the optimization data.  With no positive
-                // windows any threshold is error-free; fire always.
-                const float th = pos_psums[o].empty()
-                    ? max_psum[o] + 1.0f
-                    : static_cast<float>(
-                          quantile(pos_psums[o], r.fn_quantile));
-
-                // Damage cap: the positive output mass this kernel
-                // would squash, as a fraction of its total positive
-                // mass.  Sensitive kernels revert to exact.
-                double mass = 0.0, squashed = 0.0;
-                for (size_t i = 0; i < pos_psums[o].size(); ++i) {
-                    mass += pos_vals[o][i];
-                    if (pos_psums[o][i] <= th)
-                        squashed += pos_vals[o][i];
-                }
-                // The cap scales with the recipe's aggressiveness so
-                // high-q rungs stay genuinely aggressive; the global
-                // pass arbitrates with the real accuracy budget.
-                const double cap =
-                    std::max(cfg.damage_cap, r.fn_quantile);
-                if (mass > 0.0 && squashed > cap * mass) {
-                    cand.params[o] = SpeculationParams{};
-                    pks[o].th =
-                        -std::numeric_limits<float>::infinity();
-                    op += exact_op[o];
+            for (Slot &slot : slots) {
+                if (!slot.evaluated)
                     continue;
-                }
-
-                ++speculating;
-                pks[o].th = th;
-                cand.params[o].th = th;
-                cand.params[o].n_groups = n;
-                for (int img = 0; img < n_profile; ++img) {
-                    const Tensor &in = layerInput(l, img);
-                    for (int y = 0; y < oh; ++y) {
-                        for (int x = 0; x < ow; ++x) {
-                            op += walkWindow(pks[o], in,
-                                             y * stride - pad,
-                                             x * stride - pad,
-                                             false).ops;
-                        }
-                    }
+                ++candidates_evaluated;
+                if (slot.kept) {
+                    cands.push_back(std::move(slot.cand));
+                    ++candidates_kept;
                 }
             }
-            if (speculating == 0)
-                continue;  // degenerates to the exact configuration
-            cand.op = op;
-            cand.err = localErr(l, pks);
-            ++candidates_evaluated;
-            if (cand.err <= cfg.local_slack) {
-                cands.push_back(std::move(cand));
-                ++candidates_kept;
-            }
+            r0 = r1;
         }
 
         std::stable_sort(cands.begin(), cands.end(),
@@ -366,12 +458,17 @@ struct SpeculationOptimizer::Impl
         const size_t n_img = data.images.size();
         std::vector<std::vector<Tensor>> acts(n_img);
         auto resim = [&](int from_layer) {
+            // A Fast-mode engine is read-only during forward passes
+            // and each image owns its activation slot, so the image
+            // loop parallelizes without affecting any output bit.
             SnapeaEngine engine(net, makeNetworkPlan(net, makeParams()));
             engine.setMode(ExecMode::Fast);
-            for (size_t img = 0; img < n_img; ++img) {
-                net.forwardAll(data.images[img], acts[img], &engine,
-                               from_layer);
-            }
+            util::parallel_for(
+                0, static_cast<std::int64_t>(n_img), 1,
+                [&](std::int64_t img) {
+                    net.forwardAll(data.images[img], acts[img],
+                                   &engine, from_layer);
+                });
         };
         resim(0);
 

@@ -1,0 +1,211 @@
+#include "util/thread_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace snapea::util {
+
+namespace {
+
+std::atomic<int> g_override{0};
+
+thread_local bool tl_in_parallel = false;
+thread_local int tl_worker_index = 0;
+
+int
+envThreads()
+{
+    static const int cached = [] {
+        const char *s = std::getenv("SNAPEA_THREADS");
+        if (!s || !*s)
+            return 0;
+        return std::max(0, std::atoi(s));
+    }();
+    return cached;
+}
+
+/**
+ * Persistent pool of spawned workers.  The dispatching thread always
+ * executes chunk 0 itself, so a pool serving k-way parallelism owns
+ * k-1 threads.  Dispatches are serialized (there is one pool); a
+ * worker whose id is beyond the current dispatch width sleeps
+ * through the generation.
+ */
+class Pool
+{
+  public:
+    explicit Pool(int spawned)
+    {
+        threads_.reserve(spawned);
+        for (int i = 0; i < spawned; ++i)
+            threads_.emplace_back([this, i] { workerLoop(i); });
+    }
+
+    ~Pool()
+    {
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            stop_ = true;
+            ++generation_;
+        }
+        cv_start_.notify_all();
+        for (auto &t : threads_)
+            t.join();
+    }
+
+    int spawned() const { return static_cast<int>(threads_.size()); }
+
+    /** Run job(w) for w in [0, width); w == 0 runs on the caller. */
+    void
+    dispatch(int width, const std::function<void(int)> &job)
+    {
+        // Serialize concurrent top-level dispatchers (nested calls
+        // never get here; see parallel_for).
+        std::lock_guard<std::mutex> dispatch_lk(dispatch_m_);
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            job_ = &job;
+            width_ = width;
+            pending_ = width - 1;
+            ++generation_;
+        }
+        cv_start_.notify_all();
+
+        tl_in_parallel = true;
+        tl_worker_index = 0;
+        job(0);
+        tl_in_parallel = false;
+
+        std::unique_lock<std::mutex> lk(m_);
+        cv_done_.wait(lk, [this] { return pending_ == 0; });
+        job_ = nullptr;
+    }
+
+  private:
+    void
+    workerLoop(int id)
+    {
+        std::uint64_t seen = 0;
+        for (;;) {
+            const std::function<void(int)> *job = nullptr;
+            {
+                std::unique_lock<std::mutex> lk(m_);
+                cv_start_.wait(lk, [&] { return generation_ != seen; });
+                seen = generation_;
+                if (stop_)
+                    return;
+                if (id + 1 >= width_)
+                    continue;  // not a participant this round
+                job = job_;
+            }
+            tl_in_parallel = true;
+            tl_worker_index = id + 1;
+            (*job)(id + 1);
+            tl_in_parallel = false;
+            {
+                std::lock_guard<std::mutex> lk(m_);
+                --pending_;
+            }
+            cv_done_.notify_one();
+        }
+    }
+
+    std::vector<std::thread> threads_;
+    std::mutex dispatch_m_;
+    std::mutex m_;
+    std::condition_variable cv_start_, cv_done_;
+    const std::function<void(int)> *job_ = nullptr;
+    std::uint64_t generation_ = 0;
+    int width_ = 0;
+    int pending_ = 0;
+    bool stop_ = false;
+};
+
+/**
+ * The process-wide pool, grown on demand to the largest width ever
+ * requested.  Rebuilding only happens between dispatches (dispatch is
+ * only reachable from non-nested contexts) so workers are never
+ * destroyed mid-job.
+ */
+Pool &
+poolFor(int spawned)
+{
+    static std::mutex m;
+    static std::unique_ptr<Pool> pool;
+    std::lock_guard<std::mutex> lk(m);
+    if (!pool || pool->spawned() < spawned)
+        pool = std::make_unique<Pool>(spawned);
+    return *pool;
+}
+
+} // namespace
+
+int
+threadCount()
+{
+    const int o = g_override.load(std::memory_order_relaxed);
+    if (o > 0)
+        return o;
+    if (const int e = envThreads(); e > 0)
+        return e;
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc ? static_cast<int>(hc) : 1;
+}
+
+void
+setThreadCount(int n)
+{
+    g_override.store(std::max(0, n), std::memory_order_relaxed);
+}
+
+bool
+inParallelRegion()
+{
+    return tl_in_parallel;
+}
+
+int
+workerIndex()
+{
+    return tl_worker_index;
+}
+
+void
+parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+             const std::function<void(std::int64_t)> &fn)
+{
+    const std::int64_t n = end - begin;
+    if (n <= 0)
+        return;
+    grain = std::max<std::int64_t>(1, grain);
+
+    // Width depends only on (range, grain, configured threads), so
+    // chunk boundaries are reproducible run to run.  Nested calls
+    // and width-1 dispatches take the plain serial loop — the exact
+    // legacy code path.
+    std::int64_t width = std::min<std::int64_t>(
+        tl_in_parallel ? 1 : threadCount(), (n + grain - 1) / grain);
+    if (width <= 1) {
+        for (std::int64_t i = begin; i < end; ++i)
+            fn(i);
+        return;
+    }
+
+    Pool &pool = poolFor(static_cast<int>(width) - 1);
+    pool.dispatch(static_cast<int>(width), [&](int w) {
+        // Balanced static partition: chunk w covers
+        // [begin + w*n/width, begin + (w+1)*n/width).
+        const std::int64_t lo = begin + n * w / width;
+        const std::int64_t hi = begin + n * (w + 1) / width;
+        for (std::int64_t i = lo; i < hi; ++i)
+            fn(i);
+    });
+}
+
+} // namespace snapea::util

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A minimal, deterministic thread-pool with a static-partition
+ * parallel_for, in the spirit of NNPACK's pthreadpool.
+ *
+ * Design rules (what makes parallel callers bitwise reproducible):
+ *
+ *  - Static partitioning: [begin, end) is split into at most
+ *    threadCount() contiguous chunks of at least @c grain indices.
+ *    Chunk boundaries depend only on (range, grain, thread count),
+ *    never on scheduling.
+ *  - Per-index work: the callback receives one index at a time and
+ *    must write only to state owned by that index (an output-channel
+ *    slice, an image slot, a candidate result).  Reductions are the
+ *    caller's job and must run on the calling thread in index order
+ *    after parallel_for returns; then results are bitwise identical
+ *    for any thread count, including 1.
+ *  - No nesting: a parallel_for issued from inside a worker task
+ *    runs serially inline on that worker.  Callers never need to
+ *    know whether they are already parallel.
+ *
+ * Thread count resolution, in priority order: setThreadCount()
+ * (e.g.\ a --threads flag), the SNAPEA_THREADS environment variable,
+ * std::thread::hardware_concurrency().  A count of 1 bypasses the
+ * pool entirely and runs the exact legacy serial path.
+ */
+
+#ifndef SNAPEA_UTIL_THREAD_POOL_HH
+#define SNAPEA_UTIL_THREAD_POOL_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace snapea::util {
+
+/**
+ * Worker threads to use for parallel_for.  Priority:
+ * setThreadCount() override, then SNAPEA_THREADS, then
+ * hardware_concurrency().  Always >= 1.
+ */
+int threadCount();
+
+/**
+ * Override the thread count (<= 0 restores automatic resolution).
+ * Call before parallel work starts; an in-flight parallel_for is
+ * unaffected, later calls pick up the new count.
+ */
+void setThreadCount(int n);
+
+/**
+ * True while the calling thread is executing a parallel_for task;
+ * parallel_for uses this to serialize nested calls.
+ */
+bool inParallelRegion();
+
+/**
+ * Index of the pool worker executing the current task (0 for the
+ * dispatching thread, which always participates).  Valid inside a
+ * parallel_for callback; callers use it to pick thread-confined
+ * scratch state.  Always < threadCount() at dispatch time.
+ */
+int workerIndex();
+
+/**
+ * Call fn(i) for every i in [begin, end), distributing contiguous
+ * chunks of at least @c grain indices over the pool.
+ *
+ * fn must confine its writes to state owned by index i and must not
+ * throw.  Returns after every index completed.
+ */
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  std::int64_t grain,
+                  const std::function<void(std::int64_t)> &fn);
+
+} // namespace snapea::util
+
+#endif // SNAPEA_UTIL_THREAD_POOL_HH

@@ -1,6 +1,7 @@
 #include "workload/evaluator.hh"
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace snapea {
 
@@ -8,13 +9,16 @@ double
 accuracy(const Network &net, const Dataset &data, ConvOverride *ov)
 {
     SNAPEA_ASSERT(!data.images.empty());
-    size_t correct = 0;
-    for (size_t i = 0; i < data.images.size(); ++i) {
+    const std::int64_t n = static_cast<std::int64_t>(data.images.size());
+    std::vector<unsigned char> correct(n, 0);
+    util::parallel_for(0, n, 1, [&](std::int64_t i) {
         const Tensor out = net.forward(data.images[i], ov);
-        if (static_cast<int>(out.argmax()) == data.labels[i])
-            ++correct;
-    }
-    return static_cast<double>(correct) / data.images.size();
+        correct[i] = static_cast<int>(out.argmax()) == data.labels[i];
+    });
+    size_t sum = 0;
+    for (unsigned char c : correct)
+        sum += c;
+    return static_cast<double>(sum) / data.images.size();
 }
 
 NegativeStats
@@ -24,24 +28,37 @@ measureNegativeFraction(const Network &net,
     SNAPEA_ASSERT(!images.empty());
     NegativeStats stats;
     stats.conv_layers = net.convLayers();
-    std::vector<size_t> neg(stats.conv_layers.size(), 0);
-    std::vector<size_t> total(stats.conv_layers.size(), 0);
+    const size_t n_layers = stats.conv_layers.size();
+    const std::int64_t n_img = static_cast<std::int64_t>(images.size());
 
-    std::vector<Tensor> acts;
-    for (const Tensor &img : images) {
-        net.forwardAll(img, acts);
-        for (size_t li = 0; li < stats.conv_layers.size(); ++li) {
+    // Per-image counter rows, merged in image order below.
+    std::vector<std::vector<size_t>> neg_per_img(
+        n_img, std::vector<size_t>(n_layers, 0));
+    std::vector<std::vector<size_t>> total_per_img(
+        n_img, std::vector<size_t>(n_layers, 0));
+    util::parallel_for(0, n_img, 1, [&](std::int64_t i) {
+        std::vector<Tensor> acts;
+        net.forwardAll(images[i], acts);
+        for (size_t li = 0; li < n_layers; ++li) {
             const Tensor &out = acts[stats.conv_layers[li]];
-            for (size_t i = 0; i < out.size(); ++i)
-                if (out[i] < 0.0f)
-                    ++neg[li];
-            total[li] += out.size();
+            for (size_t j = 0; j < out.size(); ++j)
+                if (out[j] < 0.0f)
+                    ++neg_per_img[i][li];
+            total_per_img[i][li] += out.size();
+        }
+    });
+
+    std::vector<size_t> neg(n_layers, 0), total(n_layers, 0);
+    for (std::int64_t i = 0; i < n_img; ++i) {
+        for (size_t li = 0; li < n_layers; ++li) {
+            neg[li] += neg_per_img[i][li];
+            total[li] += total_per_img[i][li];
         }
     }
 
     size_t neg_sum = 0, total_sum = 0;
-    stats.layer_fraction.resize(stats.conv_layers.size());
-    for (size_t li = 0; li < stats.conv_layers.size(); ++li) {
+    stats.layer_fraction.resize(n_layers);
+    for (size_t li = 0; li < n_layers; ++li) {
         stats.layer_fraction[li] =
             total[li] ? static_cast<double>(neg[li]) / total[li] : 0.0;
         neg_sum += neg[li];
@@ -59,16 +76,17 @@ zeroPatternDisagreement(const Network &net,
     SNAPEA_ASSERT(images.size() >= 2);
     SNAPEA_ASSERT(net.layer(layer_idx).kind() == LayerKind::Conv);
 
-    std::vector<std::vector<bool>> zero_maps;
-    std::vector<Tensor> acts;
-    for (const Tensor &img : images) {
-        net.forwardAll(img, acts);
+    const std::int64_t n_img = static_cast<std::int64_t>(images.size());
+    std::vector<std::vector<bool>> zero_maps(n_img);
+    util::parallel_for(0, n_img, 1, [&](std::int64_t i) {
+        std::vector<Tensor> acts;
+        net.forwardAll(images[i], acts);
         const Tensor &out = acts[layer_idx];
         std::vector<bool> zm(out.size());
-        for (size_t i = 0; i < out.size(); ++i)
-            zm[i] = out[i] <= 0.0f;
-        zero_maps.push_back(std::move(zm));
-    }
+        for (size_t j = 0; j < out.size(); ++j)
+            zm[j] = out[j] <= 0.0f;
+        zero_maps[i] = std::move(zm);
+    });
 
     size_t disagree = 0, total = 0;
     for (size_t a = 0; a < zero_maps.size(); ++a) {

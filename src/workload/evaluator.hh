@@ -16,6 +16,12 @@ namespace snapea {
 /**
  * Top-1 accuracy of @p net on @p data, optionally executing
  * convolutions through @p ov (the SnaPEA engine).
+ *
+ * Images are evaluated in parallel (see util/thread_pool.hh), so a
+ * non-null @p ov must tolerate concurrent runConv() calls: a
+ * Fast-mode SnapeaEngine qualifies (it only reads prepared state);
+ * an Instrumented-mode engine does not (it accumulates statistics)
+ * and must be driven by a serial loop instead.
  */
 double accuracy(const Network &net, const Dataset &data,
                 ConvOverride *ov = nullptr);

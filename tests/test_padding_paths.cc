@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Boundary/padding agreement between walkWindow/prefixSum's interior
+ * fast path (flat interior_off gathers) and the generic tapValue path
+ * (bounds-checked, zero-padded).  A kernel prepared without interior
+ * offsets always takes the generic path; one prepared with offsets
+ * takes the fast path away from the borders.  Both accumulate the
+ * same products in the same order, so on a conv with pad > 0 every
+ * output coordinate — interior and boundary alike — must agree
+ * bitwise in ops, outputs, and partial sums.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/conv.hh"
+#include "snapea/engine.hh"
+#include "snapea/reorder.hh"
+#include "util/random.hh"
+
+using namespace snapea;
+
+namespace {
+
+struct PadCase
+{
+    int in_ch, out_ch, k, stride, pad;
+    int in_hw;
+    uint64_t seed;
+};
+
+std::string
+caseName(const testing::TestParamInfo<PadCase> &info)
+{
+    const PadCase &c = info.param;
+    return "ic" + std::to_string(c.in_ch) + "oc"
+        + std::to_string(c.out_ch) + "k" + std::to_string(c.k) + "s"
+        + std::to_string(c.stride) + "p" + std::to_string(c.pad) + "hw"
+        + std::to_string(c.in_hw) + "seed" + std::to_string(c.seed);
+}
+
+void
+fillConv(Conv2D &conv, Rng &rng)
+{
+    for (size_t i = 0; i < conv.weights().size(); ++i)
+        conv.weights()[i] = static_cast<float>(rng.gaussian());
+    for (auto &b : conv.bias())
+        b = static_cast<float>(rng.gaussian(-0.2, 0.5));
+}
+
+void
+expectWalksEqual(const WindowWalk &a, const WindowWalk &b, int o,
+                 int y, int x)
+{
+    EXPECT_EQ(a.ops, b.ops) << "o=" << o << " y=" << y << " x=" << x;
+    EXPECT_EQ(a.out, b.out) << "o=" << o << " y=" << y << " x=" << x;
+    EXPECT_EQ(a.spec_fired, b.spec_fired);
+    EXPECT_EQ(a.sign_fired, b.sign_fired);
+    EXPECT_EQ(a.full_known, b.full_known);
+    if (a.full_known) {
+        EXPECT_EQ(a.full_sum, b.full_sum);
+    }
+}
+
+} // namespace
+
+class PaddingPaths : public testing::TestWithParam<PadCase>
+{
+};
+
+TEST_P(PaddingPaths, InteriorAndGenericPathsAgreeEverywhere)
+{
+    const PadCase &c = GetParam();
+    ASSERT_GT(c.pad, 0) << "case must exercise padding windows";
+    Rng rng(c.seed);
+    Conv2D conv("c", ConvSpec{c.in_ch, c.out_ch, c.k, c.stride, c.pad,
+                              /*groups=*/1});
+    fillConv(conv, rng);
+    Tensor input({c.in_ch, c.in_hw, c.in_hw});
+    for (size_t i = 0; i < input.size(); ++i)
+        input[i] = static_cast<float>(rng.gaussian(0.1, 1.0));
+
+    const int oh = conv.outDim(c.in_hw), ow = conv.outDim(c.in_hw);
+    ASSERT_GT(oh, 0);
+
+    SpeculationParams sp;
+    sp.n_groups = 4;
+    sp.th = 0.1f;
+
+    for (int o = 0; o < c.out_ch; ++o) {
+        for (const bool predictive : {false, true}) {
+            const KernelPlan plan = predictive
+                ? makePredictivePlan(conv, o, sp)
+                : makeExactPlan(conv, o);
+
+            PreparedKernel with_off = prepareKernel(conv, o, plan);
+            computeInteriorOffsets(with_off, c.in_hw, c.in_hw);
+            PreparedKernel without_off = prepareKernel(conv, o, plan);
+            ASSERT_TRUE(without_off.interior_off.empty());
+
+            for (int y = 0; y < oh; ++y) {
+                const int iy0 = y * c.stride - c.pad;
+                for (int x = 0; x < ow; ++x) {
+                    const int ix0 = x * c.stride - c.pad;
+                    for (const bool need_full : {false, true}) {
+                        expectWalksEqual(
+                            walkWindow(with_off, input, iy0, ix0,
+                                       need_full),
+                            walkWindow(without_off, input, iy0, ix0,
+                                       need_full),
+                            o, y, x);
+                    }
+                    EXPECT_EQ(
+                        prefixSum(with_off, input, iy0, ix0),
+                        prefixSum(without_off, input, iy0, ix0))
+                        << "o=" << o << " y=" << y << " x=" << x;
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, PaddingPaths,
+    testing::Values(PadCase{3, 4, 3, 1, 1, 8, 11},
+                    PadCase{2, 3, 5, 1, 2, 9, 22},
+                    PadCase{4, 2, 3, 2, 1, 10, 33},
+                    PadCase{1, 2, 7, 2, 3, 12, 44}),
+    caseName);

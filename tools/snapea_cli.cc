@@ -12,6 +12,8 @@
  * Options:
  *   --input <px>     override the input resolution
  *   --seed <n>       experiment seed
+ *   --threads <n>    worker threads (default: SNAPEA_THREADS or all
+ *                    hardware threads; 1 = serial legacy path)
  *   --no-cache       disable the on-disk result cache
  *
  * Exit status: 0 on success, 1 on usage or configuration errors.
@@ -28,6 +30,7 @@
 #include "nn/dense.hh"
 #include "nn/serialize.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 using namespace snapea;
 
@@ -44,7 +47,8 @@ usage()
                  "  sweep <model>\n"
                  "  save-weights <model> <path>\n"
                  "models: AlexNet GoogLeNet SqueezeNet VGGNet\n"
-                 "options: --input <px>  --seed <n>  --no-cache\n");
+                 "options: --input <px>  --seed <n>  --threads <n>  "
+                 "--no-cache\n");
     std::exit(1);
 }
 
@@ -92,6 +96,8 @@ main(int argc, char **argv)
             cfg.input_size_override = std::atoi(argv[++i]);
         } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
             cfg.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+            util::setThreadCount(std::atoi(argv[++i]));
         } else if (!std::strcmp(argv[i], "--no-cache")) {
             cfg.cache_dir = "";
         } else {
