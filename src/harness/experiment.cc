@@ -2,18 +2,64 @@
 
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 
 #include "nn/dense.hh"
 #include "snapea/engine.hh"
 #include "snapea/reorder.hh"
+#include "util/io.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 #include "workload/evaluator.hh"
 #include "workload/weight_init.hh"
 
 namespace snapea {
+
+namespace {
+
+// Optimizer parameter cache format; bump on layout changes.
+constexpr const char *kParamsFormat = "snapea-params";
+constexpr uint32_t kParamsVersion = 2;
+
+} // namespace
+
+Status
+validateHarnessConfig(const HarnessConfig &cfg)
+{
+    if (cfg.input_size_override < 0 ||
+        (cfg.input_size_override > 0 && cfg.input_size_override < 8)) {
+        return statusf(StatusCode::InvalidArgument,
+                       "input size override %d is not >= 8",
+                       cfg.input_size_override);
+    }
+    if (cfg.opt_classes <= 0 || cfg.opt_images_per_class <= 0) {
+        return statusf(StatusCode::InvalidArgument,
+                       "dataset needs positive classes/images, got "
+                       "%d x %d", cfg.opt_classes,
+                       cfg.opt_images_per_class);
+    }
+    if (cfg.keep_fraction <= 0.0 || cfg.keep_fraction > 1.0) {
+        return statusf(StatusCode::InvalidArgument,
+                       "keep_fraction %.3f outside (0, 1]",
+                       cfg.keep_fraction);
+    }
+    if (cfg.trace_images < 1) {
+        return statusf(StatusCode::InvalidArgument,
+                       "trace_images %d is not >= 1",
+                       cfg.trace_images);
+    }
+    if (cfg.reference_input <= 0) {
+        return statusf(StatusCode::InvalidArgument,
+                       "reference_input %d is not positive",
+                       cfg.reference_input);
+    }
+    DatasetSpec dspec;
+    dspec.num_classes = cfg.opt_classes;
+    dspec.images_per_class = cfg.opt_images_per_class;
+    return validateDatasetSpec(dspec);
+}
 
 struct Experiment::Impl
 {
@@ -88,31 +134,56 @@ struct Experiment::Impl
     {
         if (cfg.cache_dir.empty())
             return false;
-        std::ifstream in(cachePath(epsilon));
-        if (!in)
+        const std::string path = cachePath(epsilon);
+        StatusOr<std::string> body =
+            readVersionedText(path, kParamsFormat, kParamsVersion);
+        if (!body.ok()) {
+            if (body.status().code() != StatusCode::NotFound) {
+                warn("optimizer cache: %s; re-running Algorithm 1",
+                     body.status().toString().c_str());
+            }
             return false;
+        }
+        OptimizerResult parsed;
+        bool have_stats = false, malformed = false;
+        std::istringstream in(body.value());
         std::string line;
-        while (std::getline(in, line)) {
+        while (!malformed && std::getline(in, line)) {
             std::istringstream ls(line);
             std::string tag;
             ls >> tag;
             if (tag == "stats") {
-                ls >> out.stats.global_iterations
-                   >> out.stats.initial_err >> out.stats.final_err
-                   >> out.stats.predictive_layers
-                   >> out.stats.total_conv_layers;
+                ls >> parsed.stats.global_iterations
+                   >> parsed.stats.initial_err
+                   >> parsed.stats.final_err
+                   >> parsed.stats.predictive_layers
+                   >> parsed.stats.total_conv_layers;
+                have_stats = static_cast<bool>(ls);
+                malformed = !have_stats;
             } else if (tag == "layer") {
                 int idx, count;
                 ls >> idx >> count;
+                if (!ls || count < 0) {
+                    malformed = true;
+                    continue;
+                }
                 std::vector<SpeculationParams> ps(count);
                 for (auto &p : ps)
                     ls >> p.n_groups >> p.th;
-                if (!ls)
-                    return false;
-                out.params[idx] = std::move(ps);
+                malformed = !ls;
+                if (!malformed)
+                    parsed.params[idx] = std::move(ps);
+            } else {
+                malformed = true;
             }
         }
-        return !out.params.empty();
+        if (malformed || !have_stats || parsed.params.empty()) {
+            warn("optimizer cache %s: malformed record; re-running "
+                 "Algorithm 1", path.c_str());
+            return false;
+        }
+        out = std::move(parsed);
+        return true;
     }
 
     void
@@ -122,12 +193,11 @@ struct Experiment::Impl
             return;
         std::error_code ec;
         std::filesystem::create_directories(cfg.cache_dir, ec);
-        std::ofstream out(cachePath(epsilon));
-        if (!out) {
-            warn("cannot write optimizer cache %s",
-                 cachePath(epsilon).c_str());
-            return;
-        }
+        std::ostringstream out;
+        // max_digits10 so thresholds round-trip bit-exactly: cached
+        // parameters must reproduce the uncached run bit-for-bit.
+        out << std::setprecision(
+            std::numeric_limits<double>::max_digits10);
         out << "stats " << res.stats.global_iterations << " "
             << res.stats.initial_err << " " << res.stats.final_err
             << " " << res.stats.predictive_layers << " "
@@ -137,6 +207,20 @@ struct Experiment::Impl
             for (const auto &p : ps)
                 out << " " << p.n_groups << " " << p.th;
             out << "\n";
+        }
+        StatusOr<FileLock> lock =
+            FileLock::acquire(cfg.cache_dir + "/.snapea.lock");
+        if (!lock.ok()) {
+            warn("optimizer cache: %s; skipping write",
+                 lock.status().toString().c_str());
+            return;
+        }
+        if (Status st = writeVersionedText(cachePath(epsilon),
+                                           kParamsFormat,
+                                           kParamsVersion, out.str());
+            !st.ok()) {
+            warn("cannot write optimizer cache: %s",
+                 st.toString().c_str());
         }
     }
 
@@ -250,8 +334,12 @@ struct Experiment::Impl
 };
 
 Experiment::Experiment(ModelId id, const HarnessConfig &cfg)
-    : impl_(std::make_unique<Impl>(id, cfg))
 {
+    // Front ends validate and report recoverably; reaching this
+    // point with a bad config is a caller bug.
+    if (const Status st = validateHarnessConfig(cfg); !st.ok())
+        panic("invalid HarnessConfig: %s", st.toString().c_str());
+    impl_ = std::make_unique<Impl>(id, cfg);
 }
 
 Experiment::~Experiment() = default;

@@ -22,6 +22,7 @@
 #include "sim/eyeriss.hh"
 #include "sim/snapea_accel.hh"
 #include "snapea/optimizer.hh"
+#include "util/status.hh"
 #include "workload/dataset.hh"
 
 namespace snapea {
@@ -50,6 +51,14 @@ struct HarnessConfig
      */
     int reference_input = 224;
 };
+
+/**
+ * Check a harness configuration before constructing an Experiment,
+ * so front ends (CLI, benches) can reject bad --input/--seed/dataset
+ * knobs with a clean error instead of tripping internal assertions
+ * deep inside dataset generation.
+ */
+Status validateHarnessConfig(const HarnessConfig &cfg);
 
 /** Per-conv-layer comparison between the two accelerators. */
 struct LayerComparison

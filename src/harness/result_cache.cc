@@ -2,9 +2,11 @@
 
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 
+#include "util/io.hh"
 #include "util/logging.hh"
 
 namespace snapea {
@@ -26,6 +28,18 @@ benchHarnessConfig()
 }
 
 namespace {
+
+// Bump when the record layout changes; older versions are recomputed.
+constexpr const char *kResultFormat = "snapea-result";
+constexpr uint32_t kResultVersion = 2;
+constexpr const char *kLanesFormat = "snapea-lanes";
+constexpr uint32_t kLanesVersion = 1;
+
+std::string
+lockPath(const std::string &dir)
+{
+    return dir + "/.snapea.lock";
+}
 
 std::string
 modeKey(ModelId id, double epsilon, uint64_t seed)
@@ -52,14 +66,19 @@ readEnergy(std::istringstream &ls, EnergyBreakdown &e)
     return static_cast<bool>(ls);
 }
 
+/**
+ * Parse a record body into @p res.  Strict: every section must parse
+ * completely and every required section must be present, otherwise
+ * the whole record is rejected (and the caller recomputes).
+ */
 bool
-loadMode(const std::string &path, ModeResult &res)
+parseModeBody(const std::string &body, ModeResult &res)
 {
-    std::ifstream in(path);
-    if (!in)
-        return false;
+    std::istringstream in(body);
     std::string line;
-    bool have_scalars = false;
+    bool have_scalars = false, have_opt = false, have_snapea = false,
+         have_eyeriss = false, have_senergy = false,
+         have_eenergy = false;
     while (std::getline(in, line)) {
         std::istringstream ls(line);
         std::string tag;
@@ -68,46 +87,92 @@ loadMode(const std::string &path, ModeResult &res)
             ls >> res.model_name >> res.epsilon >> res.accuracy
                >> res.mac_ratio >> res.tn_rate >> res.fn_rate
                >> res.fn_small_fraction;
-            have_scalars = static_cast<bool>(ls);
+            if (!ls)
+                return false;
+            have_scalars = true;
         } else if (tag == "optstats") {
             ls >> res.opt_stats.global_iterations
                >> res.opt_stats.initial_err >> res.opt_stats.final_err
                >> res.opt_stats.predictive_layers
                >> res.opt_stats.total_conv_layers;
+            if (!ls)
+                return false;
+            have_opt = true;
         } else if (tag == "snapea") {
             ls >> res.snapea_sim.total_cycles;
+            if (!ls)
+                return false;
+            have_snapea = true;
         } else if (tag == "eyeriss") {
             ls >> res.eyeriss_sim.total_cycles;
+            if (!ls)
+                return false;
+            have_eyeriss = true;
         } else if (tag == "senergy") {
-            readEnergy(ls, res.snapea_sim.energy);
+            if (!readEnergy(ls, res.snapea_sim.energy))
+                return false;
+            have_senergy = true;
         } else if (tag == "eenergy") {
-            readEnergy(ls, res.eyeriss_sim.energy);
+            if (!readEnergy(ls, res.eyeriss_sim.energy))
+                return false;
+            have_eenergy = true;
         } else if (tag == "layer") {
             LayerComparison lc;
             int pred;
             ls >> pred >> lc.snapea_cycles >> lc.eyeriss_cycles
                >> lc.snapea_energy_pj >> lc.eyeriss_energy_pj;
+            if (!ls)
+                return false;
             std::getline(ls, lc.name);
             if (!lc.name.empty() && lc.name[0] == ' ')
                 lc.name.erase(0, 1);
+            if (lc.name.empty())
+                return false;
             lc.predictive = pred != 0;
             res.layers.push_back(std::move(lc));
+        } else {
+            return false;  // unknown section: not our record
         }
     }
-    return have_scalars;
+    return have_scalars && have_opt && have_snapea && have_eyeriss
+        && have_senergy && have_eenergy;
+}
+
+} // namespace
+
+bool
+loadModeResult(const std::string &path, ModeResult &out)
+{
+    StatusOr<std::string> body =
+        readVersionedText(path, kResultFormat, kResultVersion);
+    if (!body.ok()) {
+        if (body.status().code() != StatusCode::NotFound) {
+            warn("result cache: %s; recomputing",
+                 body.status().toString().c_str());
+        }
+        return false;
+    }
+    ModeResult parsed;
+    if (!parseModeBody(body.value(), parsed)) {
+        warn("result cache %s: malformed or incomplete record; "
+             "recomputing", path.c_str());
+        return false;
+    }
+    out = std::move(parsed);
+    return true;
 }
 
 void
-saveMode(const std::string &path, const ModeResult &res)
+saveModeResult(const std::string &path, const ModeResult &res)
 {
     std::error_code ec;
     std::filesystem::create_directories(
         std::filesystem::path(path).parent_path(), ec);
-    std::ofstream out(path);
-    if (!out) {
-        warn("cannot write result cache %s", path.c_str());
-        return;
-    }
+
+    std::ostringstream out;
+    // max_digits10 so doubles round-trip bit-exactly through the
+    // cache — a hit must be indistinguishable from a recompute.
+    out << std::setprecision(std::numeric_limits<double>::max_digits10);
     out << "scalars " << res.model_name << " " << res.epsilon << " "
         << res.accuracy << " " << res.mac_ratio << " " << res.tn_rate
         << " " << res.fn_rate << " " << res.fn_small_fraction << "\n";
@@ -125,9 +190,22 @@ saveMode(const std::string &path, const ModeResult &res)
             << lc.snapea_energy_pj << " " << lc.eyeriss_energy_pj
             << " " << lc.name << "\n";
     }
-}
 
-} // namespace
+    const std::string dir =
+        std::filesystem::path(path).parent_path().string();
+    StatusOr<FileLock> lock =
+        FileLock::acquire(lockPath(dir.empty() ? "." : dir));
+    if (!lock.ok()) {
+        warn("result cache %s: %s; skipping write", path.c_str(),
+             lock.status().toString().c_str());
+        return;
+    }
+    if (Status st = writeVersionedText(path, kResultFormat,
+                                       kResultVersion, out.str());
+        !st.ok()) {
+        warn("cannot write result cache: %s", st.toString().c_str());
+    }
+}
 
 BenchContext &
 BenchContext::instance()
@@ -156,13 +234,13 @@ BenchContext::runMode(ModelId id, double epsilon)
     const std::string path = cacheDir() + "/"
         + modeKey(id, epsilon, cfg_.seed) + ".result";
     ModeResult res;
-    if (loadMode(path, res))
+    if (loadModeResult(path, res))
         return res;
     inform("measuring %s at epsilon=%.3f (not cached)...",
            modelInfo(id).name, epsilon);
     res = epsilon == 0.0 ? experiment(id).runExact()
                          : experiment(id).runPredictive(epsilon);
-    saveMode(path, res);
+    saveModeResult(path, res);
     return res;
 }
 
@@ -190,10 +268,19 @@ BenchContext::snapeaCyclesWithLanes(ModelId id, double epsilon,
         return os.str();
     };
     {
-        std::ifstream in(lanePath(lanes));
-        uint64_t cycles;
-        if (in >> cycles)
-            return cycles;
+        StatusOr<std::string> body = readVersionedText(
+            lanePath(lanes), kLanesFormat, kLanesVersion);
+        if (body.ok()) {
+            std::istringstream in(body.value());
+            uint64_t cycles = 0;
+            if (in >> cycles && cycles > 0)
+                return cycles;
+            warn("lane cache %s: malformed record; recomputing",
+                 lanePath(lanes).c_str());
+        } else if (body.status().code() != StatusCode::NotFound) {
+            warn("lane cache: %s; recomputing",
+                 body.status().toString().c_str());
+        }
     }
     // Miss: compute the whole sweep in one pass — the instrumented
     // traces dominate the cost and are shared across lane counts.
@@ -209,12 +296,30 @@ BenchContext::snapeaCyclesWithLanes(ModelId id, double epsilon,
     }
     const std::vector<SimResult> sims =
         experiment(id).simulateHardwareSweep(params, hws);
+
+    std::error_code ec;
+    std::filesystem::create_directories(cacheDir(), ec);
+    StatusOr<FileLock> lock = FileLock::acquire(lockPath(cacheDir()));
     uint64_t requested = 0;
     for (size_t i = 0; i < hws.size(); ++i) {
-        std::ofstream out(lanePath(kLaneSweep[i]));
-        out << sims[i].total_cycles << "\n";
+        std::ostringstream body;
+        body << sims[i].total_cycles << "\n";
+        if (lock.ok()) {
+            if (Status st = writeVersionedText(lanePath(kLaneSweep[i]),
+                                               kLanesFormat,
+                                               kLanesVersion,
+                                               body.str());
+                !st.ok()) {
+                warn("cannot write lane cache: %s",
+                     st.toString().c_str());
+            }
+        }
         if (kLaneSweep[i] == lanes)
             requested = sims[i].total_cycles;
+    }
+    if (!lock.ok()) {
+        warn("lane cache: %s; results not cached",
+             lock.status().toString().c_str());
     }
     SNAPEA_ASSERT(requested > 0);
     return requested;

@@ -30,6 +30,23 @@ std::string cacheDir();
 HarnessConfig benchHarnessConfig();
 
 /**
+ * Load a cached ModeResult.  Returns false on a miss — which
+ * includes a missing file, a corrupt or truncated file, a checksum
+ * failure, a stale format version, or a record missing any required
+ * section; everything except a missing file warn()s.  On false,
+ * @p out is untouched; the caller recomputes.
+ */
+bool loadModeResult(const std::string &path, ModeResult &out);
+
+/**
+ * Persist a ModeResult as a versioned, checksummed record, written
+ * atomically under the cache directory's advisory lock.  Cache
+ * writes are best-effort: failures warn() and the result simply
+ * stays uncached.
+ */
+void saveModeResult(const std::string &path, const ModeResult &res);
+
+/**
  * Lazily-constructed, cached access to experiment measurements for
  * the bench binaries.
  */

@@ -36,10 +36,18 @@ modelInfo(ModelId id)
 ModelId
 modelByName(const std::string &name)
 {
+    if (const ModelInfo *info = findModelByName(name))
+        return info->id;
+    fatal("unknown model name %s", name.c_str());
+}
+
+const ModelInfo *
+findModelByName(const std::string &name)
+{
     for (const auto &info : kModelInfos)
         if (name == info.name)
-            return info.id;
-    fatal("unknown model name %s", name.c_str());
+            return &info;
+    return nullptr;
 }
 
 ModelScale

@@ -66,6 +66,12 @@ const ModelInfo &modelInfo(ModelId id);
 ModelId modelByName(const std::string &name);
 
 /**
+ * Non-fatal lookup for front ends that want to report bad model
+ * names themselves: nullptr if @p name matches no model.
+ */
+const ModelInfo *findModelByName(const std::string &name);
+
+/**
  * Default experiment scale per model.  VGGNet gets a smaller channel
  * scale because its unscaled conv volume is an order of magnitude
  * above the other three networks.

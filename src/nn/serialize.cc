@@ -1,18 +1,25 @@
 #include "nn/serialize.hh"
 
+#include <algorithm>
 #include <cstdint>
-#include <fstream>
+#include <cstring>
+#include <sstream>
+#include <vector>
 
 #include "nn/conv.hh"
 #include "nn/dense.hh"
-#include "util/logging.hh"
+#include "util/io.hh"
 
 namespace snapea {
 
 namespace {
 
 constexpr uint32_t kMagic = 0x53504e57;  // "SNPW"
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
+
+// Header: magic, version, payload length.  Trailer: CRC32(payload).
+constexpr size_t kHeaderBytes = 2 * sizeof(uint32_t) + sizeof(uint64_t);
+constexpr size_t kTrailerBytes = sizeof(uint32_t);
 
 void
 writeU32(std::ostream &os, uint32_t v)
@@ -41,44 +48,95 @@ writeFloats(std::ostream &os, const float *data, size_t n)
              static_cast<std::streamsize>(n * sizeof(float)));
 }
 
-uint32_t
-readU32(std::istream &is)
+/**
+ * Bounds-checked reader over an in-memory payload.  Every read is
+ * validated against the remaining size, so a corruption-controlled
+ * length can never drive reads past the buffer or giant allocations.
+ */
+class Reader
 {
-    uint32_t v = 0;
-    is.read(reinterpret_cast<char *>(&v), sizeof(v));
-    return v;
-}
-
-uint64_t
-readU64(std::istream &is)
-{
-    uint64_t v = 0;
-    is.read(reinterpret_cast<char *>(&v), sizeof(v));
-    return v;
-}
-
-std::string
-readString(std::istream &is)
-{
-    const uint32_t n = readU32(is);
-    std::string s(n, '\0');
-    is.read(s.data(), n);
-    return s;
-}
-
-void
-readFloats(std::istream &is, float *data, size_t expected,
-           const std::string &what)
-{
-    const uint64_t n = readU64(is);
-    if (n != expected) {
-        fatal("weight file mismatch for %s: %llu values, expected %zu",
-              what.c_str(), static_cast<unsigned long long>(n),
-              expected);
+  public:
+    Reader(const char *data, size_t size, const std::string &path)
+        : data_(data), size_(size), path_(path)
+    {
     }
-    is.read(reinterpret_cast<char *>(data),
-            static_cast<std::streamsize>(n * sizeof(float)));
-}
+
+    size_t remaining() const { return size_ - off_; }
+
+    Status
+    readU32(uint32_t &v)
+    {
+        return readRaw(&v, sizeof(v), "u32");
+    }
+
+    Status
+    readU64(uint64_t &v)
+    {
+        return readRaw(&v, sizeof(v), "u64");
+    }
+
+    Status
+    readString(std::string &s)
+    {
+        uint32_t n = 0;
+        if (Status st = readU32(n); !st.ok())
+            return st;
+        if (n > remaining()) {
+            return statusf(StatusCode::Corrupt,
+                           "%s: string length %u exceeds remaining "
+                           "%zu bytes", path_.c_str(), n,
+                           remaining());
+        }
+        s.assign(data_ + off_, n);
+        off_ += n;
+        return Status();
+    }
+
+    Status
+    readFloats(std::vector<float> &out, size_t expected,
+               const std::string &what)
+    {
+        uint64_t n = 0;
+        if (Status st = readU64(n); !st.ok())
+            return st;
+        if (n != expected) {
+            return statusf(StatusCode::InvalidArgument,
+                           "%s: %s has %llu values, expected %zu",
+                           path_.c_str(), what.c_str(),
+                           static_cast<unsigned long long>(n),
+                           expected);
+        }
+        if (n * sizeof(float) > remaining()) {
+            return statusf(StatusCode::Corrupt,
+                           "%s: %s float block exceeds remaining "
+                           "%zu bytes", path_.c_str(), what.c_str(),
+                           remaining());
+        }
+        out.resize(n);
+        std::memcpy(out.data(), data_ + off_, n * sizeof(float));
+        off_ += n * sizeof(float);
+        return Status();
+    }
+
+  private:
+    Status
+    readRaw(void *dst, size_t n, const char *what)
+    {
+        if (n > remaining()) {
+            return statusf(StatusCode::Corrupt,
+                           "%s: truncated while reading %s",
+                           path_.c_str(), what);
+        }
+        std::memcpy(dst, data_ + off_, n);
+        off_ += n;
+        return Status();
+    }
+
+    const char *data_;
+    size_t size_;
+    size_t off_ = 0;
+    const std::string &path_;
+};
 
 /** Layers with parameters, in network order. */
 std::vector<int>
@@ -93,79 +151,167 @@ parameterLayers(const Network &net)
     return out;
 }
 
+/** One parsed layer record, staged before commit. */
+struct LayerBlob
+{
+    std::string name;
+    uint32_t kind = 0;
+    std::vector<float> weights;
+    std::vector<float> bias;
+};
+
 } // namespace
 
-void
+Status
 saveWeights(const Network &net, const std::string &path)
 {
-    std::ofstream os(path, std::ios::binary);
-    if (!os)
-        fatal("cannot write weight file %s", path.c_str());
-
     const auto layers = parameterLayers(net);
-    writeU32(os, kMagic);
-    writeU32(os, kVersion);
-    writeU32(os, static_cast<uint32_t>(layers.size()));
+    std::ostringstream payload(std::ios::binary);
+    writeU32(payload, static_cast<uint32_t>(layers.size()));
     for (int idx : layers) {
         const Layer &l = net.layer(idx);
-        writeString(os, l.name());
-        writeU32(os, static_cast<uint32_t>(l.kind()));
+        writeString(payload, l.name());
+        writeU32(payload, static_cast<uint32_t>(l.kind()));
         if (l.kind() == LayerKind::Conv) {
             const auto &conv = static_cast<const Conv2D &>(l);
-            writeFloats(os, conv.weights().data(),
+            writeFloats(payload, conv.weights().data(),
                         conv.weights().size());
-            writeFloats(os, conv.bias().data(), conv.bias().size());
+            writeFloats(payload, conv.bias().data(),
+                        conv.bias().size());
         } else {
             const auto &fc = static_cast<const FullyConnected &>(l);
-            writeFloats(os, fc.weights().data(), fc.weights().size());
-            writeFloats(os, fc.bias().data(), fc.bias().size());
+            writeFloats(payload, fc.weights().data(),
+                        fc.weights().size());
+            writeFloats(payload, fc.bias().data(), fc.bias().size());
         }
     }
-    if (!os)
-        fatal("error while writing weight file %s", path.c_str());
+
+    const std::string body = payload.str();
+    std::ostringstream file(std::ios::binary);
+    writeU32(file, kMagic);
+    writeU32(file, kVersion);
+    writeU64(file, body.size());
+    file.write(body.data(), static_cast<std::streamsize>(body.size()));
+    writeU32(file, crc32(body));
+    return atomicWriteFile(path, file.str());
 }
 
-void
+Status
 loadWeights(Network &net, const std::string &path)
 {
-    std::ifstream is(path, std::ios::binary);
-    if (!is)
-        fatal("cannot read weight file %s", path.c_str());
-    if (readU32(is) != kMagic)
-        fatal("%s is not a SnaPEA weight file", path.c_str());
-    if (readU32(is) != kVersion)
-        fatal("%s has an unsupported version", path.c_str());
+    StatusOr<std::string> file = readFileToString(path);
+    if (!file.ok())
+        return file.status();
+    const std::string &raw = file.value();
 
-    const auto layers = parameterLayers(net);
-    const uint32_t count = readU32(is);
-    if (count != layers.size()) {
-        fatal("weight file %s has %u parameter layers, network has "
-              "%zu", path.c_str(), count, layers.size());
+    if (raw.size() < kHeaderBytes + kTrailerBytes) {
+        return statusf(StatusCode::Corrupt,
+                       "%s: too short for a SnaPEA weight file (%zu "
+                       "bytes)", path.c_str(), raw.size());
     }
-    for (int idx : layers) {
-        Layer &l = net.layer(idx);
-        const std::string name = readString(is);
-        const uint32_t kind = readU32(is);
-        if (name != l.name() || kind != static_cast<uint32_t>(l.kind())) {
-            fatal("weight file layer %s does not match network layer "
-                  "%s", name.c_str(), l.name().c_str());
+    uint32_t magic, version;
+    uint64_t payload_len;
+    std::memcpy(&magic, raw.data(), sizeof(magic));
+    std::memcpy(&version, raw.data() + 4, sizeof(version));
+    std::memcpy(&payload_len, raw.data() + 8, sizeof(payload_len));
+    if (magic != kMagic) {
+        return statusf(StatusCode::Corrupt,
+                       "%s is not a SnaPEA weight file", path.c_str());
+    }
+    if (version != kVersion) {
+        return statusf(StatusCode::VersionMismatch,
+                       "%s has weight format version %u, expected %u",
+                       path.c_str(), version, kVersion);
+    }
+    if (payload_len != raw.size() - kHeaderBytes - kTrailerBytes) {
+        return statusf(StatusCode::Corrupt,
+                       "%s: payload length %llu does not match file "
+                       "size %zu (truncated?)", path.c_str(),
+                       static_cast<unsigned long long>(payload_len),
+                       raw.size());
+    }
+    const char *payload = raw.data() + kHeaderBytes;
+    uint32_t want_crc;
+    std::memcpy(&want_crc, raw.data() + kHeaderBytes + payload_len,
+                sizeof(want_crc));
+    if (crc32(payload, payload_len) != want_crc) {
+        return statusf(StatusCode::Corrupt, "%s: checksum mismatch",
+                       path.c_str());
+    }
+
+    // Parse and validate everything against the network topology
+    // before touching any layer, so a bad file cannot leave the
+    // network half-loaded.
+    const auto layers = parameterLayers(net);
+    Reader rd(payload, payload_len, path);
+    uint32_t count = 0;
+    if (Status st = rd.readU32(count); !st.ok())
+        return st;
+    if (count != layers.size()) {
+        return statusf(StatusCode::InvalidArgument,
+                       "%s has %u parameter layers, network has %zu",
+                       path.c_str(), count, layers.size());
+    }
+    std::vector<LayerBlob> blobs(count);
+    for (uint32_t i = 0; i < count; ++i) {
+        LayerBlob &blob = blobs[i];
+        const Layer &l = net.layer(layers[i]);
+        if (Status st = rd.readString(blob.name); !st.ok())
+            return st;
+        if (Status st = rd.readU32(blob.kind); !st.ok())
+            return st;
+        if (blob.name != l.name() ||
+            blob.kind != static_cast<uint32_t>(l.kind())) {
+            return statusf(StatusCode::InvalidArgument,
+                           "%s: layer %s does not match network "
+                           "layer %s", path.c_str(),
+                           blob.name.c_str(), l.name().c_str());
         }
+        size_t n_weights, n_bias;
+        if (l.kind() == LayerKind::Conv) {
+            const auto &conv = static_cast<const Conv2D &>(l);
+            n_weights = conv.weights().size();
+            n_bias = conv.bias().size();
+        } else {
+            const auto &fc = static_cast<const FullyConnected &>(l);
+            n_weights = fc.weights().size();
+            n_bias = fc.bias().size();
+        }
+        if (Status st = rd.readFloats(blob.weights, n_weights,
+                                      blob.name + " weights");
+            !st.ok()) {
+            return st;
+        }
+        if (Status st = rd.readFloats(blob.bias, n_bias,
+                                      blob.name + " bias");
+            !st.ok()) {
+            return st;
+        }
+    }
+    if (rd.remaining() != 0) {
+        return statusf(StatusCode::Corrupt,
+                       "%s: %zu trailing bytes after last layer",
+                       path.c_str(), rd.remaining());
+    }
+
+    // Commit.
+    for (uint32_t i = 0; i < count; ++i) {
+        Layer &l = net.layer(layers[i]);
         if (l.kind() == LayerKind::Conv) {
             auto &conv = static_cast<Conv2D &>(l);
-            readFloats(is, conv.weights().data(),
-                       conv.weights().size(), name);
-            readFloats(is, conv.bias().data(), conv.bias().size(),
-                       name);
+            std::copy(blobs[i].weights.begin(), blobs[i].weights.end(),
+                      conv.weights().data());
+            std::copy(blobs[i].bias.begin(), blobs[i].bias.end(),
+                      conv.bias().begin());
         } else {
             auto &fc = static_cast<FullyConnected &>(l);
-            readFloats(is, fc.weights().data(), fc.weights().size(),
-                       name);
-            readFloats(is, fc.bias().data(), fc.bias().size(), name);
+            std::copy(blobs[i].weights.begin(), blobs[i].weights.end(),
+                      fc.weights().data());
+            std::copy(blobs[i].bias.begin(), blobs[i].bias.end(),
+                      fc.bias().begin());
         }
-        if (!is)
-            fatal("truncated weight file %s at layer %s",
-                  path.c_str(), name.c_str());
     }
+    return Status();
 }
 
 } // namespace snapea

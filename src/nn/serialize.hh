@@ -3,6 +3,15 @@
  * Binary weight serialization for networks — lets users snapshot a
  * calibrated model so downstream experiments (and other tools) can
  * reload bit-identical parameters without re-running calibration.
+ *
+ * Format v2 (little-endian): a fixed header (magic "SNPW", version,
+ * payload length) followed by the payload and a trailing CRC32 of the
+ * payload.  Writes are atomic (temp file + rename); reads validate
+ * magic, version, length, and checksum before any parsing, bound
+ * every variable-length field by the remaining payload size, and
+ * only commit weights to the network after the whole file has been
+ * validated against its topology — a corrupt or mismatched file never
+ * leaves the network partially modified.
  */
 
 #ifndef SNAPEA_NN_SERIALIZE_HH
@@ -11,22 +20,24 @@
 #include <string>
 
 #include "nn/network.hh"
+#include "util/status.hh"
 
 namespace snapea {
 
 /**
  * Write every conv/FC layer's weights and biases to @p path in a
- * little-endian binary format keyed by layer name.  Fatal if the
- * file cannot be written.
+ * little-endian binary format keyed by layer name.  The write is
+ * atomic: on error the previous file contents (if any) are intact.
  */
-void saveWeights(const Network &net, const std::string &path);
+Status saveWeights(const Network &net, const std::string &path);
 
 /**
  * Load weights previously written by saveWeights into @p net.
- * Layer names, kinds, and parameter counts must match exactly;
- * mismatches are fatal (wrong file for this topology).
+ * Layer names, kinds, and parameter counts must match exactly.
+ * Returns NotFound / Corrupt / VersionMismatch / InvalidArgument as
+ * appropriate; on any error @p net is unchanged.
  */
-void loadWeights(Network &net, const std::string &path);
+Status loadWeights(Network &net, const std::string &path);
 
 } // namespace snapea
 

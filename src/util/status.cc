@@ -1,0 +1,47 @@
+#include "util/status.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace snapea {
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "ok";
+      case StatusCode::InvalidArgument: return "invalid argument";
+      case StatusCode::NotFound: return "not found";
+      case StatusCode::IoError: return "io error";
+      case StatusCode::Corrupt: return "corrupt";
+      case StatusCode::VersionMismatch: return "version mismatch";
+      case StatusCode::Unavailable: return "unavailable";
+    }
+    return "?";
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "ok";
+    std::string out = statusCodeName(code_);
+    if (!message_.empty()) {
+        out += ": ";
+        out += message_;
+    }
+    return out;
+}
+
+Status
+statusf(StatusCode code, const char *fmt, ...)
+{
+    char buf[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    return Status(code, buf);
+}
+
+} // namespace snapea

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Typed, recoverable errors for the SnaPEA library.
+ *
+ * Library code (serialization, caches, datasets, the harness) returns
+ * Status / StatusOr<T> instead of calling fatal(), so callers can
+ * degrade gracefully — a corrupted cache entry becomes a recompute,
+ * not a dead process.  fatal() remains the prerogative of the CLI and
+ * bench top levels, which translate a Status into a message and an
+ * exit code.
+ */
+
+#ifndef SNAPEA_UTIL_STATUS_HH
+#define SNAPEA_UTIL_STATUS_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace snapea {
+
+/** Category of a recoverable error. */
+enum class StatusCode {
+    Ok = 0,
+    /** Caller passed something invalid (bad flag, wrong topology). */
+    InvalidArgument,
+    /** The named resource does not exist (expected: cache miss). */
+    NotFound,
+    /** The operating system failed an I/O operation. */
+    IoError,
+    /** Data exists but fails validation (magic, checksum, bounds). */
+    Corrupt,
+    /** Data is well-formed but written by a different format version. */
+    VersionMismatch,
+    /** A resource is temporarily unusable (lock contention). */
+    Unavailable,
+};
+
+/** Stable lower-case name of a status code ("corrupt", ...). */
+const char *statusCodeName(StatusCode code);
+
+/**
+ * The result of an operation that can fail recoverably.  Default
+ * construction is success; errors carry a code and a human-readable
+ * message.  Marked nodiscard so failure paths cannot be dropped
+ * silently.
+ */
+class [[nodiscard]] Status
+{
+  public:
+    /** Success. */
+    Status() = default;
+
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    bool ok() const { return code_ == StatusCode::Ok; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "corrupt: checksum mismatch ..." (or "ok"). */
+    std::string toString() const;
+
+  private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+};
+
+/** Build an error Status from a printf-style format. */
+Status statusf(StatusCode code, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/**
+ * Either a value or the Status explaining why there is none.
+ * Accessing value() on an error is an internal bug and panics, like
+ * SNAPEA_ASSERT.
+ */
+template <typename T>
+class [[nodiscard]] StatusOr
+{
+  public:
+    StatusOr(Status status) : status_(std::move(status))
+    {
+        SNAPEA_ASSERT(!status_.ok());
+    }
+
+    StatusOr(T value) : value_(std::move(value)) {}
+
+    bool ok() const { return status_.ok(); }
+    const Status &status() const { return status_; }
+
+    const T &value() const &
+    {
+        SNAPEA_ASSERT(value_.has_value());
+        return *value_;
+    }
+    T &value() &
+    {
+        SNAPEA_ASSERT(value_.has_value());
+        return *value_;
+    }
+    T &&value() &&
+    {
+        SNAPEA_ASSERT(value_.has_value());
+        return std::move(*value_);
+    }
+
+    const T *operator->() const { return &value(); }
+    T *operator->() { return &value(); }
+
+  private:
+    Status status_;
+    std::optional<T> value_;
+};
+
+} // namespace snapea
+
+#endif // SNAPEA_UTIL_STATUS_HH

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/status.hh"
 
 namespace snapea {
 
@@ -53,10 +54,31 @@ makePrototype(Rng &rng, const std::vector<int> &shape, int res)
 
 } // namespace
 
+Status
+validateDatasetSpec(const DatasetSpec &spec)
+{
+    if (spec.num_classes <= 0) {
+        return statusf(StatusCode::InvalidArgument,
+                       "dataset num_classes %d is not positive",
+                       spec.num_classes);
+    }
+    if (spec.images_per_class <= 0) {
+        return statusf(StatusCode::InvalidArgument,
+                       "dataset images_per_class %d is not positive",
+                       spec.images_per_class);
+    }
+    if (spec.noise < 0.0f) {
+        return statusf(StatusCode::InvalidArgument,
+                       "dataset noise %.3f is negative",
+                       static_cast<double>(spec.noise));
+    }
+    return Status();
+}
+
 Dataset
 makeDataset(Rng &rng, const std::vector<int> &shape, const DatasetSpec &spec)
 {
-    SNAPEA_ASSERT(spec.num_classes > 0 && spec.images_per_class > 0);
+    SNAPEA_ASSERT(validateDatasetSpec(spec).ok());
     Dataset data;
     data.num_classes = spec.num_classes;
 

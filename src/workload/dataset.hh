@@ -21,6 +21,7 @@
 #include "nn/network.hh"
 #include "nn/tensor.hh"
 #include "util/random.hh"
+#include "util/status.hh"
 
 namespace snapea {
 
@@ -42,8 +43,16 @@ struct DatasetSpec
 };
 
 /**
+ * Check a generator configuration.  Front ends call this before
+ * makeDataset so user-supplied knobs fail with a recoverable error;
+ * makeDataset itself treats an invalid spec as a caller bug.
+ */
+Status validateDatasetSpec(const DatasetSpec &spec);
+
+/**
  * Generate a synthetic dataset of smooth prototype-plus-noise images.
  * Labels are the prototype ids (placeholders until selfLabel()).
+ * @pre validateDatasetSpec(spec).ok()
  *
  * @param rng Deterministic source; same seed, same dataset.
  * @param shape Image shape, CHW.

@@ -121,10 +121,10 @@ TEST(Serialize, RoundTripPreservesWeights)
     }
 
     const std::string path = "/tmp/snapea_test_weights.bin";
-    saveWeights(*net, path);
+    ASSERT_TRUE(saveWeights(*net, path).ok());
 
     auto other = buildModel(ModelId::AlexNet, scale);
-    loadWeights(*other, path);
+    ASSERT_TRUE(loadWeights(*other, path).ok());
     for (int idx : net->convLayers()) {
         const auto &a = static_cast<const Conv2D &>(net->layer(idx));
         const auto &b =
@@ -137,30 +137,32 @@ TEST(Serialize, RoundTripPreservesWeights)
     std::remove(path.c_str());
 }
 
-TEST(SerializeDeath, TopologyMismatchIsFatal)
+TEST(Serialize, TopologyMismatchIsRecoverable)
 {
     ModelScale scale;
     scale.input_size = 48;
     auto alex = buildModel(ModelId::AlexNet, scale);
     const std::string path = "/tmp/snapea_test_weights2.bin";
-    saveWeights(*alex, path);
+    ASSERT_TRUE(saveWeights(*alex, path).ok());
 
     auto squeeze = buildModel(ModelId::SqueezeNet, scale);
-    EXPECT_EXIT(loadWeights(*squeeze, path),
-                testing::ExitedWithCode(1), "");
+    const Status st = loadWeights(*squeeze, path);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::InvalidArgument);
     std::remove(path.c_str());
 }
 
-TEST(SerializeDeath, MissingFileIsFatal)
+TEST(Serialize, MissingFileIsNotFound)
 {
     ModelScale scale;
     scale.input_size = 48;
     auto net = buildModel(ModelId::AlexNet, scale);
-    EXPECT_EXIT(loadWeights(*net, "/nonexistent/nope.bin"),
-                testing::ExitedWithCode(1), "cannot read");
+    const Status st = loadWeights(*net, "/nonexistent/nope.bin");
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::NotFound);
 }
 
-TEST(SerializeDeath, GarbageFileIsFatal)
+TEST(Serialize, GarbageFileIsCorrupt)
 {
     const std::string path = "/tmp/snapea_garbage.bin";
     {
@@ -170,7 +172,10 @@ TEST(SerializeDeath, GarbageFileIsFatal)
     ModelScale scale;
     scale.input_size = 48;
     auto net = buildModel(ModelId::AlexNet, scale);
-    EXPECT_EXIT(loadWeights(*net, path), testing::ExitedWithCode(1),
-                "not a SnaPEA weight file");
+    const Status st = loadWeights(*net, path);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::Corrupt);
+    EXPECT_NE(st.message().find("not a SnaPEA weight file"),
+              std::string::npos);
     std::remove(path.c_str());
 }

@@ -8,6 +8,7 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 
 #include <gtest/gtest.h>
 
@@ -115,7 +116,91 @@ TEST(Integration, OptimizerParamCacheRoundTrip)
             EXPECT_FLOAT_EQ(ps[i].th, b.at(l)[i].th);
         }
     }
+
+    // Corrupt the cached record: a third Experiment must fall back
+    // to re-running Algorithm 1 and land on identical parameters —
+    // never crash, never load garbage.
+    bool corrupted_one = false;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(cfg.cache_dir)) {
+        if (entry.path().extension() != ".params")
+            continue;
+        std::fstream f(entry.path(),
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekg(0, std::ios::end);
+        const auto size = f.tellg();
+        ASSERT_GT(size, 0);
+        f.seekp(static_cast<std::streamoff>(size) / 2);
+        f.put('\xff');
+        corrupted_one = true;
+    }
+    ASSERT_TRUE(corrupted_one);
+
+    Experiment third(ModelId::AlexNet, cfg);
+    const auto c = third.predictiveParams(0.05);
+    ASSERT_EQ(a.size(), c.size());
+    for (const auto &[l, ps] : a) {
+        ASSERT_TRUE(c.count(l));
+        ASSERT_EQ(ps.size(), c.at(l).size());
+        for (size_t i = 0; i < ps.size(); ++i) {
+            EXPECT_EQ(ps[i].n_groups, c.at(l)[i].n_groups);
+            EXPECT_EQ(ps[i].th, c.at(l)[i].th);
+        }
+    }
     std::filesystem::remove_all(cfg.cache_dir);
+}
+
+TEST(Integration, CorruptModeCacheRecomputesIdentical)
+{
+    // The acceptance property for the hardened cache: a corrupted
+    // record degrades to a recompute whose results are bitwise
+    // identical to a cold cache, and an intact record round-trips
+    // bit-exactly.
+    const ModeResult cold = experiment().runExact();
+
+    const std::string dir = "/tmp/snapea_test_modecache";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const std::string path = dir + "/exact.result";
+    saveModeResult(path, cold);
+
+    ModeResult cached;
+    ASSERT_TRUE(loadModeResult(path, cached));
+    EXPECT_EQ(cold.snapea_sim.total_cycles,
+              cached.snapea_sim.total_cycles);
+    EXPECT_EQ(cold.eyeriss_sim.total_cycles,
+              cached.eyeriss_sim.total_cycles);
+    EXPECT_EQ(cold.accuracy, cached.accuracy);
+    EXPECT_EQ(cold.mac_ratio, cached.mac_ratio);
+    EXPECT_EQ(cold.snapea_sim.energy.total(),
+              cached.snapea_sim.energy.total());
+    ASSERT_EQ(cold.layers.size(), cached.layers.size());
+    for (size_t i = 0; i < cold.layers.size(); ++i) {
+        EXPECT_EQ(cold.layers[i].snapea_cycles,
+                  cached.layers[i].snapea_cycles);
+        EXPECT_EQ(cold.layers[i].snapea_energy_pj,
+                  cached.layers[i].snapea_energy_pj);
+    }
+
+    // Flip one byte: the record must become a miss...
+    {
+        std::fstream f(path,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(40);
+        f.put('\xff');
+    }
+    ModeResult junk;
+    EXPECT_FALSE(loadModeResult(path, junk));
+
+    // ...and the recompute is bitwise identical to the cold run.
+    const ModeResult warm = experiment().runExact();
+    EXPECT_EQ(cold.snapea_sim.total_cycles,
+              warm.snapea_sim.total_cycles);
+    EXPECT_EQ(cold.eyeriss_sim.total_cycles,
+              warm.eyeriss_sim.total_cycles);
+    EXPECT_EQ(cold.accuracy, warm.accuracy);
+    EXPECT_EQ(cold.mac_ratio, warm.mac_ratio);
+    std::filesystem::remove_all(dir);
 }
 
 TEST(Integration, CacheDirEnvOverride)

@@ -8,20 +8,26 @@
  *   predictive <model> <epsilon>     Algorithm 1 + measurement
  *   sweep <model>                    epsilon sweep (0/1/2/3%)
  *   save-weights <model> <path>      calibrate and snapshot weights
+ *   load-weights <model> <path>      verify a snapshot loads cleanly
  *
  * Options:
- *   --input <px>     override the input resolution
+ *   --input <px>     override the input resolution (>= 8)
  *   --seed <n>       experiment seed
  *   --threads <n>    worker threads (default: SNAPEA_THREADS or all
  *                    hardware threads; 1 = serial legacy path)
  *   --no-cache       disable the on-disk result cache
  *
- * Exit status: 0 on success, 1 on usage or configuration errors.
+ * Exit status: 0 on success; 1 on runtime errors (unreadable or
+ * corrupt weight files, configuration rejected by the library);
+ * 2 on usage errors (unknown flag/command/model, malformed values).
  */
 
+#include <cerrno>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -36,20 +42,78 @@ using namespace snapea;
 
 namespace {
 
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+
 void
-usage()
+printUsage(FILE *to)
 {
-    std::fprintf(stderr,
+    std::fprintf(to,
                  "usage: snapea_cli [options] <command> ...\n"
                  "  info <model>\n"
                  "  exact <model>\n"
                  "  predictive <model> <epsilon>\n"
                  "  sweep <model>\n"
                  "  save-weights <model> <path>\n"
+                 "  load-weights <model> <path>\n"
                  "models: AlexNet GoogLeNet SqueezeNet VGGNet\n"
                  "options: --input <px>  --seed <n>  --threads <n>  "
                  "--no-cache\n");
-    std::exit(1);
+}
+
+[[noreturn]] void
+usageError(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void
+usageError(const char *fmt, ...)
+{
+    std::fprintf(stderr, "snapea_cli: ");
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+    printUsage(stderr);
+    std::exit(kExitUsage);
+}
+
+/** Full-string parse of a decimal integer in [min, max]. */
+long
+parseInt(const char *flag, const std::string &text, long min, long max)
+{
+    char *end = nullptr;
+    errno = 0;
+    const long v = std::strtol(text.c_str(), &end, 10);
+    if (text.empty() || *end != '\0' || errno != 0 || v < min ||
+        v > max) {
+        usageError("%s: '%s' is not an integer in [%ld, %ld]", flag,
+                   text.c_str(), min, max);
+    }
+    return v;
+}
+
+/** Full-string parse of a non-negative decimal number. */
+double
+parseDouble(const char *flag, const std::string &text)
+{
+    char *end = nullptr;
+    errno = 0;
+    const double v = std::strtod(text.c_str(), &end);
+    if (text.empty() || *end != '\0' || errno != 0 || v < 0.0) {
+        usageError("%s: '%s' is not a non-negative number", flag,
+                   text.c_str());
+    }
+    return v;
+}
+
+ModelId
+parseModel(const std::string &name)
+{
+    const ModelInfo *info = findModelByName(name);
+    if (!info)
+        usageError("unknown model '%s'", name.c_str());
+    return info->id;
 }
 
 void
@@ -92,23 +156,41 @@ main(int argc, char **argv)
     HarnessConfig cfg = benchHarnessConfig();
     std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--input") && i + 1 < argc) {
-            cfg.input_size_override = std::atoi(argv[++i]);
-        } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
-            cfg.seed = std::strtoull(argv[++i], nullptr, 10);
-        } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
-            util::setThreadCount(std::atoi(argv[++i]));
-        } else if (!std::strcmp(argv[i], "--no-cache")) {
+        const std::string arg = argv[i];
+        auto flagValue = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc)
+                usageError("%s requires a value", flag);
+            return argv[++i];
+        };
+        if (arg == "--input") {
+            cfg.input_size_override = static_cast<int>(
+                parseInt("--input", flagValue("--input"), 8, 4096));
+        } else if (arg == "--seed") {
+            cfg.seed = static_cast<uint64_t>(parseInt(
+                "--seed", flagValue("--seed"), 0,
+                std::numeric_limits<long>::max()));
+        } else if (arg == "--threads") {
+            util::setThreadCount(static_cast<int>(parseInt(
+                "--threads", flagValue("--threads"), 1, 1024)));
+        } else if (arg == "--no-cache") {
             cfg.cache_dir = "";
+        } else if (arg.rfind("--", 0) == 0) {
+            usageError("unknown option '%s'", arg.c_str());
         } else {
-            args.emplace_back(argv[i]);
+            args.push_back(arg);
         }
     }
     if (args.size() < 2)
-        usage();
+        usageError("missing command or model");
 
     const std::string &cmd = args[0];
-    const ModelId id = modelByName(args[1]);
+    const ModelId id = parseModel(args[1]);
+
+    if (const Status st = validateHarnessConfig(cfg); !st.ok()) {
+        std::fprintf(stderr, "snapea_cli: %s\n",
+                     st.toString().c_str());
+        return kExitRuntime;
+    }
 
     if (cmd == "info") {
         cmdInfo(id, cfg);
@@ -120,8 +202,8 @@ main(int argc, char **argv)
         printMode("exact:", exp.runExact());
     } else if (cmd == "predictive") {
         if (args.size() < 3)
-            usage();
-        const double eps = std::atof(args[2].c_str());
+            usageError("predictive requires <model> <epsilon>");
+        const double eps = parseDouble("epsilon", args[2]);
         char label[32];
         std::snprintf(label, sizeof(label), "eps=%.3f:", eps);
         printMode(label, exp.runPredictive(eps));
@@ -135,12 +217,28 @@ main(int argc, char **argv)
         }
     } else if (cmd == "save-weights") {
         if (args.size() < 3)
-            usage();
-        saveWeights(exp.net(), args[2]);
+            usageError("save-weights requires <model> <path>");
+        if (const Status st = saveWeights(exp.net(), args[2]);
+            !st.ok()) {
+            std::fprintf(stderr, "snapea_cli: %s\n",
+                         st.toString().c_str());
+            return kExitRuntime;
+        }
         std::printf("wrote calibrated weights to %s\n",
                     args[2].c_str());
+    } else if (cmd == "load-weights") {
+        if (args.size() < 3)
+            usageError("load-weights requires <model> <path>");
+        if (const Status st = loadWeights(exp.net(), args[2]);
+            !st.ok()) {
+            std::fprintf(stderr, "snapea_cli: %s\n",
+                         st.toString().c_str());
+            return kExitRuntime;
+        }
+        std::printf("loaded weights from %s (%.1fK parameters)\n",
+                    args[2].c_str(), exp.net().totalWeights() / 1e3);
     } else {
-        usage();
+        usageError("unknown command '%s'", cmd.c_str());
     }
     return 0;
 }
