@@ -23,6 +23,8 @@ main()
     for (ModelId id : kAllModels) {
         std::vector<std::string> row{modelInfo(id).name};
         for (int e = 0; e < 4; ++e) {
+            // eps_levels holds exact sentinels (0.0 = exact mode).
+            // snapea-lint: allow(no-float-compare)
             ModeResult r = eps_levels[e] == 0.0
                 ? BenchContext::instance().exact(id)
                 : BenchContext::instance().predictive(id,

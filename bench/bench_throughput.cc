@@ -135,7 +135,15 @@ main(int argc, char **argv)
     std::printf("=== SnaPEA reproduction: thread-scaling throughput "
                 "baseline ===\n");
 
-    const ModelId id = modelByName(model_name);
+    // User input resolves through the non-terminating lookup; the
+    // bench top level owns the error exit.
+    const ModelInfo *model = findModelByName(model_name);
+    if (!model) {
+        std::fprintf(stderr, "bench_throughput: unknown model '%s'\n",
+                     model_name.c_str());
+        return 1;
+    }
+    const ModelId id = model->id;
     ModelScale scale = defaultScale(id);
     scale.input_size = input_px;
     auto net = buildModel(id, scale);

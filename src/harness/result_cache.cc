@@ -238,6 +238,9 @@ BenchContext::runMode(ModelId id, double epsilon)
         return res;
     inform("measuring %s at epsilon=%.3f (not cached)...",
            modelInfo(id).name, epsilon);
+    // epsilon is an exact user-supplied sentinel (0.0 selects exact
+    // mode), never the result of arithmetic.
+    // snapea-lint: allow(no-float-compare)
     res = epsilon == 0.0 ? experiment(id).runExact()
                          : experiment(id).runPredictive(epsilon);
     saveModeResult(path, res);

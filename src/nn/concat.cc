@@ -14,7 +14,7 @@ Concat::outputShape(const std::vector<std::vector<int>> &in_shapes) const
     for (const auto &s : in_shapes) {
         SNAPEA_ASSERT(s.size() == 3);
         if (s[1] != in_shapes[0][1] || s[2] != in_shapes[0][2]) {
-            fatal("concat layer %s: mismatched spatial dims %dx%d vs %dx%d",
+            panic("concat layer %s: mismatched spatial dims %dx%d vs %dx%d",
                   name().c_str(), s[1], s[2],
                   in_shapes[0][1], in_shapes[0][2]);
         }

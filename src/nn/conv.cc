@@ -68,13 +68,13 @@ Conv2D::outputShape(const std::vector<std::vector<int>> &in_shapes) const
     const auto &s = in_shapes[0];
     SNAPEA_ASSERT(s.size() == 3);
     if (s[0] != spec_.in_channels) {
-        fatal("conv layer %s expects %d input channels, got %d",
+        panic("conv layer %s expects %d input channels, got %d",
               name().c_str(), spec_.in_channels, s[0]);
     }
     const int oh = outDim(s[1]);
     const int ow = outDim(s[2]);
     if (oh <= 0 || ow <= 0) {
-        fatal("conv layer %s output would be empty for input %dx%d",
+        panic("conv layer %s output would be empty for input %dx%d",
               name().c_str(), s[1], s[2]);
     }
     return {spec_.out_channels, oh, ow};

@@ -28,7 +28,7 @@ FullyConnected::outputShape(
     SNAPEA_ASSERT(in_shapes.size() == 1);
     const size_t flat = Tensor::elemCount(in_shapes[0]);
     if (flat != static_cast<size_t>(in_features_)) {
-        fatal("fc layer %s expects %d input features, got %zu",
+        panic("fc layer %s expects %d input features, got %zu",
               name().c_str(), in_features_, flat);
     }
     return {out_features_};

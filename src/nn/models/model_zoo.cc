@@ -38,7 +38,9 @@ modelByName(const std::string &name)
 {
     if (const ModelInfo *info = findModelByName(name))
         return info->id;
-    fatal("unknown model name %s", name.c_str());
+    panic("unknown model name %s (callers taking user input should use\n"
+          "findModelByName and report the miss themselves)",
+          name.c_str());
 }
 
 const ModelInfo *

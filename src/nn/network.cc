@@ -39,7 +39,7 @@ Network::add(std::unique_ptr<Layer> layer,
         in_shapes.push_back(p == kInput ? input_shape_ : out_shapes_[p]);
 
     if (by_name_.count(layer->name())) {
-        fatal("network %s: duplicate layer name %s",
+        panic("network %s: duplicate layer name %s",
               name_.c_str(), layer->name().c_str());
     }
 
@@ -71,7 +71,7 @@ Network::layerIndex(const std::string &name) const
 {
     auto it = by_name_.find(name);
     if (it == by_name_.end())
-        fatal("network %s: no layer named %s", name_.c_str(), name.c_str());
+        panic("network %s: no layer named %s", name_.c_str(), name.c_str());
     return it->second;
 }
 

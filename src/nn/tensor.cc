@@ -26,6 +26,12 @@ size_t
 Tensor::index(int c, int h, int w) const
 {
     SNAPEA_ASSERT(rank() == 3);
+    // Shape/stride consistency: a coordinate outside the declared
+    // CHW box would still produce a flat index that may alias a
+    // different element — undetectable downstream.
+    SNAPEA_DCHECK(c >= 0 && c < shape_[0]);
+    SNAPEA_DCHECK(h >= 0 && h < shape_[1]);
+    SNAPEA_DCHECK(w >= 0 && w < shape_[2]);
     return (static_cast<size_t>(c) * shape_[1] + h) * shape_[2] + w;
 }
 
@@ -45,6 +51,8 @@ float &
 Tensor::at(int o, int i, int h, int w)
 {
     SNAPEA_ASSERT(rank() == 4);
+    SNAPEA_DCHECK(o >= 0 && o < shape_[0] && i >= 0 && i < shape_[1]
+                  && h >= 0 && h < shape_[2] && w >= 0 && w < shape_[3]);
     return data_[((static_cast<size_t>(o) * shape_[1] + i) * shape_[2] + h)
                  * shape_[3] + w];
 }
@@ -53,6 +61,8 @@ float
 Tensor::at(int o, int i, int h, int w) const
 {
     SNAPEA_ASSERT(rank() == 4);
+    SNAPEA_DCHECK(o >= 0 && o < shape_[0] && i >= 0 && i < shape_[1]
+                  && h >= 0 && h < shape_[2] && w >= 0 && w < shape_[3]);
     return data_[((static_cast<size_t>(o) * shape_[1] + i) * shape_[2] + h)
                  * shape_[3] + w];
 }

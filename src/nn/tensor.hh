@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "util/check.hh"
+
 namespace snapea {
 
 /**
@@ -50,8 +52,16 @@ class Tensor
     const float *data() const { return data_.data(); }
 
     /** Flat element access. */
-    float &operator[](size_t i) { return data_[i]; }
-    float operator[](size_t i) const { return data_[i]; }
+    float &operator[](size_t i)
+    {
+        SNAPEA_DCHECK(i < data_.size());
+        return data_[i];
+    }
+    float operator[](size_t i) const
+    {
+        SNAPEA_DCHECK(i < data_.size());
+        return data_[i];
+    }
 
     /** 3D (CHW) element access. */
     float &at(int c, int h, int w);

@@ -48,8 +48,9 @@ SnapeaAccelSim::simulateConvLayer(const ConvLayerTrace &lt,
     // across the `rows` horizontal groups and the kernels across the
     // `cols` vertical groups.  When a layer's feature map is too
     // small to give every horizontal group at least a full lane
-    // group of windows (late layers of the scaled models, and e.g.\
-    // inception_5* even at full scale), whole rows would idle; the
+    // group of windows (late layers of the scaled models, and for
+    // instance inception_5* even at full scale), whole rows would
+    // idle; the
     // mapper instead folds surplus rows into extra kernel
     // partitions, which any real deployment would do.
     int spatial_parts = rows;

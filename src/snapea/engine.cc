@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -37,6 +38,13 @@ prepareKernel(const Conv2D &conv, int out_ch, const KernelPlan &plan)
         pk.ic[i] = ic0 + ic_rel;
         pk.dy[i] = ky;
         pk.dx[i] = kx;
+        // Index-buffer entries drive raw pointer arithmetic in the
+        // window walk; a stale plan (wrong layer, wrong group) shows
+        // up here before it can read out of bounds.
+        SNAPEA_CHECK(pk.ic[i] >= ic0 && pk.ic[i] < ic0 + cin_g
+                     && pk.ic[i] < spec.in_channels);
+        SNAPEA_CHECK(ky >= 0 && ky < spec.kernel
+                     && kx >= 0 && kx < spec.kernel);
     }
     return pk;
 }
@@ -103,8 +111,12 @@ prefixSum(const PreparedKernel &pk, const Tensor &in, int iy0, int ix0)
     if (isInterior(pk, ih, iw, iy0, ix0) && !pk.interior_off.empty()) {
         const float *base = in.data()
             + static_cast<size_t>(iy0) * iw + ix0;
-        for (int i = 0; i < pk.prefix_len; ++i)
+        for (int i = 0; i < pk.prefix_len; ++i) {
+            SNAPEA_DCHECK(static_cast<size_t>(base - in.data())
+                              + static_cast<size_t>(pk.interior_off[i])
+                          < in.size());
             psum += pk.w[i] * base[pk.interior_off[i]];
+        }
     } else {
         for (int i = 0; i < pk.prefix_len; ++i)
             psum += pk.w[i] * tapValue(pk, in, ih, iw, iy0, ix0, i);
@@ -124,6 +136,12 @@ walkWindow(const PreparedKernel &pk, const Tensor &in, int iy0, int ix0,
         ? in.data() + static_cast<size_t>(iy0) * iw + ix0 : nullptr;
 
     auto tap = [&](int i) {
+        // The interior fast path indexes the flat activation buffer
+        // directly; check the precomputed offset lands inside it.
+        SNAPEA_DCHECK(!interior
+                      || static_cast<size_t>(base - in.data())
+                              + static_cast<size_t>(pk.interior_off[i])
+                          < in.size());
         return interior ? base[pk.interior_off[i]]
                         : tapValue(pk, in, ih, iw, iy0, ix0, i);
     };
@@ -147,6 +165,11 @@ walkWindow(const PreparedKernel &pk, const Tensor &in, int iy0, int ix0,
             // negative-weight run it can only decrease further.
             float full = psum;
             for (int j = i; j < ks; ++j) {
+                // Same monotonicity property as phase 3 below: the
+                // early return on a settled negative sign is only
+                // sound if later terms cannot push the sum back up.
+                SNAPEA_DCHECK(j < pk.neg_start
+                              || pk.w[j] * tap(j) <= 0.0f);
                 full += pk.w[j] * tap(j);
                 if (j >= pk.neg_start && full < 0.0f) {
                     res.full_sum = full;
@@ -166,6 +189,14 @@ walkWindow(const PreparedKernel &pk, const Tensor &in, int iy0, int ix0,
 
     // Phase 3: negative weights with the single-bit sign check.
     for (; i < ks; ++i) {
+        // The paper's exactness argument (Section III): weights here
+        // are negative and activations non-negative, so every term
+        // is <= 0 and the partial sum is monotonically non-
+        // increasing — a sign once negative is final.  A positive
+        // weight (bad plan) or a negative activation (non-ReLU
+        // input) would void the argument; catch both.
+        SNAPEA_DCHECK(pk.w[i] < 0.0f);
+        SNAPEA_DCHECK(pk.w[i] * tap(i) <= 0.0f);
         psum += pk.w[i] * tap(i);
         if (psum < 0.0f) {
             res.ops = i + 1;

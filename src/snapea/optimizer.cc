@@ -6,6 +6,7 @@
 
 #include "snapea/engine.hh"
 #include "snapea/reorder.hh"
+#include "util/check.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 #include "util/thread_pool.hh"
@@ -389,6 +390,11 @@ struct SpeculationOptimizer::Impl
                     continue;
                 ++candidates_evaluated;
                 if (slot.kept) {
+                    // ParamL admission contract: every kept (Th, N)
+                    // candidate's measured isolated accuracy loss is
+                    // within the local slack, so the global pass
+                    // only ever composes pre-vetted configurations.
+                    SNAPEA_CHECK(slot.cand.err <= cfg.local_slack);
                     cands.push_back(std::move(slot.cand));
                     ++candidates_kept;
                 }
@@ -401,6 +407,15 @@ struct SpeculationOptimizer::Impl
                             const LayerCandidate &b) {
                              return a.op < b.op;
                          });
+        // The global pass's force-exact fallback and the merit walk
+        // both assume the exact (n_groups == 0, err == 0) candidate
+        // survived into the sorted list.
+        SNAPEA_IF_CHECKED({
+            bool has_exact = false;
+            for (const auto &c : cands)
+                has_exact |= c.n_groups == 0;
+            SNAPEA_CHECK(has_exact);
+        })
         paramL.emplace(l, std::move(cands));
     }
 
@@ -628,6 +643,15 @@ struct SpeculationOptimizer::Impl
             }
         }
 
+        // Bounded-loss contract of predictive mode: the returned
+        // (Th, N) assignment, replayed through a fresh engine over
+        // the optimization set, reproduces exactly the accuracy loss
+        // being reported (and that is what was tested against the
+        // epsilon budget above).
+        SNAPEA_IF_CHECKED({
+            resim(0);
+            SNAPEA_CHECK(globalErr(acts) == err);
+        })
         res.params = makeParams();
         res.stats.global_iterations = iters;
         res.stats.final_err = err;

@@ -3,11 +3,49 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/check.hh"
 #include "util/logging.hh"
 
 namespace snapea {
 
 namespace {
+
+#if SNAPEA_CHECKS_ENABLED
+
+/**
+ * Checked-build validation of a finished plan against Section IV-B:
+ * @c order is a permutation of [0, kernelSize), the boundaries are
+ * ordered 0 <= prefix_len <= neg_start <= kernelSize, every
+ * non-prefix weight before @c neg_start is non-negative and every
+ * weight from @c neg_start on is strictly negative.  The sign
+ * partition is what makes the exact mode exact: with non-negative
+ * activations, the partial sum cannot increase once the negative run
+ * begins, so the sign check in the engine terminates soundly.
+ */
+void
+checkKernelPlan(const Conv2D &conv, int out_ch, const KernelPlan &plan)
+{
+    const int ks = conv.kernelSize();
+    SNAPEA_CHECK(static_cast<int>(plan.order.size()) == ks);
+    SNAPEA_CHECK(plan.prefix_len >= 0
+                 && plan.prefix_len <= plan.neg_start
+                 && plan.neg_start <= ks);
+    std::vector<bool> seen(plan.order.size(), false);
+    for (int idx : plan.order) {
+        SNAPEA_CHECK(idx >= 0 && idx < ks);
+        SNAPEA_CHECK(!seen[idx]);
+        seen[idx] = true;
+    }
+    for (int i = plan.prefix_len; i < ks; ++i) {
+        const float w = conv.weightAt(out_ch, plan.order[i]);
+        if (i < plan.neg_start)
+            SNAPEA_CHECK(w >= 0.0f);
+        else
+            SNAPEA_CHECK(w < 0.0f);
+    }
+}
+
+#endif // SNAPEA_CHECKS_ENABLED
 
 /**
  * Append @p taps to @p order with positive (>= 0) weights first (in
@@ -91,6 +129,7 @@ planWithPrefix(const Conv2D &conv, int out_ch, std::vector<int> prefix,
     // appendSignOrdered returns the absolute position where the
     // negative run begins (order already holds the prefix).
     plan.neg_start = appendSignOrdered(conv, out_ch, rest, plan.order);
+    SNAPEA_IF_CHECKED(checkKernelPlan(conv, out_ch, plan);)
     return plan;
 }
 
@@ -104,6 +143,7 @@ makeExactPlan(const Conv2D &conv, int out_ch)
     plan.prefix_len = 0;
     plan.neg_start = appendSignOrdered(conv, out_ch, allTaps(conv),
                                        plan.order);
+    SNAPEA_IF_CHECKED(checkKernelPlan(conv, out_ch, plan);)
     return plan;
 }
 

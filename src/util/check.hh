@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Checked-invariant build: runtime assertions of the SnaPEA math.
+ *
+ * SNAPEA_ASSERT (logging.hh) guards cheap structural invariants and
+ * is always on.  The macros here guard the *paper's* correctness
+ * properties — monotone partial sums in the negative-weight phase,
+ * valid weight permutations, in-bounds index-buffer lookups — whose
+ * verification is too expensive for release builds (some run per
+ * MAC).  They compile to nothing unless the build sets
+ * SNAPEA_CHECK_INVARIANTS (cmake -DSNAPEA_CHECK_INVARIANTS=ON), which
+ * also gives every ctest entry the `checked` label:
+ *
+ *     cmake -B build-checked -S . -DSNAPEA_CHECK_INVARIANTS=ON
+ *     cd build-checked && ctest -L checked --output-on-failure
+ *
+ * SNAPEA_CHECK is for checks that are O(1)-per-call or run once per
+ * kernel/layer (plan validation, bounds of a prepared index buffer).
+ * SNAPEA_DCHECK is for per-window / per-tap checks inside the MAC
+ * loops, where even the condition evaluation is a measurable cost.
+ * Both panic() on failure, so a violated invariant aborts with the
+ * failure site, exactly like SNAPEA_ASSERT.
+ *
+ * SNAPEA_IF_CHECKED(...) splices setup code (e.g. a scratch vector
+ * for a permutation check) into checked builds only; in normal
+ * builds the tokens vanish, so the checks add zero release cost.
+ */
+
+#ifndef SNAPEA_UTIL_CHECK_HH
+#define SNAPEA_UTIL_CHECK_HH
+
+#include "util/logging.hh"
+
+#ifdef SNAPEA_CHECK_INVARIANTS
+
+#define SNAPEA_CHECK(cond)                                              \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::snapea::panic("checked invariant violated at %s:%d: %s",  \
+                            __FILE__, __LINE__, #cond);                 \
+        }                                                               \
+    } while (0)
+
+#define SNAPEA_DCHECK(cond) SNAPEA_CHECK(cond)
+
+#define SNAPEA_IF_CHECKED(...) __VA_ARGS__
+
+/** True in checked builds; lets code branch without #ifdef noise. */
+#define SNAPEA_CHECKS_ENABLED 1
+
+#else // !SNAPEA_CHECK_INVARIANTS
+
+// Compiled out: the condition is not evaluated, so hot loops carry
+// no cost.  `if (false && (cond))` would still odr-use the operands;
+// sizeof in an unevaluated context keeps them syntactically checked
+// without generating code.
+#define SNAPEA_CHECK(cond)                                              \
+    do {                                                                \
+        (void)sizeof((cond) ? 1 : 0);                                   \
+    } while (0)
+
+#define SNAPEA_DCHECK(cond) SNAPEA_CHECK(cond)
+
+#define SNAPEA_IF_CHECKED(...)
+
+#define SNAPEA_CHECKS_ENABLED 0
+
+#endif // SNAPEA_CHECK_INVARIANTS
+
+#endif // SNAPEA_UTIL_CHECK_HH

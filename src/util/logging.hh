@@ -43,6 +43,8 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
  * Terminate because of a user-level error (bad configuration,
  * invalid argument).  Exits with code 1.
  */
+// Declaration of the confined API itself, not a use of it.
+// snapea-lint: allow(no-fatal-in-lib)
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 

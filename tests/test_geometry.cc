@@ -29,8 +29,16 @@ std::string
 geomName(const testing::TestParamInfo<Geometry> &info)
 {
     const Geometry &g = info.param;
-    return "n" + std::to_string(g.n) + "k" + std::to_string(g.k) + "s"
-        + std::to_string(g.stride) + "p" + std::to_string(g.pad);
+    std::string name;
+    name += 'n';
+    name += std::to_string(g.n);
+    name += 'k';
+    name += std::to_string(g.k);
+    name += 's';
+    name += std::to_string(g.stride);
+    name += 'p';
+    name += std::to_string(g.pad);
+    return name;
 }
 
 /** Reference conv output at one position, double precision. */

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Tests for tools/snapea_lint.cc: every rule demonstrated by a
+ * fixture that fires it (and only it), the escape hatch, the exit
+ * code contract, and a self-scan proving the shipped tree is clean.
+ *
+ * The lint binary is driven as a subprocess (its real interface);
+ * the build passes its location via SNAPEA_LINT_BIN and the repo
+ * root via SNAPEA_SOURCE_ROOT.
+ */
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct LintRun
+{
+    int exit_code;
+    std::string output;
+};
+
+/** Run snapea_lint with @p args, capturing stdout+stderr. */
+LintRun
+runLint(const std::string &args)
+{
+    const fs::path out_path =
+        fs::path(testing::TempDir()) / "snapea_lint_out.txt";
+    const std::string cmd = std::string(SNAPEA_LINT_BIN) + " " + args
+        + " > " + out_path.string() + " 2>&1";
+    const int raw = std::system(cmd.c_str());
+    LintRun run;
+    run.exit_code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+    std::ifstream in(out_path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    run.output = ss.str();
+    return run;
+}
+
+/** A disposable fixture tree rooted in the test temp dir. */
+class FixtureTree
+{
+  public:
+    explicit FixtureTree(const std::string &name)
+        : root_(fs::path(testing::TempDir()) / ("lint_" + name))
+    {
+        fs::remove_all(root_);
+        fs::create_directories(root_ / "src");
+    }
+
+    ~FixtureTree() { fs::remove_all(root_); }
+
+    void
+    write(const std::string &rel, const std::string &content)
+    {
+        const fs::path p = root_ / rel;
+        fs::create_directories(p.parent_path());
+        std::ofstream(p) << content;
+    }
+
+    std::string
+    rootArg() const
+    {
+        return "--root " + root_.string();
+    }
+
+  private:
+    fs::path root_;
+};
+
+/** Count "[SLxxx" rule mentions in lint output. */
+int
+countFindings(const std::string &output)
+{
+    int n = 0;
+    for (size_t pos = output.find("[SL"); pos != std::string::npos;
+         pos = output.find("[SL", pos + 1)) {
+        ++n;
+    }
+    return n;
+}
+
+/** One fixture fires exactly the expected rule. */
+void
+expectSingleViolation(const std::string &name, const std::string &rel,
+                      const std::string &content,
+                      const std::string &rule_id)
+{
+    FixtureTree tree(name);
+    tree.write(rel, content);
+    const LintRun run = runLint(tree.rootArg());
+    EXPECT_EQ(run.exit_code, 1) << run.output;
+    EXPECT_NE(run.output.find("[" + rule_id + " "), std::string::npos)
+        << run.output;
+    EXPECT_EQ(countFindings(run.output), 1) << run.output;
+    // The one-line rationale accompanies the finding.
+    EXPECT_NE(run.output.find("rule: "), std::string::npos)
+        << run.output;
+}
+
+TEST(Lint, FiresNoFatalInLib)
+{
+    expectSingleViolation(
+        "fatal", "src/bad_fatal.cc",
+        "void doomed() { fatal(\"nope\"); }\n", "SL001");
+}
+
+TEST(Lint, FiresNoDiscardedStatus)
+{
+    expectSingleViolation(
+        "discard", "src/bad_discard.cc",
+        "void g() { (void)loadWeights(); }\n", "SL002");
+}
+
+TEST(Lint, FiresNoNondeterminism)
+{
+    expectSingleViolation(
+        "rand", "src/bad_rand.cc",
+        "int f() { return rand(); }\n", "SL003");
+}
+
+TEST(Lint, FiresNoNondeterminismClock)
+{
+    expectSingleViolation(
+        "clock", "src/bad_clock.cc",
+        "long f() { return now<system_clock>(); }\n", "SL003");
+}
+
+TEST(Lint, FiresNoUsingNamespaceInHeader)
+{
+    expectSingleViolation(
+        "using", "src/bad_using.hh",
+        "#pragma once\nusing namespace std;\n", "SL004");
+}
+
+TEST(Lint, FiresNoFloatCompare)
+{
+    expectSingleViolation(
+        "floateq", "src/bad_floateq.cc",
+        "bool f(float x) { return x == 1.5f; }\n", "SL005");
+}
+
+TEST(Lint, FiresHeaderGuard)
+{
+    expectSingleViolation(
+        "guard", "src/bad_guard.hh",
+        "extern int bad_guard_x;\n", "SL006");
+}
+
+TEST(Lint, FiresOwnHeaderFirst)
+{
+    FixtureTree tree("order");
+    tree.write("src/mod.hh", "#pragma once\nint mod_f();\n");
+    tree.write("src/mod.cc",
+               "#include <vector>\n#include \"mod.hh\"\n"
+               "int mod_f() { return 0; }\n");
+    const LintRun run = runLint(tree.rootArg());
+    EXPECT_EQ(run.exit_code, 1) << run.output;
+    EXPECT_NE(run.output.find("[SL007 "), std::string::npos)
+        << run.output;
+    EXPECT_EQ(countFindings(run.output), 1) << run.output;
+}
+
+TEST(Lint, CleanFilePasses)
+{
+    FixtureTree tree("clean");
+    tree.write("src/clean.hh",
+               "#ifndef CLEAN_HH\n#define CLEAN_HH\n"
+               "int clean_f();\n#endif\n");
+    tree.write("src/clean.cc",
+               "#include \"clean.hh\"\nint clean_f() { return 3; }\n");
+    const LintRun run = runLint(tree.rootArg());
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+    EXPECT_EQ(countFindings(run.output), 0) << run.output;
+}
+
+TEST(Lint, AllowEscapeHatchSuppresses)
+{
+    FixtureTree tree("allow");
+    tree.write("src/allowed.cc",
+               "// justified: top-level glue pending Status-ification\n"
+               "// snapea-lint: allow(no-fatal-in-lib)\n"
+               "void doomed() { fatal(\"nope\"); }\n");
+    const LintRun run = runLint(tree.rootArg());
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(Lint, AllowOnSameLineSuppresses)
+{
+    FixtureTree tree("allow2");
+    tree.write("src/allowed2.cc",
+               "bool f(float x) { return x == 0.0f; }"
+               "  // sentinel; snapea-lint: allow(no-float-compare)\n");
+    const LintRun run = runLint(tree.rootArg());
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(Lint, TerminatorsAllowedOutsideLib)
+{
+    // tools/ and bench/ top levels own the process-exit decision.
+    FixtureTree tree("tool");
+    tree.write("tools/main.cc",
+               "int main() { fatal(\"usage\"); return 1; }\n");
+    const LintRun run = runLint(tree.rootArg());
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(Lint, HardwareConcurrencyAllowedInThreadPool)
+{
+    FixtureTree tree("tp");
+    tree.write("src/thread_pool.cc",
+               "unsigned f() { return x.hardware_concurrency(); }\n");
+    const LintRun run = runLint(tree.rootArg());
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(Lint, UsageErrorsExitTwo)
+{
+    EXPECT_EQ(runLint("--no-such-flag").exit_code, 2);
+    EXPECT_EQ(runLint("--root /nonexistent-snapea-dir").exit_code, 2);
+    FixtureTree tree("usage");
+    EXPECT_EQ(runLint(tree.rootArg() + " no_such_subdir").exit_code, 2);
+}
+
+TEST(Lint, ListRulesShowsAllIds)
+{
+    const LintRun run = runLint("--list-rules");
+    EXPECT_EQ(run.exit_code, 0);
+    for (const char *id : {"SL001", "SL002", "SL003", "SL004", "SL005",
+                           "SL006", "SL007"}) {
+        EXPECT_NE(run.output.find(id), std::string::npos) << id;
+    }
+}
+
+// The gate itself: the shipped tree must stay lint-clean.  A
+// violation here means a new commit broke a project rule (or needs a
+// reviewed allow() annotation next to its justification).
+TEST(Lint, SelfScanTreeIsClean)
+{
+    const LintRun run =
+        runLint(std::string("--root ") + SNAPEA_SOURCE_ROOT);
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+    EXPECT_NE(run.output.find("clean"), std::string::npos)
+        << run.output;
+}
+
+} // namespace

@@ -122,8 +122,8 @@ TEST_P(ModelZooTest, ChannelsAreMultiplesOfEight)
 
 INSTANTIATE_TEST_SUITE_P(
     AllModels, ModelZooTest, testing::ValuesIn(kAllModels),
-    [](const testing::TestParamInfo<ModelId> &info) {
-        return modelInfo(info.param).name;
+    [](const testing::TestParamInfo<ModelId> &param_info) {
+        return modelInfo(param_info.param).name;
     });
 
 TEST(ModelZoo, ScaleChannelsRounding)

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <csignal>
+
 #include "nn/concat.hh"
 #include "nn/conv.hh"
 #include "nn/network.hh"
@@ -169,25 +171,28 @@ TEST(Network, TotalConvMacs)
               4u * 18 * 16 + 4u * 4 * 16 + 4u * 36 * 16);
 }
 
-TEST(NetworkDeath, DuplicateNameIsFatal)
+// Graph-construction mistakes are programming errors, not user
+// input, so the network panics (SIGABRT) rather than fatal()ing.
+TEST(NetworkDeath, DuplicateNamePanics)
 {
     auto net = std::make_unique<Network>("t", std::vector<int>{1, 2, 2});
     net->add(std::make_unique<ReLU>("r"));
     EXPECT_EXIT(net->add(std::make_unique<ReLU>("r")),
-                testing::ExitedWithCode(1), "duplicate layer name");
+                testing::KilledBySignal(SIGABRT),
+                "duplicate layer name");
 }
 
-TEST(NetworkDeath, UnknownLayerNameIsFatal)
+TEST(NetworkDeath, UnknownLayerNamePanics)
 {
     auto net = std::make_unique<Network>("t", std::vector<int>{1, 2, 2});
-    EXPECT_EXIT(net->layerIndex("nope"), testing::ExitedWithCode(1),
-                "no layer named");
+    EXPECT_EXIT(net->layerIndex("nope"),
+                testing::KilledBySignal(SIGABRT), "no layer named");
 }
 
-TEST(NetworkDeath, ChannelMismatchIsFatal)
+TEST(NetworkDeath, ChannelMismatchPanics)
 {
     auto net = std::make_unique<Network>("t", std::vector<int>{3, 4, 4});
     EXPECT_EXIT(net->add(std::make_unique<Conv2D>(
                     "c", ConvSpec{5, 4, 3, 1, 1, 1})),
-                testing::ExitedWithCode(1), "input channels");
+                testing::KilledBySignal(SIGABRT), "input channels");
 }

@@ -12,6 +12,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "nn/conv.hh"
 #include "snapea/engine.hh"
 #include "snapea/reorder.hh"
@@ -76,8 +78,12 @@ TEST_P(PaddingPaths, InteriorAndGenericPathsAgreeEverywhere)
                               /*groups=*/1});
     fillConv(conv, rng);
     Tensor input({c.in_ch, c.in_hw, c.in_hw});
+    // Clamp like ReLU: the engine's early-termination math (and its
+    // checked-build monotonicity DCHECKs) assume the paper's
+    // non-negative post-ReLU activation contract.
     for (size_t i = 0; i < input.size(); ++i)
-        input[i] = static_cast<float>(rng.gaussian(0.1, 1.0));
+        input[i] = std::max(
+            0.0f, static_cast<float>(rng.gaussian(0.1, 1.0)));
 
     const int oh = conv.outDim(c.in_hw), ow = conv.outDim(c.in_hw);
     ASSERT_GT(oh, 0);

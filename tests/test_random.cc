@@ -111,7 +111,7 @@ TEST(Random, ForkStreamsIndependent)
 TEST(Random, ForkDoesNotPerturbParent)
 {
     Rng a(33), b(33);
-    (void)a.fork(5);
+    [[maybe_unused]] const Rng forked = a.fork(5);
     for (int i = 0; i < 10; ++i)
         EXPECT_EQ(a.nextU64(), b.nextU64());
 }

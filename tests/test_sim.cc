@@ -20,7 +20,7 @@ ConvLayerTrace
 makeTrace(int c_out, int oh, int ow, int ks, uint16_t ops_value)
 {
     ConvLayerTrace lt;
-    lt.name = "L";
+    lt.name.assign(1, 'L');
     lt.out_channels = c_out;
     lt.out_h = oh;
     lt.out_w = ow;

@@ -1,0 +1,120 @@
+#!/bin/sh
+# tools/check.sh — the one-shot static-analysis and invariant gate.
+#
+# From a clean checkout this configures and builds the tree twice and
+# runs three layers of checking:
+#
+#   1. -Werror build against the hardened warning set
+#      (SNAPEA_WERROR=ON; -Wshadow -Wnon-virtual-dtor -Wextra-semi
+#      -Wcast-qual on top of -Wall -Wextra), with clang-tidy attached
+#      to every compile when installed (SNAPEA_LINT=ON).
+#   2. snapea_lint over src/ tools/ bench/ tests/ — the repo's own
+#      rules (Status discipline, determinism, process-exit policy,
+#      header hygiene); see `snapea_lint --list-rules`.
+#   3. The full test suite twice: the default build, then a
+#      SNAPEA_CHECK_INVARIANTS=ON build (`checked` ctest label)
+#      where the paper's math invariants are asserted at runtime.
+#
+# Usage: tools/check.sh [--sanitize thread|address] [build-dir-prefix]
+#
+#   --sanitize V   additionally instrument the *checked* build with
+#                  SNAPEA_SANITIZE=V (composability gate: invariants
+#                  and sanitizers must coexist).  Unknown values are
+#                  rejected with exit 2, like snapea_cli flag errors.
+#   build-dir-prefix  defaults to "build-gate"; the script uses
+#                  <prefix> and <prefix>-checked.
+#
+# The extended gate (not run here; see DESIGN.md) additionally runs
+#   cmake -DSNAPEA_SANITIZE=address + ctest -L asan
+#   cmake -DSNAPEA_SANITIZE=thread  + ctest -L tsan
+#
+# Exit: 0 all layers clean, 1 a gate failed, 2 usage error.
+
+set -u
+
+usage() {
+    echo "usage: $0 [--sanitize thread|address] [build-dir-prefix]" >&2
+    exit 2
+}
+
+SANITIZE=""
+PREFIX="build-gate"
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --sanitize)
+            [ $# -ge 2 ] || usage
+            SANITIZE="$2"
+            shift 2
+            ;;
+        --sanitize=*)
+            SANITIZE="${1#--sanitize=}"
+            shift
+            ;;
+        -h|--help)
+            usage
+            ;;
+        -*)
+            echo "$0: unknown flag '$1'" >&2
+            usage
+            ;;
+        *)
+            PREFIX="$1"
+            shift
+            ;;
+    esac
+done
+
+case "$SANITIZE" in
+    ""|thread|address) ;;
+    *)
+        echo "$0: unknown --sanitize value '$SANITIZE'" \
+             "(expected 'thread' or 'address')" >&2
+        usage
+        ;;
+esac
+
+# Repo root = parent of this script's directory.
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+step() {
+    echo ""
+    echo "=== check.sh: $* ==="
+}
+
+fail() {
+    echo "check.sh: FAILED: $*" >&2
+    exit 1
+}
+
+step "[1/5] configure + build, hardened warnings as errors"
+cmake -B "$ROOT/$PREFIX" -S "$ROOT" \
+      -DSNAPEA_WERROR=ON -DSNAPEA_LINT=ON \
+    || fail "configure ($PREFIX)"
+cmake --build "$ROOT/$PREFIX" -j "$JOBS" \
+    || fail "-Werror build (warnings present or compile error)"
+
+step "[2/5] snapea_lint over src/ tools/ bench/ tests/"
+"$ROOT/$PREFIX/tools/snapea_lint" --root "$ROOT" \
+    || fail "snapea_lint found violations"
+
+step "[3/5] default test suite"
+ctest --test-dir "$ROOT/$PREFIX" -j "$JOBS" --output-on-failure \
+    || fail "default test suite"
+
+step "[4/5] configure + build with SNAPEA_CHECK_INVARIANTS=ON${SANITIZE:+ + SNAPEA_SANITIZE=$SANITIZE}"
+cmake -B "$ROOT/$PREFIX-checked" -S "$ROOT" \
+      -DSNAPEA_WERROR=ON -DSNAPEA_CHECK_INVARIANTS=ON \
+      -DSNAPEA_SANITIZE="$SANITIZE" \
+    || fail "configure ($PREFIX-checked)"
+cmake --build "$ROOT/$PREFIX-checked" -j "$JOBS" \
+    || fail "checked build"
+
+step "[5/5] full test suite under runtime invariant checks (ctest -L checked)"
+ctest --test-dir "$ROOT/$PREFIX-checked" -L checked -j "$JOBS" \
+      --output-on-failure \
+    || fail "checked test suite (an invariant fired or a test broke)"
+
+echo ""
+echo "check.sh: all gates passed"

@@ -1,0 +1,696 @@
+/**
+ * @file
+ * snapea_lint: the repo's own static-analysis gate.
+ *
+ * Enforces project rules no general-purpose tool knows about — the
+ * Status discipline, the determinism contract, the process-exit
+ * policy — by scanning src/, tools/, bench/, and tests/ C++ sources
+ * textually (comments and string literals stripped first).  The tool
+ * is dependency-free on purpose: it must build and run in any
+ * environment the simulator builds in, with no clang tooling
+ * installed.
+ *
+ * Usage:
+ *     snapea_lint [--root DIR] [--list-rules] [SUBDIR...]
+ *
+ * SUBDIRs default to {src, tools, bench, tests} relative to --root
+ * (default: the current directory).  Exit codes follow the
+ * snapea_cli convention: 0 clean, 1 violations found, 2 usage error.
+ *
+ * Every violation prints the rule ID and a one-line rationale.  An
+ * intentional exception is annotated in-source:
+ *
+ *     // snapea-lint: allow(<rule-name>)  -- with a justification
+ *
+ * on the offending line or the line directly above it.  The two
+ * file-scope rules (header-guard, own-header-first) accept the
+ * marker anywhere in the file.  The escape hatch keeps policy
+ * decisions reviewable: the justification sits next to the waiver.
+ *
+ * Rule scoping: a file's tier is its first path component relative
+ * to --root ("src" is library code; "tools", "bench", "tests" are
+ * top-level code allowed to terminate the process and read clocks).
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Exit codes, matching snapea_cli. */
+constexpr int kExitClean = 0;
+constexpr int kExitViolations = 1;
+constexpr int kExitUsage = 2;
+
+struct RuleInfo
+{
+    const char *id;        ///< Stable short ID (SL001...).
+    const char *name;      ///< Kebab-case name used in allow(...).
+    const char *rationale; ///< One line printed on violation.
+};
+
+// Order matters only for --list-rules output.
+const RuleInfo kRules[] = {
+    {"SL001", "no-fatal-in-lib",
+     "library code reports failures via Status/StatusOr; only the CLI "
+     "and bench top levels may terminate the process (panic() stays "
+     "available for internal-bug traps)"},
+    {"SL002", "no-discarded-status",
+     "a (void)-cast call discards its result; Status/StatusOr are "
+     "[[nodiscard]] so this is the only way to silently drop an "
+     "error path"},
+    {"SL003", "no-nondeterminism",
+     "library results must be bitwise reproducible; clocks, rand() "
+     "and hardware_concurrency() make output depend on the machine "
+     "or the moment (thread_pool.cc owns the one sanctioned use)"},
+    {"SL004", "no-using-namespace-in-header",
+     "a using-directive in a header injects names into every "
+     "translation unit that includes it"},
+    {"SL005", "no-float-compare",
+     "exact ==/!= against a floating-point literal is almost always "
+     "a bug near speculation thresholds; compare with an explicit "
+     "tolerance or annotate the sentinel"},
+    {"SL006", "header-guard",
+     "every header must open with #pragma once or a matching "
+     "#ifndef/#define include guard"},
+    {"SL007", "own-header-first",
+     "a module's .cc must include its own header first, proving the "
+     "header is self-contained"},
+};
+
+const RuleInfo *
+findRule(const std::string &name_or_id)
+{
+    for (const auto &r : kRules)
+        if (name_or_id == r.id || name_or_id == r.name)
+            return &r;
+    return nullptr;
+}
+
+/** One source file, split into code and comment text per line. */
+struct ScannedFile
+{
+    fs::path path;             ///< As reported to the user.
+    std::string tier;          ///< First path component under root.
+    std::string stem;          ///< Filename without extension.
+    bool is_header = false;
+    std::vector<std::string> code;    ///< Line with comments/strings blanked.
+    std::vector<std::string> comment; ///< Comment text of the line.
+};
+
+/**
+ * Strip comments and string/char literals, preserving line
+ * structure.  Stripped characters become spaces in `code` so column
+ * positions stay meaningful; comment text is collected per line for
+ * the allow(...) escape hatch.
+ */
+void
+splitCodeAndComments(const std::string &text, ScannedFile &out)
+{
+    enum class St { Code, Block, Line, Str, Chr, RawStr };
+    St st = St::Code;
+    std::string code_line, comment_line, raw_delim;
+    size_t i = 0;
+    const size_t n = text.size();
+
+    auto flush = [&]() {
+        out.code.push_back(code_line);
+        out.comment.push_back(comment_line);
+        code_line.clear();
+        comment_line.clear();
+    };
+
+    while (i < n) {
+        const char c = text[i];
+        if (c == '\n') {
+            if (st == St::Line)
+                st = St::Code;
+            flush();
+            ++i;
+            continue;
+        }
+        switch (st) {
+        case St::Code:
+            if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+                st = St::Line;
+                code_line += "  ";
+                i += 2;
+            } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+                st = St::Block;
+                code_line += "  ";
+                i += 2;
+            } else if (c == '"' && i >= 1 && text[i - 1] == 'R') {
+                st = St::RawStr;
+                raw_delim.clear();
+                ++i;
+                while (i < n && text[i] != '(') {
+                    raw_delim += text[i];
+                    ++i;
+                }
+                ++i; // consume '('
+                code_line += ' ';
+            } else if (c == '"') {
+                st = St::Str;
+                code_line += ' ';
+                ++i;
+            } else if (c == '\'') {
+                st = St::Chr;
+                code_line += ' ';
+                ++i;
+            } else {
+                code_line += c;
+                ++i;
+            }
+            break;
+        case St::Line:
+            comment_line += c;
+            ++i;
+            break;
+        case St::Block:
+            if (c == '*' && i + 1 < n && text[i + 1] == '/') {
+                st = St::Code;
+                i += 2;
+            } else {
+                comment_line += c;
+                ++i;
+            }
+            break;
+        case St::Str:
+            if (c == '\\' && i + 1 < n)
+                i += 2;
+            else if (c == '"') {
+                st = St::Code;
+                ++i;
+            } else
+                ++i;
+            break;
+        case St::Chr:
+            if (c == '\\' && i + 1 < n)
+                i += 2;
+            else if (c == '\'') {
+                st = St::Code;
+                ++i;
+            } else
+                ++i;
+            break;
+        case St::RawStr: {
+            const std::string close = ")" + raw_delim + "\"";
+            if (text.compare(i, close.size(), close) == 0) {
+                st = St::Code;
+                i += close.size();
+            } else
+                ++i;
+            break;
+        }
+        }
+    }
+    if (!code_line.empty() || !comment_line.empty())
+        flush();
+}
+
+/** True if `comment` waives `rule` via snapea-lint: allow(...). */
+bool
+commentAllows(const std::string &comment, const RuleInfo &rule)
+{
+    size_t pos = comment.find("snapea-lint:");
+    while (pos != std::string::npos) {
+        const size_t open = comment.find("allow(", pos);
+        if (open == std::string::npos)
+            return false;
+        const size_t close = comment.find(')', open);
+        if (close == std::string::npos)
+            return false;
+        std::string inner = comment.substr(open + 6, close - open - 6);
+        // Split on commas; trim blanks.
+        size_t start = 0;
+        while (start <= inner.size()) {
+            size_t comma = inner.find(',', start);
+            std::string item = inner.substr(
+                start, comma == std::string::npos ? std::string::npos
+                                                  : comma - start);
+            const size_t b = item.find_first_not_of(" \t");
+            const size_t e = item.find_last_not_of(" \t");
+            if (b != std::string::npos) {
+                item = item.substr(b, e - b + 1);
+                if (item == rule.id || item == rule.name)
+                    return true;
+            }
+            if (comma == std::string::npos)
+                break;
+            start = comma + 1;
+        }
+        pos = comment.find("snapea-lint:", close);
+    }
+    return false;
+}
+
+/** Line rule waiver: marker on the same line or the one above. */
+bool
+lineAllowed(const ScannedFile &f, size_t line, const RuleInfo &rule)
+{
+    if (commentAllows(f.comment[line], rule))
+        return true;
+    return line > 0 && commentAllows(f.comment[line - 1], rule);
+}
+
+/** File rule waiver: marker anywhere in the file. */
+bool
+fileAllowed(const ScannedFile &f, const RuleInfo &rule)
+{
+    for (const auto &c : f.comment)
+        if (commentAllows(c, rule))
+            return true;
+    return false;
+}
+
+struct Violation
+{
+    fs::path path;
+    size_t line; ///< 1-based.
+    const RuleInfo *rule;
+    std::string detail;
+};
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * Find calls of `token` in `line`: the identifier with a word
+ * boundary on the left and `(` (after optional spaces) on the right,
+ * unless `need_paren` is false (for type-ish tokens like
+ * system_clock).  Returns npos or the match position.
+ */
+size_t
+findToken(const std::string &line, const std::string &token,
+          bool need_paren)
+{
+    size_t pos = line.find(token);
+    while (pos != std::string::npos) {
+        const bool left_ok = pos == 0 || !isIdentChar(line[pos - 1]);
+        size_t after = pos + token.size();
+        bool right_ok;
+        if (need_paren) {
+            while (after < line.size() && line[after] == ' ')
+                ++after;
+            right_ok = after < line.size() && line[after] == '(';
+        } else {
+            right_ok = after >= line.size() || !isIdentChar(line[after]);
+        }
+        if (left_ok && right_ok)
+            return pos;
+        pos = line.find(token, pos + 1);
+    }
+    return std::string::npos;
+}
+
+/** True if the characters at [pos, len) look like a float literal. */
+bool
+isFloatLiteralAt(const std::string &s, size_t pos)
+{
+    size_t i = pos;
+    bool digits = false, dot = false, expo = false;
+    while (i < s.size()) {
+        const char c = s[i];
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            digits = true;
+            ++i;
+        } else if (c == '.' && !dot && !expo) {
+            dot = true;
+            ++i;
+        } else if ((c == 'e' || c == 'E') && digits && !expo
+                   && i + 1 < s.size()
+                   && (std::isdigit(static_cast<unsigned char>(s[i + 1]))
+                       || s[i + 1] == '+' || s[i + 1] == '-')) {
+            expo = true;
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    if (!digits)
+        return false;
+    const bool f_suffix = i < s.size() && (s[i] == 'f' || s[i] == 'F');
+    return dot || expo || f_suffix;
+}
+
+/** Scan backwards from `pos` (exclusive) across one operand. */
+bool
+floatLiteralEndsAt(const std::string &s, size_t pos)
+{
+    size_t e = pos;
+    while (e > 0 && s[e - 1] == ' ')
+        --e;
+    if (e == 0)
+        return false;
+    // Walk back over literal characters.
+    size_t b = e;
+    while (b > 0
+           && (std::isalnum(static_cast<unsigned char>(s[b - 1]))
+               || s[b - 1] == '.' || s[b - 1] == '+' || s[b - 1] == '-')) {
+        // '+'/'-' only belong to the literal inside an exponent.
+        if ((s[b - 1] == '+' || s[b - 1] == '-')
+            && !(b >= 2 && (s[b - 2] == 'e' || s[b - 2] == 'E'))) {
+            break;
+        }
+        --b;
+    }
+    return b < e && isFloatLiteralAt(s, b);
+}
+
+void
+checkLineRules(const ScannedFile &f, std::vector<Violation> &out)
+{
+    const bool in_lib = f.tier == "src";
+    const bool is_thread_pool =
+        f.path.filename() == "thread_pool.cc"
+        || f.path.filename() == "thread_pool.hh";
+
+    static const char *const kTerminators[] = {
+        "fatal", "abort", "exit", "_exit", "_Exit", "quick_exit",
+    };
+    struct NondetToken
+    {
+        const char *token;
+        bool need_paren;
+    };
+    static const NondetToken kNondet[] = {
+        {"rand", true},        {"srand", true},
+        {"rand_r", true},      {"time", true},
+        {"clock", true},       {"gettimeofday", true},
+        {"random_device", false},
+        {"system_clock", false},
+        {"steady_clock", false},
+        {"high_resolution_clock", false},
+        {"hardware_concurrency", false},
+    };
+
+    for (size_t ln = 0; ln < f.code.size(); ++ln) {
+        const std::string &line = f.code[ln];
+
+        if (in_lib) {
+            const RuleInfo &r1 = *findRule("no-fatal-in-lib");
+            for (const char *tok : kTerminators) {
+                const size_t pos = findToken(line, tok, true);
+                if (pos != std::string::npos && !lineAllowed(f, ln, r1)) {
+                    out.push_back({f.path, ln + 1, &r1,
+                                   std::string(tok) + "() called in "
+                                   "library code"});
+                    break;
+                }
+            }
+
+            const RuleInfo &r3 = *findRule("no-nondeterminism");
+            for (const auto &nd : kNondet) {
+                if (is_thread_pool
+                    && std::strcmp(nd.token, "hardware_concurrency")
+                        == 0) {
+                    continue;
+                }
+                const size_t pos =
+                    findToken(line, nd.token, nd.need_paren);
+                if (pos != std::string::npos && !lineAllowed(f, ln, r3)) {
+                    out.push_back({f.path, ln + 1, &r3,
+                                   std::string(nd.token)
+                                   + " introduces nondeterminism in "
+                                   "library code"});
+                    break;
+                }
+            }
+        }
+
+        // SL002: (void) cast applied to a call.
+        {
+            const RuleInfo &r2 = *findRule("no-discarded-status");
+            size_t pos = line.find("(void)");
+            while (pos != std::string::npos) {
+                size_t i = pos + 6;
+                while (i < line.size() && line[i] == ' ')
+                    ++i;
+                const size_t id0 = i;
+                while (i < line.size()
+                       && (isIdentChar(line[i]) || line[i] == ':'
+                           || line[i] == '.' || line[i] == '-'
+                           || line[i] == '>')) {
+                    ++i;
+                }
+                const std::string callee = line.substr(id0, i - id0);
+                if (i > id0 && i < line.size() && line[i] == '('
+                    && callee != "sizeof") {
+                    if (!lineAllowed(f, ln, r2)) {
+                        out.push_back({f.path, ln + 1, &r2,
+                                       "(void)-discarded result of "
+                                       + callee + "()"});
+                    }
+                    break;
+                }
+                pos = line.find("(void)", pos + 1);
+            }
+        }
+
+        // SL004: using-directive in a header.
+        if (f.is_header) {
+            const RuleInfo &r4 = *findRule("no-using-namespace-in-header");
+            const size_t pos = line.find("using namespace");
+            if (pos != std::string::npos && !lineAllowed(f, ln, r4)) {
+                out.push_back({f.path, ln + 1, &r4,
+                               "using-directive in a header"});
+            }
+        }
+
+        // SL005: ==/!= against a float literal.
+        {
+            const RuleInfo &r5 = *findRule("no-float-compare");
+            for (size_t i = 0; i + 1 < line.size(); ++i) {
+                const bool eq = line[i] == '=' && line[i + 1] == '=';
+                const bool ne = line[i] == '!' && line[i + 1] == '='
+                    && (i + 2 >= line.size() || line[i + 2] != '=');
+                if (!eq && !ne)
+                    continue;
+                if (eq && i > 0
+                    && (line[i - 1] == '=' || line[i - 1] == '!'
+                        || line[i - 1] == '<' || line[i - 1] == '>')) {
+                    continue;
+                }
+                size_t rhs = i + 2;
+                while (rhs < line.size() && line[rhs] == ' ')
+                    ++rhs;
+                const bool lit = isFloatLiteralAt(line, rhs)
+                    || floatLiteralEndsAt(line, i);
+                if (lit && !lineAllowed(f, ln, r5)) {
+                    out.push_back({f.path, ln + 1, &r5,
+                                   "exact floating-point comparison "
+                                   "against a literal"});
+                    break;
+                }
+            }
+        }
+    }
+}
+
+void
+checkHeaderGuard(const ScannedFile &f, std::vector<Violation> &out)
+{
+    if (!f.is_header)
+        return;
+    const RuleInfo &rule = *findRule("header-guard");
+    if (fileAllowed(f, rule))
+        return;
+
+    // Collect the first two non-blank code lines.
+    std::vector<std::pair<size_t, std::string>> sig;
+    for (size_t ln = 0; ln < f.code.size() && sig.size() < 2; ++ln) {
+        std::string t = f.code[ln];
+        const size_t b = t.find_first_not_of(" \t");
+        if (b == std::string::npos)
+            continue;
+        const size_t e = t.find_last_not_of(" \t");
+        sig.emplace_back(ln, t.substr(b, e - b + 1));
+    }
+    if (!sig.empty() && sig[0].second.rfind("#pragma once", 0) == 0)
+        return;
+    if (sig.size() >= 2 && sig[0].second.rfind("#ifndef ", 0) == 0
+        && sig[1].second.rfind("#define ", 0) == 0) {
+        const std::string guard = sig[0].second.substr(8);
+        if (sig[1].second.substr(8).rfind(guard, 0) == 0)
+            return;
+    }
+    out.push_back({f.path, sig.empty() ? 1 : sig[0].first + 1, &rule,
+                   "header lacks #pragma once or an #ifndef/#define "
+                   "guard"});
+}
+
+void
+checkOwnHeaderFirst(const ScannedFile &f, const fs::path &abs_path,
+                    std::vector<Violation> &out)
+{
+    if (f.is_header)
+        return;
+    const RuleInfo &rule = *findRule("own-header-first");
+    fs::path sibling = abs_path;
+    sibling.replace_extension(".hh");
+    std::error_code ec;
+    if (!fs::exists(sibling, ec))
+        return;
+    if (fileAllowed(f, rule))
+        return;
+
+    for (size_t ln = 0; ln < f.code.size(); ++ln) {
+        std::string t = f.code[ln];
+        const size_t b = t.find_first_not_of(" \t");
+        if (b == std::string::npos || t[b] != '#')
+            continue;
+        if (t.compare(b, 8, "#include") != 0)
+            continue;
+        // First include found.  Its quoted target was blanked with
+        // the other string literals, so re-read this one raw line
+        // from disk to recover it.
+        std::ifstream in(abs_path);
+        std::string raw;
+        for (size_t k = 0; k <= ln; ++k)
+            std::getline(in, raw);
+        const std::string want = f.stem + ".hh";
+        const size_t q1 = raw.find('"');
+        bool ok = false;
+        if (q1 != std::string::npos) {
+            const size_t q2 = raw.find('"', q1 + 1);
+            if (q2 != std::string::npos) {
+                const std::string target =
+                    raw.substr(q1 + 1, q2 - q1 - 1);
+                const size_t slash = target.find_last_of('/');
+                ok = (slash == std::string::npos
+                          ? target
+                          : target.substr(slash + 1)) == want;
+            }
+        }
+        if (!ok) {
+            out.push_back({f.path, ln + 1, &rule,
+                           "first #include is not the module's own "
+                           "header " + want});
+        }
+        return;
+    }
+}
+
+int
+usage(const char *argv0, int code)
+{
+    std::fprintf(
+        code == kExitClean ? stdout : stderr,
+        "usage: %s [--root DIR] [--list-rules] [SUBDIR...]\n"
+        "  Scans SUBDIRs (default: src tools bench tests) under DIR\n"
+        "  (default: .) for violations of the SnaPEA project rules.\n"
+        "  Exit: 0 clean, 1 violations, 2 usage error.\n",
+        argv0);
+    return code;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fs::path root = ".";
+    std::vector<std::string> subdirs;
+    bool explicit_subdirs = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--list-rules") {
+            for (const auto &r : kRules)
+                std::printf("%s %-30s %s\n", r.id, r.name, r.rationale);
+            return kExitClean;
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(argv[0], kExitClean);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0],
+                         arg.c_str());
+            return usage(argv[0], kExitUsage);
+        } else {
+            subdirs.push_back(arg);
+            explicit_subdirs = true;
+        }
+    }
+    std::error_code ec;
+    if (!fs::is_directory(root, ec)) {
+        std::fprintf(stderr, "%s: --root %s is not a directory\n",
+                     argv[0], root.string().c_str());
+        return usage(argv[0], kExitUsage);
+    }
+    if (!explicit_subdirs)
+        subdirs = {"src", "tools", "bench", "tests"};
+
+    std::vector<fs::path> files;
+    for (const auto &sub : subdirs) {
+        const fs::path dir = root / sub;
+        if (!fs::is_directory(dir, ec)) {
+            if (explicit_subdirs) {
+                std::fprintf(stderr, "%s: no such directory: %s\n",
+                             argv[0], dir.string().c_str());
+                return kExitUsage;
+            }
+            continue; // default set: absent tier is fine
+        }
+        for (auto it = fs::recursive_directory_iterator(dir);
+             it != fs::recursive_directory_iterator(); ++it) {
+            if (!it->is_regular_file())
+                continue;
+            const std::string ext = it->path().extension().string();
+            if (ext == ".cc" || ext == ".hh")
+                files.push_back(it->path());
+        }
+    }
+    std::sort(files.begin(), files.end());
+
+    std::vector<Violation> violations;
+    for (const auto &abs_path : files) {
+        std::ifstream in(abs_path, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "%s: cannot read %s\n", argv[0],
+                         abs_path.string().c_str());
+            return kExitUsage;
+        }
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+
+        ScannedFile f;
+        f.path = fs::relative(abs_path, root, ec);
+        if (ec)
+            f.path = abs_path;
+        f.tier = f.path.begin() != f.path.end()
+            ? f.path.begin()->string() : std::string();
+        f.stem = abs_path.stem().string();
+        f.is_header = abs_path.extension() == ".hh";
+        splitCodeAndComments(text, f);
+
+        checkLineRules(f, violations);
+        checkHeaderGuard(f, violations);
+        checkOwnHeaderFirst(f, abs_path, violations);
+    }
+
+    for (const auto &v : violations) {
+        std::printf("%s:%zu: [%s %s] %s\n", v.path.string().c_str(),
+                    v.line, v.rule->id, v.rule->name, v.detail.c_str());
+        std::printf("    rule: %s\n", v.rule->rationale);
+    }
+    if (!violations.empty()) {
+        std::printf("snapea_lint: %zu violation(s) in %zu file(s) "
+                    "scanned\n", violations.size(), files.size());
+        return kExitViolations;
+    }
+    std::printf("snapea_lint: clean (%zu files scanned)\n",
+                files.size());
+    return kExitClean;
+}
