@@ -1,14 +1,18 @@
 #include "harness/experiment.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <iomanip>
 #include <limits>
+#include <new>
 #include <sstream>
+#include <thread>
 
 #include "nn/dense.hh"
 #include "snapea/engine.hh"
 #include "snapea/reorder.hh"
+#include "util/fault.hh"
 #include "util/io.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
@@ -19,9 +23,19 @@ namespace snapea {
 
 namespace {
 
-// Optimizer parameter cache format; bump on layout changes.
+// Optimizer parameter cache format; bump on layout changes.  v3:
+// thresholds as raw float bits (see floatBits) — text-streamed
+// floats silently fail to round-trip -inf, the threshold of every
+// exact kernel, which made v2 records unreadable in practice.
 constexpr const char *kParamsFormat = "snapea-params";
-constexpr uint32_t kParamsVersion = 2;
+constexpr uint32_t kParamsVersion = 3;
+
+// Supervisor policy for the optimizer run: full restarts after a
+// transient failure escapes the optimizer's own per-layer retries
+// (e.g. during construction), with exponential backoff capped well
+// below a second.
+constexpr int kOptimizeAttempts = 3;
+constexpr int kOptimizeBackoffMs = 25;
 
 } // namespace
 
@@ -168,8 +182,11 @@ struct Experiment::Impl
                     continue;
                 }
                 std::vector<SpeculationParams> ps(count);
-                for (auto &p : ps)
-                    ls >> p.n_groups >> p.th;
+                for (auto &p : ps) {
+                    uint32_t bits = 0;
+                    ls >> p.n_groups >> bits;
+                    p.th = floatFromBits(bits);
+                }
                 malformed = !ls;
                 if (!malformed)
                     parsed.params[idx] = std::move(ps);
@@ -205,7 +222,7 @@ struct Experiment::Impl
         for (const auto &[idx, ps] : res.params) {
             out << "layer " << idx << " " << ps.size();
             for (const auto &p : ps)
-                out << " " << p.n_groups << " " << p.th;
+                out << " " << p.n_groups << " " << floatBits(p.th);
             out << "\n";
         }
         StatusOr<FileLock> lock =
@@ -224,38 +241,100 @@ struct Experiment::Impl
         }
     }
 
-    OptimizerResult
-    optimize(double epsilon)
+    /** The optimizer config with resilience knobs filled in: the
+     *  caller's cancel token and, when caching is on, a checkpoint
+     *  directory keyed like the parameter cache. */
+    OptimizerConfig
+    optimizerConfig(const CancelToken *cancel) const
+    {
+        OptimizerConfig ocfg = cfg.opt_cfg;
+        if (!ocfg.cancel)
+            ocfg.cancel = cancel;
+        if (ocfg.checkpoint_dir.empty() && !cfg.cache_dir.empty()) {
+            ocfg.checkpoint_dir = cfg.cache_dir + "/checkpoints";
+            std::ostringstream tag;
+            tag << modelInfo(id).name << "_seed" << cfg.seed;
+            ocfg.checkpoint_tag = tag.str();
+        }
+        return ocfg;
+    }
+
+    /**
+     * Algorithm 1 under supervision.  The optimizer retries and
+     * degrades per layer itself (see OptimizerConfig); failures that
+     * still escape — notably during construction, before the
+     * per-layer machinery exists — restart the whole optimizer with
+     * capped backoff.  Restarts are cheap on the retry path because
+     * completed layers reload from their checkpoints.
+     */
+    StatusOr<OptimizerResult>
+    optimize(double epsilon, const CancelToken *cancel)
     {
         OptimizerResult cached;
         if (loadParams(epsilon, cached))
             return cached;
-        if (!optimizer) {
-            optimizer = std::make_unique<SpeculationOptimizer>(
-                *net, data, cfg.opt_cfg);
+        for (int attempt = 0;; ++attempt) {
+            const char *what = nullptr;
+            try {
+                if (!optimizer) {
+                    optimizer = std::make_unique<SpeculationOptimizer>(
+                        *net, data, optimizerConfig(cancel));
+                }
+                StatusOr<OptimizerResult> res =
+                    optimizer->tryRun(epsilon);
+                if (res.ok()) {
+                    // Degraded layers are correct (exact is lossless)
+                    // but not what a healthy run would produce; keep
+                    // them out of the cache so the next run recomputes.
+                    if (optimizer->layersDegraded() == 0)
+                        saveParams(epsilon, res.value());
+                    else
+                        warn("%d layer(s) degraded to exact mode; not "
+                             "caching parameters",
+                             optimizer->layersDegraded());
+                }
+                return res;
+            } catch (const TransientError &e) {
+                what = e.what();
+            } catch (const std::bad_alloc &) {
+                what = "allocation failure";
+            }
+            optimizer.reset();
+            if (attempt + 1 >= kOptimizeAttempts) {
+                return statusf(StatusCode::Unavailable,
+                               "optimizer failed %d times; last: %s",
+                               kOptimizeAttempts, what);
+            }
+            warn("optimizer attempt %d/%d failed (%s); restarting",
+                 attempt + 1, kOptimizeAttempts, what);
+            const int ms = std::min(
+                200, kOptimizeBackoffMs << std::min(attempt, 3));
+            std::this_thread::sleep_for(std::chrono::milliseconds(ms));
         }
-        OptimizerResult res = optimizer->run(epsilon);
-        saveParams(epsilon, res);
-        return res;
     }
 
-    /** Instrumented run over the trace images. */
+    /** Instrumented run over the trace images.  On cancellation the
+     *  collected traces are partial; the caller checks the token. */
     void
-    collectTraces(SnapeaEngine &engine)
+    collectTraces(SnapeaEngine &engine,
+                  const CancelToken *cancel = nullptr)
     {
         engine.setMode(ExecMode::Instrumented);
         engine.setCollectTraces(true);
         const int n = std::min<int>(cfg.trace_images,
                                     static_cast<int>(data.images.size()));
         for (int i = 0; i < n; ++i) {
+            if (cancel && cancel->cancelled())
+                return;
             engine.beginImage();
             net->forward(data.images[i], &engine);
         }
     }
 
-    ModeResult
+    StatusOr<ModeResult>
     runMode(const std::map<int, std::vector<SpeculationParams>> &params,
-            double epsilon, const OptimizerStats &opt_stats)
+            double epsilon, const OptimizerStats &opt_stats,
+            const CancelToken *cancel)
     {
         ModeResult res;
         res.model_name = modelInfo(id).name;
@@ -271,12 +350,20 @@ struct Experiment::Impl
         {
             SnapeaEngine fast(*net, plan);
             fast.setMode(ExecMode::Fast);
-            res.accuracy = accuracy(*net, data, &fast);
+            res.accuracy = accuracy(*net, data, &fast, cancel);
+        }
+        if (cancel) {
+            if (Status st = cancel->check(); !st.ok())
+                return st;
         }
 
         // Instrumented traces + statistics.
         SnapeaEngine engine(*net, plan);
-        collectTraces(engine);
+        collectTraces(engine, cancel);
+        if (cancel) {
+            if (Status st = cancel->check(); !st.ok())
+                return st;
+        }
 
         size_t full = 0, perf = 0, tn = 0, fn = 0, aneg = 0, apos = 0;
         size_t fn_small = 0, fn_total = 0;
@@ -365,20 +452,47 @@ Experiment::config() const
 ModeResult
 Experiment::runExact()
 {
-    return impl_->runMode({}, 0.0, OptimizerStats{});
+    // Without a token runMode cannot fail.
+    return std::move(
+        impl_->runMode({}, 0.0, OptimizerStats{}, nullptr)).value();
 }
 
 ModeResult
 Experiment::runPredictive(double epsilon)
 {
-    OptimizerResult opt = impl_->optimize(epsilon);
-    return impl_->runMode(opt.params, epsilon, opt.stats);
+    StatusOr<ModeResult> res = tryRunPredictive(epsilon, nullptr);
+    if (!res.ok()) {
+        panic("Experiment::runPredictive: %s (use tryRunPredictive "
+              "to recover)", res.status().toString().c_str());
+    }
+    return std::move(res).value();
+}
+
+StatusOr<ModeResult>
+Experiment::tryRunExact(const CancelToken *cancel)
+{
+    return impl_->runMode({}, 0.0, OptimizerStats{}, cancel);
+}
+
+StatusOr<ModeResult>
+Experiment::tryRunPredictive(double epsilon, const CancelToken *cancel)
+{
+    StatusOr<OptimizerResult> opt = impl_->optimize(epsilon, cancel);
+    if (!opt.ok())
+        return opt.status();
+    return impl_->runMode(opt.value().params, epsilon,
+                          opt.value().stats, cancel);
 }
 
 std::map<int, std::vector<SpeculationParams>>
 Experiment::predictiveParams(double epsilon)
 {
-    return impl_->optimize(epsilon).params;
+    StatusOr<OptimizerResult> opt = impl_->optimize(epsilon, nullptr);
+    if (!opt.ok()) {
+        panic("Experiment::predictiveParams: %s",
+              opt.status().toString().c_str());
+    }
+    return std::move(opt).value().params;
 }
 
 SimResult

@@ -22,6 +22,7 @@
 #include "sim/eyeriss.hh"
 #include "sim/snapea_accel.hh"
 #include "snapea/optimizer.hh"
+#include "util/cancel.hh"
 #include "util/status.hh"
 #include "workload/dataset.hh"
 
@@ -131,8 +132,28 @@ class Experiment
     /** Exact mode: sign-based reordering only, zero accuracy loss. */
     ModeResult runExact();
 
-    /** Predictive mode at the given accuracy budget. */
+    /** Predictive mode at the given accuracy budget.  Panics if the
+     *  optimizer cannot complete; use tryRunPredictive to recover. */
     ModeResult runPredictive(double epsilon);
+
+    /**
+     * Cancellation-aware exact mode.  A non-null @p cancel is polled
+     * throughout; a tripped token yields Cancelled/DeadlineExceeded
+     * and no partial result.
+     */
+    StatusOr<ModeResult> tryRunExact(const CancelToken *cancel = nullptr);
+
+    /**
+     * Cancellation-aware predictive mode.  In addition to the token
+     * semantics of tryRunExact, the optimizer runs under a
+     * supervisor: transient injected or real failures (see
+     * util/fault.hh) are retried with capped backoff, per-layer
+     * checkpoints under <cache_dir>/checkpoints/ let an interrupted
+     * run resume bitwise-identically, and persistent failures
+     * surface as Unavailable instead of crashing the process.
+     */
+    StatusOr<ModeResult> tryRunPredictive(
+        double epsilon, const CancelToken *cancel = nullptr);
 
     /**
      * Only the speculation parameters for @p epsilon (loaded from

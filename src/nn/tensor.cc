@@ -1,18 +1,33 @@
 #include "nn/tensor.hh"
 
 #include <algorithm>
+#include <new>
 #include <sstream>
 
+#include "util/fault.hh"
 #include "util/logging.hh"
 
 namespace snapea {
+
+namespace {
+
+// Only allocations at least this large count toward the alloc:tensor
+// fault domain, so spec ordinals track the big activation/weight
+// buffers and not incidental small logits vectors.
+constexpr size_t kAllocFaultThreshold = 1024;
+
+} // namespace
 
 Tensor::Tensor(std::vector<int> shape)
     : shape_(std::move(shape))
 {
     for (int d : shape_)
         SNAPEA_ASSERT(d > 0);
-    data_.assign(elemCount(shape_), 0.0f);
+    const size_t n = elemCount(shape_);
+    if (n >= kAllocFaultThreshold &&
+        faultShouldFail(FaultDomain::Alloc, "tensor"))
+        throw std::bad_alloc();
+    data_.assign(n, 0.0f);
 }
 
 int

@@ -220,6 +220,10 @@ SnapeaEngine::SnapeaEngine(const Network &net, NetworkPlan plan)
     : net_(net),
       plan_(std::move(plan))
 {
+    // Kernel preparation is bounded per-layer work with no dataset
+    // dependence; cancellable drivers poll between constructions
+    // (the optimizer's profiling loop, runMode's accuracy check).
+    // snapea-lint: allow(SL008)
     for (const auto &[idx, lp] : plan_) {
         SNAPEA_ASSERT(net_.layer(idx).kind() == LayerKind::Conv);
         const auto &conv = static_cast<const Conv2D &>(net_.layer(idx));

@@ -1,12 +1,19 @@
 #include "snapea/optimizer.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <filesystem>
 #include <limits>
+#include <new>
+#include <sstream>
+#include <thread>
 
 #include "snapea/engine.hh"
 #include "snapea/reorder.hh"
 #include "util/check.hh"
+#include "util/fault.hh"
+#include "util/io.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 #include "util/thread_pool.hh"
@@ -20,6 +27,17 @@ struct Recipe
 {
     int n_groups;
     double fn_quantile;
+};
+
+/** Per-layer checkpoint envelope (see DESIGN.md for the layout). */
+constexpr const char *kCkptFormat = "snapea-ckpt";
+constexpr uint32_t kCkptVersion = 1;
+
+/** Internal unwind token: cancellation observed mid-global-pass.
+ *  Converted back to a Status at the tryRun boundary; never escapes
+ *  the optimizer. */
+struct CancelledUnwind
+{
 };
 
 } // namespace
@@ -60,6 +78,27 @@ struct SpeculationOptimizer::Impl
     int candidates_evaluated = 0;
     int candidates_kept = 0;
 
+    int layers_resumed = 0;    ///< Loaded from checkpoints.
+    int layers_degraded = 0;   ///< Fell back to exact-only.
+    int checkpoints_written = 0;
+    /** False if cancellation stopped construction early; tryRun then
+     *  refuses to run the global pass on partial ParamL. */
+    bool profiling_complete = false;
+
+    bool
+    cancelledNow() const
+    {
+        return cfg.cancel && cfg.cancel->cancelled();
+    }
+
+    /** Global-pass poll point; unwinds to the tryRun boundary. */
+    void
+    pollCancel() const
+    {
+        if (cancelledNow())
+            throw CancelledUnwind{};
+    }
+
     Impl(const Network &net_, const Dataset &data_,
          const OptimizerConfig &cfg_)
         : net(net_), data(data_), cfg(cfg_)
@@ -75,13 +114,15 @@ struct SpeculationOptimizer::Impl
         util::parallel_for(0, n_local, 1, [&](std::int64_t i) {
             net.forwardAll(data.images[i], base_acts[i]);
             base_label_prob[i] = base_acts[i].back()[data.labels[i]];
-        });
+        }, cfg.cancel);
         main_scratch.scratch = base_acts;
         main_scratch.dirty_from.assign(n_local, net.numLayers());
         extra_scratch.resize(
             std::max(0, util::threadCount() - 1));
 
-        buildParamL();
+        if (!cancelledNow())
+            buildParamL();
+        profiling_complete = !cancelledNow();
     }
 
     /** Scratch context owned by pool worker @p worker. */
@@ -178,7 +219,7 @@ struct SpeculationOptimizer::Impl
             const double base_p = std::max(base_label_prob[img], 1e-6);
             const double drop = base_p - probs[data.labels[img]];
             softs[img] = std::max(0.0, drop) / base_p;
-        });
+        }, cfg.cancel);
 
         int flip_sum = 0;
         double soft = 0.0;
@@ -243,7 +284,7 @@ struct SpeculationOptimizer::Impl
                     }
                 }
                 exact_op[o] = op;
-            });
+            }, cfg.cancel);
             for (int o = 0; o < c_out; ++o)
                 exact.op += exact_op[o];
             exact.err = 0.0;
@@ -262,9 +303,18 @@ struct SpeculationOptimizer::Impl
         };
         size_t r0 = 0;
         while (r0 < recipes.size()) {
+            // Partial layers are never published: returning here
+            // skips the paramL emplace below and the caller discards
+            // the counter deltas.
+            if (cancelledNow())
+                return;
             const int n = std::min(recipes[r0].n_groups,
                                    std::max(1, ks / 2));
             size_t r1 = r0;
+            // Bounded scan over the recipe list; the enclosing loop
+            // polls cancelledNow() once per group, and the dispatches
+            // below all carry cfg.cancel (past this rule's window).
+            // snapea-lint: allow(SL008)
             while (r1 < recipes.size()
                    && std::min(recipes[r1].n_groups,
                                std::max(1, ks / 2)) == n) {
@@ -305,7 +355,7 @@ struct SpeculationOptimizer::Impl
                     }
                 }
                 pks[o] = std::move(pk);
-            });
+            }, cfg.cancel);
 
             std::vector<Slot> slots(r1 - r0);
             util::parallel_for(
@@ -383,7 +433,7 @@ struct SpeculationOptimizer::Impl
                         l, cpks, scratchFor(util::workerIndex()));
                     slot.evaluated = true;
                     slot.kept = cand.err <= cfg.local_slack;
-                });
+                }, cfg.cancel);
 
             for (Slot &slot : slots) {
                 if (!slot.evaluated)
@@ -419,6 +469,192 @@ struct SpeculationOptimizer::Impl
         paramL.emplace(l, std::move(cands));
     }
 
+    /**
+     * Checkpoint identity: a layer's candidate list depends on the
+     * tuning knobs, the layer set, and the optimization data (images,
+     * labels, and — through the baseline activations — the weights).
+     * The fingerprint covers all of them, so a stale checkpoint from
+     * a different seed, scale, or config is rejected and recomputed,
+     * never consumed.
+     */
+    uint32_t
+    configFingerprint() const
+    {
+        std::ostringstream os;
+        os.precision(std::numeric_limits<double>::max_digits10);
+        os << "snapea-ckpt-fp-v1";
+        for (int n : cfg.group_counts)
+            os << " n" << n;
+        for (double q : cfg.fn_quantiles)
+            os << " q" << q;
+        os << " p" << n_profile << " l" << n_local
+           << " s" << cfg.local_slack << " d" << cfg.damage_cap
+           << " img" << data.images.size();
+        for (int l : net.convLayers())
+            os << " L" << l;
+        uint32_t c = crc32(os.str());
+        const Tensor &img0 = data.images[0];
+        c = crc32(img0.data(), img0.size() * sizeof(float), c);
+        c = crc32(data.labels.data(),
+                  data.labels.size() * sizeof(int), c);
+        // The baseline label probabilities are a function of the
+        // weights, covering them without hashing every tensor.
+        c = crc32(base_label_prob.data(),
+                  base_label_prob.size() * sizeof(double), c);
+        return c;
+    }
+
+    std::string
+    ckptPath(int l) const
+    {
+        return cfg.checkpoint_dir + "/" + cfg.checkpoint_tag +
+               "_layer" + std::to_string(l) + ".ckpt";
+    }
+
+    /**
+     * Restore one layer's candidate list from its checkpoint.  Any
+     * defect — missing, corrupt, truncated, stale fingerprint, wrong
+     * kernel count — degrades to re-profiling the layer; a checkpoint
+     * is an optimization, never a source of truth.
+     */
+    bool
+    loadLayerCheckpoint(int l, uint32_t fp)
+    {
+        if (cfg.checkpoint_dir.empty())
+            return false;
+        const std::string path = ckptPath(l);
+        StatusOr<std::string> body =
+            readVersionedText(path, kCkptFormat, kCkptVersion);
+        if (!body.ok()) {
+            if (body.status().code() != StatusCode::NotFound) {
+                warn("optimizer checkpoint: %s; re-profiling layer "
+                     "%s", body.status().toString().c_str(),
+                     net.layer(l).name().c_str());
+            }
+            return false;
+        }
+        auto rejected = [&](const char *why) {
+            warn("optimizer checkpoint %s: %s; re-profiling layer %s",
+                 path.c_str(), why, net.layer(l).name().c_str());
+            return false;
+        };
+
+        const int c_out = static_cast<const Conv2D &>(net.layer(l))
+                              .spec().out_channels;
+        std::istringstream in(body.value());
+        std::string tag;
+        uint32_t got_fp = 0;
+        if (!(in >> tag >> got_fp) || tag != "fingerprint")
+            return rejected("malformed fingerprint line");
+        if (got_fp != fp)
+            return rejected("stale (config or data changed)");
+        int d_eval = 0, d_kept = 0;
+        if (!(in >> tag >> d_eval >> d_kept) || tag != "counts" ||
+            d_eval < 0 || d_kept < 0)
+            return rejected("malformed counts line");
+        std::vector<LayerCandidate> cands;
+        bool has_exact = false;
+        while (in >> tag) {
+            if (tag != "cand")
+                return rejected("unexpected record");
+            LayerCandidate cand;
+            int k = 0;
+            if (!(in >> cand.n_groups >> cand.fn_quantile >> cand.op
+                     >> cand.err >> k) || k != c_out)
+                return rejected("malformed candidate");
+            cand.params.resize(k);
+            for (SpeculationParams &p : cand.params) {
+                uint32_t th_bits = 0;
+                if (!(in >> p.n_groups >> th_bits))
+                    return rejected("truncated candidate");
+                p.th = floatFromBits(th_bits);
+            }
+            has_exact |= cand.n_groups == 0;
+            cands.push_back(std::move(cand));
+        }
+        if (cands.empty() || !has_exact)
+            return rejected("no exact candidate");
+        paramL.emplace(l, std::move(cands));
+        candidates_evaluated += d_eval;
+        candidates_kept += d_kept;
+        return true;
+    }
+
+    /**
+     * Persist one completed layer.  Atomic (temp + rename via
+     * writeVersionedText), so a kill at any instant leaves either the
+     * previous state or a complete, checksummed record.  Write
+     * failures only cost the resume optimization, so they warn.
+     */
+    void
+    saveLayerCheckpoint(int l, uint32_t fp, int d_eval, int d_kept)
+    {
+        if (cfg.checkpoint_dir.empty())
+            return;
+        std::error_code ec;
+        std::filesystem::create_directories(cfg.checkpoint_dir, ec);
+        std::ostringstream body;
+        body.precision(std::numeric_limits<double>::max_digits10);
+        body << "fingerprint " << fp << "\n";
+        body << "counts " << d_eval << " " << d_kept << "\n";
+        for (const LayerCandidate &cand : paramL.at(l)) {
+            body << "cand " << cand.n_groups << " "
+                 << cand.fn_quantile << " " << cand.op << " "
+                 << cand.err << " " << cand.params.size();
+            for (const SpeculationParams &p : cand.params)
+                body << " " << p.n_groups << " " << floatBits(p.th);
+            body << "\n";
+        }
+        const std::string path = ckptPath(l);
+        const Status st = writeVersionedText(path, kCkptFormat,
+                                             kCkptVersion, body.str());
+        if (!st.ok()) {
+            warn("optimizer: cannot write checkpoint %s: %s",
+                 path.c_str(), st.toString().c_str());
+            return;
+        }
+        ++checkpoints_written;
+        if (cfg.checkpoint_hook)
+            cfg.checkpoint_hook(l, checkpoints_written);
+    }
+
+    /** Undo the partial effects of a failed profileLayer attempt so a
+     *  retry reproduces the cold-run state bit for bit. */
+    void
+    rollbackLayer(int l, int eval0, int kept0)
+    {
+        paramL.erase(l);
+        candidates_evaluated = eval0;
+        candidates_kept = kept0;
+    }
+
+    /**
+     * Lossless fallback for an unrecoverable layer: only the exact
+     * configuration (no speculation, zero error by construction).
+     * Its op count is irrelevant — a single-candidate layer never
+     * enters the merit walk — so no profiling work is needed.
+     */
+    void
+    installExactOnly(int l)
+    {
+        const auto &conv = static_cast<const Conv2D &>(net.layer(l));
+        LayerCandidate exact;
+        exact.params.assign(conv.spec().out_channels,
+                            SpeculationParams{});
+        std::vector<LayerCandidate> cands;
+        cands.push_back(std::move(exact));
+        paramL.emplace(l, std::move(cands));
+    }
+
+    /** Capped exponential backoff between per-layer retry attempts. */
+    void
+    retryBackoff(int attempt) const
+    {
+        const int base = std::max(1, cfg.retry_backoff_ms);
+        const int ms = std::min(200, base << std::min(attempt, 6));
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
+
     void
     buildParamL()
     {
@@ -426,12 +662,74 @@ struct SpeculationOptimizer::Impl
         for (int n : cfg.group_counts)
             for (double q : cfg.fn_quantiles)
                 recipes.push_back({n, q});
+        const uint32_t fp = configFingerprint();
 
         for (int l : net.convLayers()) {
-            profileLayer(l, recipes);
+            if (cancelledNow())
+                return;
+            if (loadLayerCheckpoint(l, fp)) {
+                ++layers_resumed;
+                if (cfg.verbose) {
+                    inform("optimizer: layer %s: resumed %zu "
+                           "candidates from checkpoint",
+                           net.layer(l).name().c_str(),
+                           paramL.at(l).size());
+                }
+                continue;
+            }
+            // Supervised profiling: transient worker failures
+            // (injected compute/slow faults, failed allocations) roll
+            // the layer back and retry with capped backoff; a layer
+            // that keeps failing degrades to its exact configuration
+            // — lossless per the paper — instead of aborting the run.
+            const int eval0 = candidates_evaluated;
+            const int kept0 = candidates_kept;
+            bool degraded = false;
+            for (int attempt = 0;; ++attempt) {
+                std::string failure;
+                try {
+                    profileLayer(l, recipes);
+                    break;
+                } catch (const TransientError &e) {
+                    failure = e.what();
+                } catch (const std::bad_alloc &) {
+                    failure = "tensor allocation failed";
+                }
+                rollbackLayer(l, eval0, kept0);
+                if (cancelledNow())
+                    return;
+                if (attempt >= cfg.layer_retries) {
+                    warn("optimizer: layer %s: %s; no retries left, "
+                         "falling back to the exact configuration "
+                         "(lossless)", net.layer(l).name().c_str(),
+                         failure.c_str());
+                    installExactOnly(l);
+                    ++layers_degraded;
+                    degraded = true;
+                    break;
+                }
+                warn("optimizer: layer %s: %s; retrying (%d/%d)",
+                     net.layer(l).name().c_str(), failure.c_str(),
+                     attempt + 1, cfg.layer_retries);
+                retryBackoff(attempt);
+            }
+            if (cancelledNow()) {
+                // A cancel observed mid-layer leaves partial work;
+                // discard it so a resumed run recomputes the layer.
+                rollbackLayer(l, eval0, kept0);
+                return;
+            }
+            // Degraded layers are deliberately not checkpointed: a
+            // healthy resumed run re-profiles them properly.
+            if (!degraded) {
+                saveLayerCheckpoint(l, fp,
+                                    candidates_evaluated - eval0,
+                                    candidates_kept - kept0);
+            }
             if (cfg.verbose) {
                 inform("optimizer: layer %s: %zu candidates kept",
-                       net.layer(l).name().c_str(), paramL.at(l).size());
+                       net.layer(l).name().c_str(),
+                       paramL.at(l).size());
             }
         }
     }
@@ -457,6 +755,9 @@ struct SpeculationOptimizer::Impl
         // starting from the lowest-op (most aggressive) candidate.
         std::map<int, size_t> cur;
         std::map<int, std::vector<bool>> consumed;
+        // Trivial index init; the resim lambda below this rule's
+        // window passes cfg.cancel, and pollCancel() guards each use.
+        // snapea-lint: allow(SL008)
         for (const auto &[l, cands] : paramL) {
             cur[l] = 0;
             consumed[l] = std::vector<bool>(cands.size(), false);
@@ -483,8 +784,9 @@ struct SpeculationOptimizer::Impl
                 [&](std::int64_t img) {
                     net.forwardAll(data.images[img], acts[img],
                                    &engine, from_layer);
-                });
+                }, cfg.cancel);
         };
+        pollCancel();
         resim(0);
 
         OptimizerResult res;
@@ -503,6 +805,7 @@ struct SpeculationOptimizer::Impl
             cfg.max_global_iterations, std::max(100, 4 * n_layers));
         int iters = 0;
         while (err > epsilon && iters < backoff_cap) {
+            pollCancel();
             // ADJUSTPARAM: pick the unconsumed candidate with the
             // best merit -derr/dop relative to the current config.
             double best_merit = -std::numeric_limits<double>::infinity();
@@ -563,6 +866,7 @@ struct SpeculationOptimizer::Impl
         // candidate always exists and is error-free, so this
         // converges in at most one step per layer).
         while (err > epsilon) {
+            pollCancel();
             int worst = -1;
             double worst_err = 0.0;
             for (const auto &[l, cands] : paramL) {
@@ -604,6 +908,7 @@ struct SpeculationOptimizer::Impl
             while (improved && iters < refine_cap) {
                 improved = false;
                 for (const auto &[l, cands] : paramL) {
+                    pollCancel();
                     // Most aggressive untried candidate cheaper than
                     // the current configuration.
                     int pick = -1;
@@ -643,14 +948,21 @@ struct SpeculationOptimizer::Impl
             }
         }
 
+        // A trip between the loop polls and here may have truncated
+        // the last re-simulation; never publish results derived from
+        // partial activations.
+        pollCancel();
+
         // Bounded-loss contract of predictive mode: the returned
         // (Th, N) assignment, replayed through a fresh engine over
         // the optimization set, reproduces exactly the accuracy loss
         // being reported (and that is what was tested against the
-        // epsilon budget above).
+        // epsilon budget above).  (Skipped if cancellation truncates
+        // the replay itself.)
         SNAPEA_IF_CHECKED({
             resim(0);
-            SNAPEA_CHECK(globalErr(acts) == err);
+            if (!cancelledNow())
+                SNAPEA_CHECK(globalErr(acts) == err);
         })
         res.params = makeParams();
         res.stats.global_iterations = iters;
@@ -662,6 +974,33 @@ struct SpeculationOptimizer::Impl
                 ++res.stats.predictive_layers;
         }
         return res;
+    }
+
+    StatusOr<OptimizerResult>
+    tryRun(double epsilon)
+    {
+        if (cfg.cancel) {
+            Status st = cfg.cancel->check();
+            if (!st.ok())
+                return st;
+        }
+        if (!profiling_complete) {
+            // Construction was cancelled (and the token has since
+            // been reset); the partial ParamL is unusable.
+            return statusf(StatusCode::Unavailable,
+                           "optimizer profiling was cancelled before "
+                           "completion");
+        }
+        try {
+            return globalPass(epsilon);
+        } catch (const CancelledUnwind &) {
+            Status st = cfg.cancel ? cfg.cancel->check() : Status();
+            if (st.ok()) {
+                st = Status(StatusCode::Cancelled,
+                            "global pass cancelled");
+            }
+            return st;
+        }
     }
 };
 
@@ -677,13 +1016,37 @@ SpeculationOptimizer::~SpeculationOptimizer() = default;
 OptimizerResult
 SpeculationOptimizer::run(double epsilon)
 {
-    return impl_->globalPass(epsilon);
+    StatusOr<OptimizerResult> res = impl_->tryRun(epsilon);
+    if (!res.ok()) {
+        panic("SpeculationOptimizer::run: %s (use tryRun when a "
+              "cancel token is in play)",
+              res.status().toString().c_str());
+    }
+    return std::move(res).value();
+}
+
+StatusOr<OptimizerResult>
+SpeculationOptimizer::tryRun(double epsilon)
+{
+    return impl_->tryRun(epsilon);
 }
 
 const std::map<int, std::vector<LayerCandidate>> &
 SpeculationOptimizer::paramL() const
 {
     return impl_->paramL;
+}
+
+int
+SpeculationOptimizer::layersResumed() const
+{
+    return impl_->layers_resumed;
+}
+
+int
+SpeculationOptimizer::layersDegraded() const
+{
+    return impl_->layers_degraded;
 }
 
 } // namespace snapea

@@ -28,12 +28,16 @@
 #ifndef SNAPEA_SNAPEA_OPTIMIZER_HH
 #define SNAPEA_SNAPEA_OPTIMIZER_HH
 
+#include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "nn/network.hh"
 #include "snapea/params.hh"
+#include "util/cancel.hh"
+#include "util/status.hh"
 #include "workload/dataset.hh"
 
 namespace snapea {
@@ -67,6 +71,34 @@ struct OptimizerConfig
     int max_global_iterations = 5000;
     /** Progress logging. */
     bool verbose = false;
+
+    /**
+     * Cooperative cancellation (borrowed; must outlive the
+     * optimizer; nullptr = never cancelled).  Construction stops at
+     * the next layer boundary once tripped; tryRun() then reports
+     * Cancelled/DeadlineExceeded.
+     */
+    const CancelToken *cancel = nullptr;
+    /**
+     * Directory for per-layer profiling checkpoints ("" disables).
+     * Each completed layer's candidate list is written atomically
+     * (versioned + checksummed), so a killed run resumes from the
+     * last completed layer with bitwise-identical results.
+     */
+    std::string checkpoint_dir;
+    /** Checkpoint filename prefix identifying the job (model, seed). */
+    std::string checkpoint_tag = "net";
+    /** Transient-failure retries per layer before the layer degrades
+     *  to its exact (lossless) configuration. */
+    int layer_retries = 2;
+    /** Base retry backoff in ms (doubles per attempt, capped). */
+    int retry_backoff_ms = 5;
+    /**
+     * Called after each checkpoint write with (layer index, ordinal
+     * of the write, 1-based).  Tests use this to interrupt runs at
+     * exact checkpoint boundaries; leave unset otherwise.
+     */
+    std::function<void(int, int)> checkpoint_hook;
 };
 
 /** One profiled candidate of a layer (a ParamL entry). */
@@ -121,11 +153,29 @@ class SpeculationOptimizer
                          const OptimizerConfig &cfg = {});
     ~SpeculationOptimizer();
 
-    /** Global pass: ParamCNN for accuracy budget @p epsilon. */
+    /**
+     * Global pass: ParamCNN for accuracy budget @p epsilon.  Panics
+     * if the run cannot complete (construction was cancelled); use
+     * tryRun when a cancel token is in play.
+     */
     OptimizerResult run(double epsilon);
+
+    /**
+     * Cancellation-aware global pass: Cancelled/DeadlineExceeded if
+     * cfg.cancel tripped (during construction or mid-pass), the
+     * result otherwise.
+     */
+    StatusOr<OptimizerResult> tryRun(double epsilon);
 
     /** The per-layer candidate lists (ParamL), for tests/reports. */
     const std::map<int, std::vector<LayerCandidate>> &paramL() const;
+
+    /** Layers restored from checkpoints during construction. */
+    int layersResumed() const;
+
+    /** Layers that fell back to their exact configuration after
+     *  unrecoverable transient failures (lossless degradation). */
+    int layersDegraded() const;
 
   private:
     struct Impl;

@@ -8,11 +8,32 @@
 #ifndef SNAPEA_SNAPEA_PARAMS_HH
 #define SNAPEA_SNAPEA_PARAMS_HH
 
+#include <bit>
+#include <cstdint>
 #include <limits>
 #include <map>
 #include <vector>
 
 namespace snapea {
+
+/**
+ * Bit-exact float serialization for the parameter/checkpoint caches.
+ * Thresholds are routinely -inf (exact kernels), which text-streamed
+ * floats do not round-trip ("-inf" fails to parse back); the raw bit
+ * pattern as an unsigned integer round-trips every value, including
+ * infinities.
+ */
+inline uint32_t
+floatBits(float f)
+{
+    return std::bit_cast<uint32_t>(f);
+}
+
+inline float
+floatFromBits(uint32_t bits)
+{
+    return std::bit_cast<float>(bits);
+}
 
 /**
  * The paper's (Th, N) pair for one kernel.

@@ -1,0 +1,130 @@
+#include "util/cancel.hh"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+
+namespace snapea {
+
+namespace {
+
+/**
+ * Monotonic now() in ns.  Wall-clock progress is inherently
+ * nondeterministic, but deadlines only decide *whether* a run
+ * completes — never what it computes — so the determinism rule does
+ * not apply here.
+ */
+std::int64_t
+nowNs()
+{
+    using Clock = std::chrono::steady_clock;  // snapea-lint: allow(SL003)
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+void
+CancelToken::requestCancel()
+{
+    int expected = kClear;
+    state_.compare_exchange_strong(expected, kCancelled);
+}
+
+void
+CancelToken::setDeadline(double seconds)
+{
+    const std::int64_t ns =
+        nowNs() + static_cast<std::int64_t>(seconds * 1e9);
+    deadline_ns_.store(ns, std::memory_order_relaxed);
+}
+
+bool
+CancelToken::cancelled() const
+{
+    if (state_.load(std::memory_order_relaxed) != kClear)
+        return true;
+    const std::int64_t dl =
+        deadline_ns_.load(std::memory_order_relaxed);
+    if (dl != 0 && nowNs() >= dl) {
+        // Latch the deadline so check() reports a stable reason even
+        // if reset()/re-arming races are in play.
+        int expected = kClear;
+        state_.compare_exchange_strong(expected, kDeadline);
+        return true;
+    }
+    return false;
+}
+
+Status
+CancelToken::check() const
+{
+    if (!cancelled())
+        return Status();
+    if (state_.load(std::memory_order_relaxed) == kDeadline) {
+        return Status(StatusCode::DeadlineExceeded,
+                      "deadline elapsed before the work finished");
+    }
+    return Status(StatusCode::Cancelled,
+                  "cancellation requested before the work finished");
+}
+
+void
+CancelToken::reset()
+{
+    state_.store(kClear, std::memory_order_relaxed);
+    deadline_ns_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+std::atomic<int> g_last_signal{0};
+
+/**
+ * Async-signal-safe by construction: lock-free atomic operations
+ * only.  A second signal while the first is still unwinding
+ * force-exits; _exit is the only termination primitive that is safe
+ * in this context.
+ */
+void
+cancelSignalHandler(int sig)
+{
+    if (g_last_signal.exchange(sig) != 0)
+        ::_exit(128 + sig);  // snapea-lint: allow(SL001)
+    globalCancelToken().requestCancel();
+}
+
+} // namespace
+
+CancelToken &
+globalCancelToken()
+{
+    static CancelToken token;
+    return token;
+}
+
+void
+installSignalCancelHandlers()
+{
+    // Force construction of the token before any signal can arrive;
+    // the handler must not be the first to touch the static.
+    globalCancelToken();
+    struct sigaction sa = {};
+    sa.sa_handler = cancelSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    // No SA_RESTART: blocking syscalls return EINTR so the process
+    // reaches its next poll point promptly.
+    sa.sa_flags = 0;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+int
+lastCancelSignal()
+{
+    return g_last_signal.load(std::memory_order_relaxed);
+}
+
+} // namespace snapea

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Cooperative cancellation and deadlines for long-running pipeline
+ * work (Algorithm 1 profiling, trace collection, accuracy sweeps).
+ *
+ * A CancelToken is a small shared flag that workers poll at natural
+ * boundaries (per parallel_for index, per optimizer layer, per traced
+ * image).  Tripping it — explicitly, from a signal handler, or by an
+ * elapsed deadline — makes the pipeline unwind cleanly through the
+ * StatusOr-returning entry points (Status::Cancelled /
+ * DeadlineExceeded) instead of dying mid-write: RAII releases file
+ * locks, checkpoints already on disk stay valid, and a resumed run
+ * picks up from the last completed layer.
+ *
+ * Cancellation is cooperative: a trip is observed at the next poll
+ * point, not instantly.  Tokens are polled concurrently from worker
+ * threads; all state is atomic.
+ */
+
+#ifndef SNAPEA_UTIL_CANCEL_HH
+#define SNAPEA_UTIL_CANCEL_HH
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/status.hh"
+
+namespace snapea {
+
+/**
+ * A cancellation flag plus an optional deadline.  Thread-safe;
+ * borrowed by reference/pointer into the pipeline (the owner outlives
+ * the work, which every entry point taking one documents).
+ */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+    CancelToken(const CancelToken &) = delete;
+    CancelToken &operator=(const CancelToken &) = delete;
+
+    /** Trip the token.  Idempotent; async-signal-safe. */
+    void requestCancel();
+
+    /**
+     * Arm a deadline @p seconds from now (monotonic clock).  A
+     * non-positive value trips on the next poll.  Re-arming replaces
+     * the previous deadline.
+     */
+    void setDeadline(double seconds);
+
+    /** Has the token tripped (explicitly or by deadline)?  Poll this
+     *  in loops; it is cheap (one relaxed atomic load until armed
+     *  deadlines additionally read the clock). */
+    bool cancelled() const;
+
+    /** Ok while clear; Cancelled or DeadlineExceeded once tripped. */
+    Status check() const;
+
+    /** Clear the trip state and any deadline.  For tests and
+     *  interactive drivers that reuse one token across runs; do not
+     *  call while work is still polling the token. */
+    void reset();
+
+  private:
+    static constexpr int kClear = 0;
+    static constexpr int kCancelled = 1;
+    static constexpr int kDeadline = 2;
+
+    /** Mutable: cancelled() latches an elapsed deadline. */
+    mutable std::atomic<int> state_{kClear};
+    /** Monotonic-clock deadline in ns; 0 = none armed. */
+    std::atomic<std::int64_t> deadline_ns_{0};
+};
+
+/** The process-wide token tripped by the signal handlers. */
+CancelToken &globalCancelToken();
+
+/**
+ * Route SIGINT/SIGTERM into globalCancelToken().  The first signal
+ * trips the token (cooperative unwind, locks released, exit 128+sig
+ * from snapea_cli); a second one force-exits with 128+sig for users
+ * who need out of a stuck unwind.
+ */
+void installSignalCancelHandlers();
+
+/** The signal that tripped the global token, or 0 if none did. */
+int lastCancelSignal();
+
+} // namespace snapea
+
+#endif // SNAPEA_UTIL_CANCEL_HH

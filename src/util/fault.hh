@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Deterministic multi-domain fault injection.
+ *
+ * SNAPEA_FAULT=<domain>:<op>:<nth> makes the <nth> operation of the
+ * named kind fail deterministically (<nth> 1-based, or '*' for every
+ * occurrence; comma-separate multiple specs).  Domains and ops:
+ *
+ *   io:{open,read,write,fsync,rename,lock}
+ *       the hardened-I/O wrappers in util/io (a write fault behaves
+ *       like ENOSPC, a read fault like a short read);
+ *   compute:task
+ *       a thread-pool task (one parallel_for chunk) throws
+ *       TransientError before running;
+ *   alloc:tensor
+ *       a large (>= 1024 element) tensor allocation fails with
+ *       std::bad_alloc;
+ *   slow:task
+ *       a thread-pool task stalls until the watchdog budget elapses,
+ *       then throws TransientError — a hang surfaces as a transient
+ *       failure the supervisor can retry.
+ *
+ * The occurrence counters are process-global and only advance while a
+ * spec is active, so the same spec fires at the same operation every
+ * run.  Task counts depend on the thread count (one count per
+ * parallel_for chunk); pin SNAPEA_THREADS (or setThreadCount) for
+ * reproducible compute/slow injection.
+ */
+
+#ifndef SNAPEA_UTIL_FAULT_HH
+#define SNAPEA_UTIL_FAULT_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "util/status.hh"
+
+namespace snapea {
+
+/** Fault domains selectable in SNAPEA_FAULT specs. */
+enum class FaultDomain {
+    Io,
+    Compute,
+    Alloc,
+    Slow,
+};
+
+/** Stable lower-case name used in SNAPEA_FAULT specs. */
+const char *faultDomainName(FaultDomain domain);
+
+/**
+ * A worker failure that a supervisor may retry: the work itself is
+ * sound, only this attempt failed (injected fault, watchdog-detected
+ * stall).  Thrown out of thread-pool tasks and rethrown on the
+ * dispatching thread by parallel_for.
+ */
+class TransientError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Install a fault-injection spec ("io:write:1", "compute:task:*",
+ * comma separated; "" clears).  Resets the per-op operation counters.
+ * Tests use this directly; production processes set SNAPEA_FAULT in
+ * the environment instead, which is read once on first use.
+ */
+Status setFaultSpec(const std::string &spec);
+
+/**
+ * Count one operation of kind (@p domain, @p op) against the active
+ * spec and report whether it must fail.  Called by the I/O wrappers,
+ * the thread pool, and Tensor; exposed so future subsystems can
+ * participate.
+ */
+bool faultShouldFail(FaultDomain domain, const char *op);
+
+/**
+ * One thread-pool task checkpoint: applies the compute: and slow:
+ * domains.  Throws TransientError on an injected compute fault, or
+ * after an injected stall exceeds the watchdog budget.  Called once
+ * per parallel_for chunk (including the serial path); a dispatch
+ * nested inside a running task is part of the enclosing task and
+ * does not count.
+ */
+void faultTaskPoint();
+
+/**
+ * Watchdog budget in milliseconds for stalled tasks (slow: domain).
+ * Defaults to 1000; SNAPEA_WATCHDOG_MS overrides the default and
+ * setWatchdogMillis overrides both (ms <= 0 restores the automatic
+ * value).
+ */
+int watchdogMillis();
+void setWatchdogMillis(int ms);
+
+} // namespace snapea
+
+#endif // SNAPEA_UTIL_FAULT_HH

@@ -10,9 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <sstream>
-#include <vector>
 
 #include "util/logging.hh"
 
@@ -66,122 +64,10 @@ ioOpName(IoOp op)
     return "?";
 }
 
-namespace {
-
-constexpr int kNumOps = 6;
-
-struct FaultRule
-{
-    IoOp op;
-    bool every = false;     ///< "*": fail every occurrence.
-    uint64_t nth = 0;       ///< 1-based occurrence to fail.
-};
-
-struct FaultState
-{
-    std::mutex mu;
-    bool env_checked = false;
-    std::vector<FaultRule> rules;
-    std::array<uint64_t, kNumOps> counts{};
-};
-
-FaultState &
-faultState()
-{
-    static FaultState state;
-    return state;
-}
-
-bool
-parseOpName(const std::string &name, IoOp &op)
-{
-    for (int i = 0; i < kNumOps; ++i) {
-        if (name == ioOpName(static_cast<IoOp>(i))) {
-            op = static_cast<IoOp>(i);
-            return true;
-        }
-    }
-    return false;
-}
-
-/** Parse "io:<op>:<nth>[,io:<op>:<nth>...]"; empty clears. */
-Status
-parseFaultSpec(const std::string &spec, std::vector<FaultRule> &out)
-{
-    out.clear();
-    std::istringstream ss(spec);
-    std::string entry;
-    while (std::getline(ss, entry, ',')) {
-        if (entry.empty())
-            continue;
-        const size_t c1 = entry.find(':');
-        const size_t c2 =
-            c1 == std::string::npos ? c1 : entry.find(':', c1 + 1);
-        if (c1 == std::string::npos || c2 == std::string::npos ||
-            entry.substr(0, c1) != "io") {
-            return statusf(StatusCode::InvalidArgument,
-                           "bad fault spec entry '%s' (want "
-                           "io:<op>:<nth>)", entry.c_str());
-        }
-        FaultRule rule;
-        const std::string op_name = entry.substr(c1 + 1, c2 - c1 - 1);
-        if (!parseOpName(op_name, rule.op)) {
-            return statusf(StatusCode::InvalidArgument,
-                           "unknown fault op '%s'", op_name.c_str());
-        }
-        const std::string nth = entry.substr(c2 + 1);
-        if (nth == "*") {
-            rule.every = true;
-        } else {
-            char *end = nullptr;
-            rule.nth = std::strtoull(nth.c_str(), &end, 10);
-            if (nth.empty() || *end != '\0' || rule.nth == 0) {
-                return statusf(StatusCode::InvalidArgument,
-                               "bad fault occurrence '%s'",
-                               nth.c_str());
-            }
-        }
-        out.push_back(rule);
-    }
-    return Status();
-}
-
-} // namespace
-
-Status
-setFaultSpec(const std::string &spec)
-{
-    FaultState &state = faultState();
-    std::lock_guard<std::mutex> lock(state.mu);
-    state.env_checked = true;  // explicit spec overrides SNAPEA_FAULT
-    state.counts.fill(0);
-    return parseFaultSpec(spec, state.rules);
-}
-
 bool
 faultShouldFail(IoOp op)
 {
-    FaultState &state = faultState();
-    std::lock_guard<std::mutex> lock(state.mu);
-    if (!state.env_checked) {
-        state.env_checked = true;
-        if (const char *env = std::getenv("SNAPEA_FAULT")) {
-            const Status st = parseFaultSpec(env, state.rules);
-            if (!st.ok()) {
-                warn("ignoring SNAPEA_FAULT: %s",
-                     st.toString().c_str());
-                state.rules.clear();
-            }
-        }
-    }
-    if (state.rules.empty())
-        return false;
-    const uint64_t count = ++state.counts[static_cast<int>(op)];
-    for (const FaultRule &rule : state.rules) {
-        if (rule.op == op && (rule.every || rule.nth == count))
-            return true;
-    }
-    return false;
+    return faultShouldFail(FaultDomain::Io, ioOpName(op));
 }
 
 namespace {
@@ -340,6 +226,30 @@ FileLock::acquire(const std::string &path)
             return statusf(StatusCode::Unavailable, "flock %s: %s",
                            path.c_str(), std::strerror(errno));
         }
+    }
+    return FileLock(fd.release());
+}
+
+StatusOr<FileLock>
+FileLock::tryAcquire(const std::string &path)
+{
+    if (faultShouldFail(IoOp::Lock)) {
+        return statusf(StatusCode::Unavailable,
+                       "%s: injected lock fault", path.c_str());
+    }
+    Fd fd(::open(path.c_str(), O_RDWR | O_CREAT, 0644));
+    if (fd.fd < 0) {
+        return statusf(StatusCode::IoError,
+                       "cannot open lock file %s: %s", path.c_str(),
+                       std::strerror(errno));
+    }
+    while (::flock(fd.fd, LOCK_EX | LOCK_NB) != 0) {
+        if (errno == EINTR)
+            continue;
+        const StatusCode code = errno == EWOULDBLOCK
+            ? StatusCode::Unavailable : StatusCode::IoError;
+        return statusf(code, "flock %s: %s", path.c_str(),
+                       std::strerror(errno));
     }
     return FileLock(fd.release());
 }

@@ -17,7 +17,9 @@
  *    (op in {open, read, write, fsync, rename, lock}; <nth> 1-based,
  *    or '*' for every occurrence; comma-separate multiple specs).
  *    A write fault behaves like ENOSPC; a read fault behaves like a
- *    short read (truncation).
+ *    short read (truncation).  The io: domain is one of several —
+ *    see util/fault.hh for the compute:/alloc:/slow: domains and the
+ *    shared spec grammar.
  */
 
 #ifndef SNAPEA_UTIL_IO_HH
@@ -28,6 +30,7 @@
 #include <string>
 #include <string_view>
 
+#include "util/fault.hh"
 #include "util/status.hh"
 
 namespace snapea {
@@ -50,17 +53,10 @@ enum class IoOp {
 const char *ioOpName(IoOp op);
 
 /**
- * Install a fault-injection spec ("io:write:1", "io:read:*", comma
- * separated; "" clears).  Resets the per-op operation counters.
- * Tests use this directly; production processes set SNAPEA_FAULT in
- * the environment instead, which is read once on first I/O.
- */
-Status setFaultSpec(const std::string &spec);
-
-/**
- * Count one operation of kind @p op against the active spec and
- * report whether it must fail.  Called by the wrappers below; exposed
- * so future I/O code can participate.
+ * Count one operation of kind @p op against the active SNAPEA_FAULT
+ * spec and report whether it must fail.  Convenience wrapper over
+ * faultShouldFail(FaultDomain::Io, ...); setFaultSpec lives in
+ * util/fault.hh (re-exported here via the include above).
  */
 bool faultShouldFail(IoOp op);
 
@@ -85,7 +81,16 @@ Status atomicWriteFile(const std::string &path,
 class FileLock
 {
   public:
+    /** Block until the lock is held (or fail with a non-EINTR error). */
     static StatusOr<FileLock> acquire(const std::string &path);
+
+    /**
+     * Non-blocking variant: Unavailable if another process (or
+     * another FileLock in this one) currently holds the lock.  Lets
+     * tests and supervisors verify a lock was released without
+     * risking a hang.
+     */
+    static StatusOr<FileLock> tryAcquire(const std::string &path);
 
     FileLock(FileLock &&other) noexcept;
     FileLock &operator=(FileLock &&other) noexcept;

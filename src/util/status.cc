@@ -16,6 +16,8 @@ statusCodeName(StatusCode code)
       case StatusCode::Corrupt: return "corrupt";
       case StatusCode::VersionMismatch: return "version mismatch";
       case StatusCode::Unavailable: return "unavailable";
+      case StatusCode::Cancelled: return "cancelled";
+      case StatusCode::DeadlineExceeded: return "deadline exceeded";
     }
     return "?";
 }

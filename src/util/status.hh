@@ -36,6 +36,10 @@ enum class StatusCode {
     VersionMismatch,
     /** A resource is temporarily unusable (lock contention). */
     Unavailable,
+    /** The caller (signal, CancelToken) asked the work to stop. */
+    Cancelled,
+    /** The work's deadline elapsed before it finished. */
+    DeadlineExceeded,
 };
 
 /** Stable lower-case name of a status code ("corrupt", ...). */

@@ -4,10 +4,14 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/cancel.hh"
+#include "util/fault.hh"
 
 namespace snapea::util {
 
@@ -17,6 +21,9 @@ std::atomic<int> g_override{0};
 
 thread_local bool tl_in_parallel = false;
 thread_local int tl_worker_index = 0;
+/** Depth of serial parallel_for regions on this thread; only the
+ *  outermost counts as a fault-injection task. */
+thread_local int tl_serial_depth = 0;
 
 int
 envThreads()
@@ -180,6 +187,14 @@ void
 parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
              const std::function<void(std::int64_t)> &fn)
 {
+    parallel_for(begin, end, grain, fn, nullptr);
+}
+
+void
+parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+             const std::function<void(std::int64_t)> &fn,
+             const CancelToken *cancel)
+{
     const std::int64_t n = end - begin;
     if (n <= 0)
         return;
@@ -192,20 +207,55 @@ parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
     std::int64_t width = std::min<std::int64_t>(
         tl_in_parallel ? 1 : threadCount(), (n + grain - 1) / grain);
     if (width <= 1) {
-        for (std::int64_t i = begin; i < end; ++i)
-            fn(i);
+        // The serial path is one pool task — but only at top level.
+        // A dispatch nested inside a running task (a serial region or
+        // a worker chunk) is part of the enclosing task and must not
+        // consume a fault ordinal of its own, or ordinals would track
+        // inner-loop structure instead of supervised work units.
+        if (!tl_in_parallel && tl_serial_depth == 0)
+            faultTaskPoint();
+        ++tl_serial_depth;
+        try {
+            for (std::int64_t i = begin; i < end; ++i) {
+                if (cancel && cancel->cancelled())
+                    break;
+                fn(i);
+            }
+        } catch (...) {
+            --tl_serial_depth;
+            throw;
+        }
+        --tl_serial_depth;
         return;
     }
 
+    // One slot per chunk: a throwing chunk parks its exception here
+    // and the lowest-numbered one is rethrown after the dispatch, so
+    // which failure the caller sees does not depend on scheduling.
+    std::vector<std::exception_ptr> errs(static_cast<size_t>(width));
+
     Pool &pool = poolFor(static_cast<int>(width) - 1);
     pool.dispatch(static_cast<int>(width), [&](int w) {
-        // Balanced static partition: chunk w covers
-        // [begin + w*n/width, begin + (w+1)*n/width).
-        const std::int64_t lo = begin + n * w / width;
-        const std::int64_t hi = begin + n * (w + 1) / width;
-        for (std::int64_t i = lo; i < hi; ++i)
-            fn(i);
+        try {
+            faultTaskPoint();
+            // Balanced static partition: chunk w covers
+            // [begin + w*n/width, begin + (w+1)*n/width).
+            const std::int64_t lo = begin + n * w / width;
+            const std::int64_t hi = begin + n * (w + 1) / width;
+            for (std::int64_t i = lo; i < hi; ++i) {
+                if (cancel && cancel->cancelled())
+                    return;
+                fn(i);
+            }
+        } catch (...) {
+            errs[w] = std::current_exception();
+        }
     });
+
+    for (const std::exception_ptr &e : errs) {
+        if (e)
+            std::rethrow_exception(e);
+    }
 }
 
 } // namespace snapea::util

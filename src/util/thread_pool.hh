@@ -31,6 +31,10 @@
 #include <cstdint>
 #include <functional>
 
+namespace snapea {
+class CancelToken;
+}
+
 namespace snapea::util {
 
 /**
@@ -65,12 +69,32 @@ int workerIndex();
  * Call fn(i) for every i in [begin, end), distributing contiguous
  * chunks of at least @c grain indices over the pool.
  *
- * fn must confine its writes to state owned by index i and must not
- * throw.  Returns after every index completed.
+ * fn must confine its writes to state owned by index i.  Returns
+ * after every chunk completed.  If one or more invocations throw, the
+ * exception from the lowest-numbered chunk is rethrown on the calling
+ * thread once all chunks have stopped (a chunk stops at its first
+ * throwing index; other chunks still run to completion), so failures
+ * are deterministic and the pool stays reusable.
+ *
+ * Every chunk (including the width-1 serial path) passes through
+ * faultTaskPoint(), making the compute:/slow: fault domains fire at
+ * reproducible task ordinals.
  */
 void parallel_for(std::int64_t begin, std::int64_t end,
                   std::int64_t grain,
                   const std::function<void(std::int64_t)> &fn);
+
+/**
+ * Cancellation-aware variant: once @p cancel trips, remaining indices
+ * are skipped (an in-flight fn(i) always runs to completion — the
+ * token is only polled between indices).  The caller must treat
+ * results as incomplete whenever cancel->cancelled() is true
+ * afterwards.  @p cancel may be nullptr (never cancelled).
+ */
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  std::int64_t grain,
+                  const std::function<void(std::int64_t)> &fn,
+                  const CancelToken *cancel);
 
 } // namespace snapea::util
 

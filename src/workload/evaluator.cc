@@ -6,7 +6,8 @@
 namespace snapea {
 
 double
-accuracy(const Network &net, const Dataset &data, ConvOverride *ov)
+accuracy(const Network &net, const Dataset &data, ConvOverride *ov,
+         const CancelToken *cancel)
 {
     SNAPEA_ASSERT(!data.images.empty());
     const std::int64_t n = static_cast<std::int64_t>(data.images.size());
@@ -14,7 +15,7 @@ accuracy(const Network &net, const Dataset &data, ConvOverride *ov)
     util::parallel_for(0, n, 1, [&](std::int64_t i) {
         const Tensor out = net.forward(data.images[i], ov);
         correct[i] = static_cast<int>(out.argmax()) == data.labels[i];
-    });
+    }, cancel);
     size_t sum = 0;
     for (unsigned char c : correct)
         sum += c;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "nn/network.hh"
+#include "util/cancel.hh"
 #include "workload/dataset.hh"
 
 namespace snapea {
@@ -22,9 +23,14 @@ namespace snapea {
  * Fast-mode SnapeaEngine qualifies (it only reads prepared state);
  * an Instrumented-mode engine does not (it accumulates statistics)
  * and must be driven by a serial loop instead.
+ *
+ * A non-null @p cancel is polled between images; on cancellation the
+ * returned value covers only the images already evaluated and the
+ * caller must consult the token before using it.
  */
 double accuracy(const Network &net, const Dataset &data,
-                ConvOverride *ov = nullptr);
+                ConvOverride *ov = nullptr,
+                const CancelToken *cancel = nullptr);
 
 /** Per-layer negative-output statistics (Fig. 1's measurement). */
 struct NegativeStats

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Units for the resilient-runtime primitives: CancelToken/deadlines
+ * (util/cancel), the multi-domain fault engine (util/fault), and the
+ * thread pool's exception propagation and cancel-aware dispatch.
+ *
+ * Fault and thread-count state is process-global; every test that
+ * sets a spec or thread count restores it, and the suite pins one
+ * worker where the injected-task ordinal must be deterministic.
+ */
+
+#include <csignal>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/tensor.hh"
+#include "util/cancel.hh"
+#include "util/fault.hh"
+#include "util/thread_pool.hh"
+
+namespace snapea {
+namespace {
+
+class CancelTest : public testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        ASSERT_TRUE(setFaultSpec("").ok());
+        setWatchdogMillis(0);
+        util::setThreadCount(0);
+    }
+};
+
+TEST_F(CancelTest, TokenStartsClear)
+{
+    CancelToken tok;
+    EXPECT_FALSE(tok.cancelled());
+    EXPECT_TRUE(tok.check().ok());
+}
+
+TEST_F(CancelTest, RequestCancelTripsAndReports)
+{
+    CancelToken tok;
+    tok.requestCancel();
+    EXPECT_TRUE(tok.cancelled());
+    const Status st = tok.check();
+    EXPECT_EQ(st.code(), StatusCode::Cancelled);
+    tok.requestCancel();  // idempotent
+    EXPECT_EQ(tok.check().code(), StatusCode::Cancelled);
+}
+
+TEST_F(CancelTest, DeadlineTripsAfterElapsing)
+{
+    CancelToken tok;
+    tok.setDeadline(0.005);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_TRUE(tok.cancelled());
+    EXPECT_EQ(tok.check().code(), StatusCode::DeadlineExceeded);
+}
+
+TEST_F(CancelTest, NonPositiveDeadlineTripsImmediately)
+{
+    CancelToken tok;
+    tok.setDeadline(0.0);
+    EXPECT_TRUE(tok.cancelled());
+    EXPECT_EQ(tok.check().code(), StatusCode::DeadlineExceeded);
+}
+
+TEST_F(CancelTest, FarDeadlineStaysClear)
+{
+    CancelToken tok;
+    tok.setDeadline(3600.0);
+    EXPECT_FALSE(tok.cancelled());
+    EXPECT_TRUE(tok.check().ok());
+}
+
+TEST_F(CancelTest, ResetClearsTripAndDeadline)
+{
+    CancelToken tok;
+    tok.requestCancel();
+    tok.reset();
+    EXPECT_FALSE(tok.cancelled());
+    tok.setDeadline(0.0);
+    EXPECT_TRUE(tok.cancelled());
+    tok.reset();
+    EXPECT_FALSE(tok.cancelled());
+    EXPECT_TRUE(tok.check().ok());
+}
+
+TEST_F(CancelTest, ExplicitCancelWinsOverDeadline)
+{
+    CancelToken tok;
+    tok.setDeadline(3600.0);
+    tok.requestCancel();
+    EXPECT_EQ(tok.check().code(), StatusCode::Cancelled);
+}
+
+TEST_F(CancelTest, FaultSpecParsing)
+{
+    EXPECT_TRUE(setFaultSpec("").ok());
+    EXPECT_TRUE(setFaultSpec("io:write:1").ok());
+    EXPECT_TRUE(setFaultSpec("compute:task:*").ok());
+    EXPECT_TRUE(setFaultSpec("alloc:tensor:3,slow:task:2").ok());
+    EXPECT_EQ(setFaultSpec("nonsense").code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(setFaultSpec("mars:task:1").code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(setFaultSpec("compute:write:1").code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(setFaultSpec("compute:task:0").code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(setFaultSpec("compute:task:x").code(),
+              StatusCode::InvalidArgument);
+    ASSERT_TRUE(setFaultSpec("").ok());
+}
+
+TEST_F(CancelTest, ComputeFaultThrowsOnNthTask)
+{
+    util::setThreadCount(1);  // one chunk per parallel_for
+    ASSERT_TRUE(setFaultSpec("compute:task:2").ok());
+    int runs = 0;
+    auto body = [&](std::int64_t) { ++runs; };
+    util::parallel_for(0, 4, 1, body);  // task 1: clean
+    EXPECT_EQ(runs, 4);
+    EXPECT_THROW(util::parallel_for(0, 4, 1, body), TransientError);
+    EXPECT_EQ(runs, 4);  // the chunk failed before any iteration
+    util::parallel_for(0, 4, 1, body);  // past the ordinal: clean
+    EXPECT_EQ(runs, 8);
+}
+
+TEST_F(CancelTest, AllocFaultFailsLargeTensorOnly)
+{
+    ASSERT_TRUE(setFaultSpec("alloc:tensor:1").ok());
+    Tensor small({8});  // below the large-allocation threshold
+    EXPECT_EQ(small.size(), 8u);
+    EXPECT_THROW(Tensor({4, 32, 32}), std::bad_alloc);
+    Tensor after({4, 32, 32});  // ordinal consumed
+    EXPECT_EQ(after.size(), 4u * 32 * 32);
+}
+
+TEST_F(CancelTest, SlowFaultTripsWatchdog)
+{
+    util::setThreadCount(1);
+    setWatchdogMillis(30);
+    EXPECT_EQ(watchdogMillis(), 30);
+    ASSERT_TRUE(setFaultSpec("slow:task:1").ok());
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_THROW(util::parallel_for(0, 4, 1, [](std::int64_t) {}),
+                 TransientError);
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - t0).count();
+    EXPECT_GE(ms, 25);  // actually stalled for the watchdog budget
+}
+
+TEST_F(CancelTest, PoolRethrowsWorkerExceptionAndStaysUsable)
+{
+    util::setThreadCount(4);
+    std::vector<unsigned char> seen(100, 0);
+    EXPECT_THROW(
+        util::parallel_for(0, 100, 1, [&](std::int64_t i) {
+            if (i == 37)
+                throw std::runtime_error("boom");
+            seen[i] = 1;
+        }),
+        std::runtime_error);
+    EXPECT_EQ(seen[37], 0);
+
+    // The pool survives a throwing dispatch.
+    int total = 0;
+    std::vector<int> counts(100, 0);
+    util::parallel_for(0, 100, 1, [&](std::int64_t i) { counts[i] = 1; });
+    for (int c : counts)
+        total += c;
+    EXPECT_EQ(total, 100);
+}
+
+TEST_F(CancelTest, CancelAwareParallelForStopsEarly)
+{
+    util::setThreadCount(1);  // deterministic serial order
+    CancelToken tok;
+    int runs = 0;
+    util::parallel_for(0, 100, 1, [&](std::int64_t i) {
+        ++runs;
+        if (i == 2)
+            tok.requestCancel();
+    }, &tok);
+    // i = 0, 1, 2 ran; the poll before i = 3 observed the trip.
+    EXPECT_EQ(runs, 3);
+}
+
+TEST_F(CancelTest, NullTokenRunsToCompletion)
+{
+    int runs = 0;
+    util::parallel_for(0, 10, 1, [&](std::int64_t) { ++runs; },
+                       nullptr);
+    EXPECT_EQ(runs, 10);
+}
+
+TEST_F(CancelTest, SignalHandlerTripsGlobalToken)
+{
+    installSignalCancelHandlers();
+    ASSERT_FALSE(globalCancelToken().cancelled());
+    // One raise only: a second signal force-exits by design.
+    ASSERT_EQ(std::raise(SIGINT), 0);
+    EXPECT_TRUE(globalCancelToken().cancelled());
+    EXPECT_EQ(globalCancelToken().check().code(), StatusCode::Cancelled);
+    EXPECT_EQ(lastCancelSignal(), SIGINT);
+    globalCancelToken().reset();
+}
+
+} // namespace
+} // namespace snapea

@@ -171,6 +171,79 @@ TEST(Lint, FiresOwnHeaderFirst)
     EXPECT_EQ(countFindings(run.output), 1) << run.output;
 }
 
+TEST(Lint, FiresCancellableLoop)
+{
+    expectSingleViolation(
+        "cancelloop", "src/bad_loop.cc",
+        "void f() {\n"
+        "    for (int l = 0; l < 4; ++l) {\n"
+        "        util::parallel_for(0, 10, 1, g);\n"
+        "    }\n"
+        "}\n",
+        "SL008");
+}
+
+TEST(Lint, CancellableLoopSatisfiedByToken)
+{
+    FixtureTree tree("cancelok");
+    tree.write("src/ok_loop.cc",
+               "void f(const CancelToken *cancel) {\n"
+               "    for (int l = 0; l < 4; ++l) {\n"
+               "        util::parallel_for(0, 10, 1, g, cancel);\n"
+               "    }\n"
+               "}\n");
+    const LintRun run = runLint(tree.rootArg());
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(Lint, CancellableLoopAllowSuppresses)
+{
+    FixtureTree tree("cancelallow");
+    tree.write("src/allowed_loop.cc",
+               "void f() {\n"
+               "    // bounded preparation work\n"
+               "    // snapea-lint: allow(SL008)\n"
+               "    for (int l = 0; l < 4; ++l) {\n"
+               "        util::parallel_for(0, 10, 1, g);\n"
+               "    }\n"
+               "}\n");
+    const LintRun run = runLint(tree.rootArg());
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(Lint, CancellableLoopWindowStopsAtFunctionEnd)
+{
+    // A loop in one function must not be blamed for a dispatch in
+    // the next function down the file.
+    FixtureTree tree("cancelscope");
+    tree.write("src/two_funcs.cc",
+               "int f() {\n"
+               "    int s = 0;\n"
+               "    for (int i = 0; i < 4; ++i)\n"
+               "        s += i;\n"
+               "    return s;\n"
+               "}\n"
+               "void g() {\n"
+               "    util::parallel_for(0, 10, 1, h);\n"
+               "}\n");
+    const LintRun run = runLint(tree.rootArg());
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(Lint, CancellableLoopOnlyInLibTier)
+{
+    // tests/tools/bench drive computations to completion on purpose.
+    FixtureTree tree("canceltier");
+    tree.write("tests/loop_test.cc",
+               "void f() {\n"
+               "    for (int l = 0; l < 4; ++l) {\n"
+               "        util::parallel_for(0, 10, 1, g);\n"
+               "    }\n"
+               "}\n");
+    const LintRun run = runLint(tree.rootArg());
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
 TEST(Lint, CleanFilePasses)
 {
     FixtureTree tree("clean");
@@ -237,7 +310,7 @@ TEST(Lint, ListRulesShowsAllIds)
     const LintRun run = runLint("--list-rules");
     EXPECT_EQ(run.exit_code, 0);
     for (const char *id : {"SL001", "SL002", "SL003", "SL004", "SL005",
-                           "SL006", "SL007"}) {
+                           "SL006", "SL007", "SL008"}) {
         EXPECT_NE(run.output.find(id), std::string::npos) << id;
     }
 }

@@ -15,14 +15,24 @@
 #      SNAPEA_CHECK_INVARIANTS=ON build (`checked` ctest label)
 #      where the paper's math invariants are asserted at runtime.
 #
-# Usage: tools/check.sh [--sanitize thread|address] [build-dir-prefix]
+# Usage: tools/check.sh [--sanitize thread|address] [--labels REGEX]
+#                       [build-dir-prefix]
 #
 #   --sanitize V   additionally instrument the *checked* build with
 #                  SNAPEA_SANITIZE=V (composability gate: invariants
 #                  and sanitizers must coexist).  Unknown values are
 #                  rejected with exit 2, like snapea_cli flag errors.
+#   --labels R     restrict the default-suite step to tests whose
+#                  ctest label matches R (e.g. "faultinject|recovery"
+#                  runs the failure-path and crash-recovery suites in
+#                  one gate invocation).  The checked step keeps its
+#                  own `checked` label.
 #   build-dir-prefix  defaults to "build-gate"; the script uses
 #                  <prefix> and <prefix>-checked.
+#
+# Each ctest invocation runs under a watchdog (timeout(1), when
+# present) so a hung test cannot wedge the gate; SNAPEA_CHECK_TIMEOUT
+# overrides the per-suite budget in seconds (default 1800).
 #
 # The extended gate (not run here; see DESIGN.md) additionally runs
 #   cmake -DSNAPEA_SANITIZE=address + ctest -L asan
@@ -33,11 +43,13 @@
 set -u
 
 usage() {
-    echo "usage: $0 [--sanitize thread|address] [build-dir-prefix]" >&2
+    echo "usage: $0 [--sanitize thread|address] [--labels REGEX]" \
+         "[build-dir-prefix]" >&2
     exit 2
 }
 
 SANITIZE=""
+LABELS=""
 PREFIX="build-gate"
 
 while [ $# -gt 0 ]; do
@@ -49,6 +61,15 @@ while [ $# -gt 0 ]; do
             ;;
         --sanitize=*)
             SANITIZE="${1#--sanitize=}"
+            shift
+            ;;
+        --labels)
+            [ $# -ge 2 ] || usage
+            LABELS="$2"
+            shift 2
+            ;;
+        --labels=*)
+            LABELS="${1#--labels=}"
             shift
             ;;
         -h|--help)
@@ -88,6 +109,19 @@ fail() {
     exit 1
 }
 
+# Every ctest run gets a hang watchdog when timeout(1) exists: a
+# wedged test (deadlock, lost signal) fails the gate loudly instead
+# of stalling CI forever.  timeout exits 124 on expiry, which the
+# callers' `|| fail` path reports like any other suite failure.
+CTEST_BUDGET="${SNAPEA_CHECK_TIMEOUT:-1800}"
+run_ctest() {
+    if command -v timeout >/dev/null 2>&1; then
+        timeout "$CTEST_BUDGET" ctest "$@"
+    else
+        ctest "$@"
+    fi
+}
+
 step "[1/5] configure + build, hardened warnings as errors"
 cmake -B "$ROOT/$PREFIX" -S "$ROOT" \
       -DSNAPEA_WERROR=ON -DSNAPEA_LINT=ON \
@@ -99,9 +133,16 @@ step "[2/5] snapea_lint over src/ tools/ bench/ tests/"
 "$ROOT/$PREFIX/tools/snapea_lint" --root "$ROOT" \
     || fail "snapea_lint found violations"
 
-step "[3/5] default test suite"
-ctest --test-dir "$ROOT/$PREFIX" -j "$JOBS" --output-on-failure \
-    || fail "default test suite"
+if [ -n "$LABELS" ]; then
+    step "[3/5] test suite, labels matching '$LABELS'"
+    run_ctest --test-dir "$ROOT/$PREFIX" -L "$LABELS" -j "$JOBS" \
+              --output-on-failure \
+        || fail "labeled test suite ($LABELS)"
+else
+    step "[3/5] default test suite"
+    run_ctest --test-dir "$ROOT/$PREFIX" -j "$JOBS" --output-on-failure \
+        || fail "default test suite"
+fi
 
 step "[4/5] configure + build with SNAPEA_CHECK_INVARIANTS=ON${SANITIZE:+ + SNAPEA_SANITIZE=$SANITIZE}"
 cmake -B "$ROOT/$PREFIX-checked" -S "$ROOT" \
@@ -112,8 +153,8 @@ cmake --build "$ROOT/$PREFIX-checked" -j "$JOBS" \
     || fail "checked build"
 
 step "[5/5] full test suite under runtime invariant checks (ctest -L checked)"
-ctest --test-dir "$ROOT/$PREFIX-checked" -L checked -j "$JOBS" \
-      --output-on-failure \
+run_ctest --test-dir "$ROOT/$PREFIX-checked" -L checked -j "$JOBS" \
+          --output-on-failure \
     || fail "checked test suite (an invariant fired or a test broke)"
 
 echo ""

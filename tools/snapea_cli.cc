@@ -16,10 +16,16 @@
  *   --threads <n>    worker threads (default: SNAPEA_THREADS or all
  *                    hardware threads; 1 = serial legacy path)
  *   --no-cache       disable the on-disk result cache
+ *   --deadline <sec> abort cleanly once this much wall time elapses
  *
  * Exit status: 0 on success; 1 on runtime errors (unreadable or
  * corrupt weight files, configuration rejected by the library);
- * 2 on usage errors (unknown flag/command/model, malformed values).
+ * 2 on usage errors (unknown flag/command/model, malformed values);
+ * 3 when --deadline elapsed; 128+signal when SIGINT/SIGTERM tripped
+ * the run (130 and 143 respectively — a second signal exits
+ * immediately with the same code).  An interrupted run leaves no
+ * stale cache lock; completed optimizer layers persist as
+ * checkpoints, so rerunning resumes where it stopped.
  */
 
 #include <cerrno>
@@ -27,6 +33,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <limits>
 #include <string>
 #include <vector>
@@ -35,6 +42,7 @@
 #include "harness/result_cache.hh"
 #include "nn/dense.hh"
 #include "nn/serialize.hh"
+#include "util/cancel.hh"
 #include "util/table.hh"
 #include "util/thread_pool.hh"
 
@@ -44,6 +52,7 @@ namespace {
 
 constexpr int kExitRuntime = 1;
 constexpr int kExitUsage = 2;
+constexpr int kExitDeadline = 3;
 
 void
 printUsage(FILE *to)
@@ -58,7 +67,7 @@ printUsage(FILE *to)
                  "  load-weights <model> <path>\n"
                  "models: AlexNet GoogLeNet SqueezeNet VGGNet\n"
                  "options: --input <px>  --seed <n>  --threads <n>  "
-                 "--no-cache\n");
+                 "--no-cache  --deadline <sec>\n");
 }
 
 [[noreturn]] void
@@ -148,12 +157,23 @@ cmdInfo(ModelId id, const HarnessConfig &cfg)
     t.print();
 }
 
-} // namespace
+/** Report a failed mode run and map it to the documented exit code. */
+int
+failureExit(const Status &st)
+{
+    std::fprintf(stderr, "snapea_cli: %s\n", st.toString().c_str());
+    if (st.code() == StatusCode::DeadlineExceeded)
+        return kExitDeadline;
+    if (st.code() == StatusCode::Cancelled && lastCancelSignal() > 0)
+        return 128 + lastCancelSignal();
+    return kExitRuntime;
+}
 
 int
-main(int argc, char **argv)
+runMain(int argc, char **argv)
 {
     HarnessConfig cfg = benchHarnessConfig();
+    double deadline_sec = 0.0;
     std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -174,6 +194,11 @@ main(int argc, char **argv)
                 "--threads", flagValue("--threads"), 1, 1024)));
         } else if (arg == "--no-cache") {
             cfg.cache_dir = "";
+        } else if (arg == "--deadline") {
+            deadline_sec =
+                parseDouble("--deadline", flagValue("--deadline"));
+            if (deadline_sec <= 0.0)
+                usageError("--deadline: must be positive");
         } else if (arg.rfind("--", 0) == 0) {
             usageError("unknown option '%s'", arg.c_str());
         } else {
@@ -182,6 +207,12 @@ main(int argc, char **argv)
     }
     if (args.size() < 2)
         usageError("missing command or model");
+
+    // SIGINT/SIGTERM trip the global token; long computations unwind
+    // at the next poll instead of dying mid-write.
+    installSignalCancelHandlers();
+    if (deadline_sec > 0.0)
+        globalCancelToken().setDeadline(deadline_sec);
 
     const std::string &cmd = args[0];
     const ModelId id = parseModel(args[1]);
@@ -198,22 +229,35 @@ main(int argc, char **argv)
     }
 
     Experiment exp(id, cfg);
+    const CancelToken &token = globalCancelToken();
     if (cmd == "exact") {
-        printMode("exact:", exp.runExact());
+        StatusOr<ModeResult> r = exp.tryRunExact(&token);
+        if (!r.ok())
+            return failureExit(r.status());
+        printMode("exact:", r.value());
     } else if (cmd == "predictive") {
         if (args.size() < 3)
             usageError("predictive requires <model> <epsilon>");
         const double eps = parseDouble("epsilon", args[2]);
         char label[32];
         std::snprintf(label, sizeof(label), "eps=%.3f:", eps);
-        printMode(label, exp.runPredictive(eps));
+        StatusOr<ModeResult> r = exp.tryRunPredictive(eps, &token);
+        if (!r.ok())
+            return failureExit(r.status());
+        printMode(label, r.value());
     } else if (cmd == "sweep") {
-        printMode("exact (0%):", exp.runExact());
+        StatusOr<ModeResult> ex = exp.tryRunExact(&token);
+        if (!ex.ok())
+            return failureExit(ex.status());
+        printMode("exact (0%):", ex.value());
         for (double eps : {0.01, 0.02, 0.03}) {
             char label[32];
             std::snprintf(label, sizeof(label), "eps=%.0f%%:",
                           eps * 100);
-            printMode(label, exp.runPredictive(eps));
+            StatusOr<ModeResult> r = exp.tryRunPredictive(eps, &token);
+            if (!r.ok())
+                return failureExit(r.status());
+            printMode(label, r.value());
         }
     } else if (cmd == "save-weights") {
         if (args.size() < 3)
@@ -241,4 +285,19 @@ main(int argc, char **argv)
         usageError("unknown command '%s'", cmd.c_str());
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return runMain(argc, argv);
+    } catch (const std::exception &e) {
+        // Injected faults or real failures that escaped every retry;
+        // locks and partial writes were released by unwinding.
+        std::fprintf(stderr, "snapea_cli: %s\n", e.what());
+        return kExitRuntime;
+    }
 }

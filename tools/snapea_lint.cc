@@ -84,6 +84,11 @@ const RuleInfo kRules[] = {
     {"SL007", "own-header-first",
      "a module's .cc must include its own header first, proving the "
      "header is self-contained"},
+    {"SL008", "cancellable-loop",
+     "a library loop that dispatches thread-pool work must poll a "
+     "CancelToken (or pass one to parallel_for) so long computations "
+     "unwind at signals and deadlines instead of running to "
+     "completion"},
 };
 
 const RuleInfo *
@@ -582,6 +587,48 @@ checkOwnHeaderFirst(const ScannedFile &f, const fs::path &abs_path,
     }
 }
 
+/**
+ * SL008: in library code, a for/while whose body (a fixed forward
+ * window of lines) dispatches parallel_for must mention a cancel
+ * token somewhere in that window — passing one to parallel_for or
+ * polling cancelled()/check() both qualify.  Textual like every rule
+ * here: the "ancel" substring is the evidence of a poll.
+ */
+void
+checkCancellableLoops(const ScannedFile &f, std::vector<Violation> &out)
+{
+    if (f.tier != "src")
+        return;
+    const RuleInfo &rule = *findRule("cancellable-loop");
+    constexpr size_t kWindow = 25;
+    for (size_t ln = 0; ln < f.code.size(); ++ln) {
+        const std::string &line = f.code[ln];
+        if (findToken(line, "for", true) == std::string::npos
+            && findToken(line, "while", true) == std::string::npos) {
+            continue;
+        }
+        const size_t end = std::min(f.code.size(), ln + 1 + kWindow);
+        bool dispatches = false, polls = false;
+        for (size_t k = ln; k < end; ++k) {
+            // A column-0 '}' closes the enclosing function; what
+            // follows belongs to someone else's body.
+            if (k > ln && !f.code[k].empty() && f.code[k][0] == '}')
+                break;
+            if (findToken(f.code[k], "parallel_for", true)
+                != std::string::npos) {
+                dispatches = true;
+            }
+            if (f.code[k].find("ancel") != std::string::npos)
+                polls = true;
+        }
+        if (dispatches && !polls && !lineAllowed(f, ln, rule)) {
+            out.push_back({f.path, ln + 1, &rule,
+                           "loop dispatches parallel_for without a "
+                           "cancel token in sight"});
+        }
+    }
+}
+
 int
 usage(const char *argv0, int code)
 {
@@ -678,6 +725,7 @@ main(int argc, char **argv)
         checkLineRules(f, violations);
         checkHeaderGuard(f, violations);
         checkOwnHeaderFirst(f, abs_path, violations);
+        checkCancellableLoops(f, violations);
     }
 
     for (const auto &v : violations) {
