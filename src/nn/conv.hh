@@ -79,6 +79,13 @@ class Conv2D : public Layer
 
     Tensor forward(const std::vector<const Tensor *> &inputs) const override;
 
+    /**
+     * forward() into a caller-owned, correctly shaped output tensor
+     * (no allocation).  The hot path of the SnaPEA engine's Fast
+     * mode, which squashes speculated windows in place afterwards.
+     */
+    void forwardInto(const Tensor &in, Tensor &out) const;
+
     std::vector<int>
     outputShape(const std::vector<std::vector<int>> &in_shapes) const override;
 

@@ -1,5 +1,6 @@
 #include "nn/dense.hh"
 
+#include "snapea/kernels/kernels.hh"
 #include "util/logging.hh"
 
 namespace snapea {
@@ -42,15 +43,9 @@ FullyConnected::forward(const std::vector<const Tensor *> &inputs) const
     SNAPEA_ASSERT(in.size() == static_cast<size_t>(in_features_));
 
     Tensor out({out_features_});
-    const float *x = in.data();
-    for (int o = 0; o < out_features_; ++o) {
-        const float *w = weights_.data()
-            + static_cast<size_t>(o) * in_features_;
-        double acc = bias_[o];
-        for (int i = 0; i < in_features_; ++i)
-            acc += static_cast<double>(w[i]) * x[i];
-        out[o] = static_cast<float>(acc);
-    }
+    kernels::kernelOps().dense(weights_.data(), in.data(),
+                               bias_.data(), in_features_,
+                               out_features_, out.data());
     return out;
 }
 

@@ -80,28 +80,85 @@ tapValue(const PreparedKernel &pk, const Tensor &in, int ih, int iw,
     return in.data()[(static_cast<size_t>(pk.ic[i]) * ih + iy) * iw + ix];
 }
 
-/**
- * Instrumentation counters of one kernel's walk over one input,
- * merged into LayerExecStats in kernel order after the parallel
- * region joins.
- */
-struct ChannelPartial
-{
-    size_t windows = 0;
-    size_t macs_performed = 0;
-    size_t spec_terminated = 0;
-    size_t sign_terminated = 0;
-    size_t completed = 0;
-    size_t actual_negative = 0;
-    size_t actual_positive = 0;
-    size_t true_negative = 0;
-    size_t false_negative = 0;
-    std::vector<float> fn_values;
-    std::vector<float> pos_sample;
-    size_t pos_seen = 0;
-};
-
 } // namespace
+
+/**
+ * Reusable instrumented-mode buffers, hoisted out of the per-layer
+ * invocation (they were reallocated per layer per image, and the
+ * allocator noise polluted kernel benchmarks).  Instrumented mode
+ * processes one image at a time, so one scratch per engine suffices;
+ * the row buffers are per worker because kernels walk in parallel.
+ */
+struct EngineScratch
+{
+    /**
+     * Instrumentation counters of one kernel's walk over one input,
+     * merged into LayerExecStats in kernel order after the parallel
+     * region joins.
+     */
+    struct ChannelPartial
+    {
+        size_t windows = 0;
+        size_t macs_performed = 0;
+        size_t spec_terminated = 0;
+        size_t sign_terminated = 0;
+        size_t completed = 0;
+        size_t actual_negative = 0;
+        size_t actual_positive = 0;
+        size_t true_negative = 0;
+        size_t false_negative = 0;
+        std::vector<float> fn_values;
+        std::vector<float> pos_sample;
+        size_t pos_seen = 0;
+
+        /** Zero the counters, keeping vector capacity. */
+        void reset()
+        {
+            windows = macs_performed = 0;
+            spec_terminated = sign_terminated = completed = 0;
+            actual_negative = actual_positive = 0;
+            true_negative = false_negative = 0;
+            fn_values.clear();
+            pos_sample.clear();
+            pos_seen = 0;
+        }
+    };
+
+    /** One output row of walk results in SoA form (kernels::WalkSoa). */
+    struct WalkRow
+    {
+        std::vector<float> out, full;
+        std::vector<int32_t> ops;
+        std::vector<uint8_t> flags;
+
+        void resize(size_t n)
+        {
+            out.resize(n);
+            full.resize(n);
+            ops.resize(n);
+            flags.resize(n);
+        }
+
+        kernels::WalkSoa soa()
+        {
+            return {out.data(), full.data(), ops.data(), flags.data()};
+        }
+    };
+
+    std::vector<ChannelPartial> parts;  ///< One per output channel.
+    std::vector<WalkRow> rows;          ///< One per pool worker.
+
+    /** Size for a layer of @p n_ch kernels, zeroing the partials. */
+    void prepare(std::int64_t n_ch, int n_workers, int ow)
+    {
+        parts.resize(n_ch);
+        for (auto &p : parts)
+            p.reset();
+        rows.resize(n_workers);
+        for (auto &r : rows)
+            r.resize(ow);
+    }
+};
 
 float
 prefixSum(const PreparedKernel &pk, const Tensor &in, int iy0, int ix0)
@@ -216,9 +273,12 @@ walkWindow(const PreparedKernel &pk, const Tensor &in, int iy0, int ix0,
     return res;
 }
 
+SnapeaEngine::~SnapeaEngine() = default;
+
 SnapeaEngine::SnapeaEngine(const Network &net, NetworkPlan plan)
     : net_(net),
-      plan_(std::move(plan))
+      plan_(std::move(plan)),
+      scratch_(std::make_unique<EngineScratch>())
 {
     // Kernel preparation is bounded per-layer work with no dataset
     // dependence; cancellable drivers poll between constructions
@@ -238,11 +298,18 @@ SnapeaEngine::SnapeaEngine(const Network &net, NetworkPlan plan)
 
         PreparedLayer pl;
         pl.kernels.resize(lp.kernels.size());
+        pl.packed.resize(lp.kernels.size());
         util::parallel_for(
             0, conv.spec().out_channels, 1, [&](std::int64_t o) {
                 PreparedKernel pk = prepareKernel(
                     conv, static_cast<int>(o), lp.kernels[o]);
                 computeInteriorOffsets(pk, in_shape[1], in_shape[2]);
+                // SoA panel form for the SIMD row kernels; offsets
+                // are only valid away from borders, matching where
+                // the row kernels run.
+                pl.packed[o] = kernels::packKernel(
+                    pk.w, pk.interior_off, pk.prefix_len, pk.neg_start,
+                    pk.th, pk.bias);
                 pl.kernels[o] = std::move(pk);
             });
         for (const auto &kp : lp.kernels)
@@ -296,32 +363,56 @@ SnapeaEngine::runFast(int layer_idx, const Conv2D &conv, const Tensor &in,
                       Tensor &out)
 {
     const PreparedLayer &pl = prepared_.at(layer_idx);
-    Tensor plain = conv.forward({&in});
-    SNAPEA_ASSERT(plain.shape() == out.shape());
+    // The dense pass writes straight into the caller's tensor (no
+    // per-invocation allocation); speculated windows are squashed in
+    // place below.
+    conv.forwardInto(in, out);
 
     const int oh = out.dim(1), ow = out.dim(2);
+    const int ih = in.dim(1), iw = in.dim(2);
     const int stride = conv.spec().stride, pad = conv.spec().pad;
+    const int kw = conv.spec().kernel;
+    const kernels::KernelOps &kops = kernels::kernelOps();
+    int xlo, xhi;
+    kernels::interiorXSpan(iw, kw, stride, pad, ow, &xlo, &xhi);
 
     // Kernels write disjoint output planes; the per-window prefix
     // sums are unchanged, so the squashing decisions are identical
-    // for any thread count.
+    // for any thread count.  Interior spans run on the SIMD prefix
+    // kernel (one window per lane, identical per-window accumulation
+    // order); border windows use the scalar padding path.
     util::parallel_for(
         0, static_cast<std::int64_t>(pl.kernels.size()), 1,
         [&](std::int64_t o) {
             const PreparedKernel &pk = pl.kernels[o];
             if (pk.prefix_len == 0)
                 return;
-            float *row = plain.data() + o * static_cast<size_t>(oh) * ow;
-            for (int y = 0; y < oh; ++y) {
-                const int iy0 = y * stride - pad;
-                for (int x = 0; x < ow; ++x) {
+            const kernels::PackedKernel &pp = pl.packed[o];
+            float *row = out.data() + o * static_cast<size_t>(oh) * ow;
+            const auto scalarSquash = [&](int iy0, float *orow, int x0,
+                                          int x1) {
+                for (int x = x0; x < x1; ++x) {
                     const int ix0 = x * stride - pad;
                     if (prefixSum(pk, in, iy0, ix0) <= pk.th)
-                        row[static_cast<size_t>(y) * ow + x] = -1.0f;
+                        orow[x] = -1.0f;
+                }
+            };
+            for (int y = 0; y < oh; ++y) {
+                const int iy0 = y * stride - pad;
+                float *orow = row + static_cast<size_t>(y) * ow;
+                if (iy0 >= 0 && iy0 + kw <= ih && xhi > xlo) {
+                    scalarSquash(iy0, orow, 0, xlo);
+                    const float *win0 = in.data()
+                        + static_cast<size_t>(iy0) * iw
+                        + (xlo * stride - pad);
+                    kops.prefix_row(pp, win0, stride, xhi - xlo,
+                                    orow + xlo);
+                    scalarSquash(iy0, orow, xhi, ow);
+                } else {
+                    scalarSquash(iy0, orow, 0, ow);
                 }
             }
         });
-    out = std::move(plain);
 }
 
 void
@@ -358,64 +449,117 @@ SnapeaEngine::runInstrumented(int layer_idx, const Conv2D &conv,
                           * oh * ow);
     }
 
+    const int ih = in.dim(1), iw = in.dim(2);
+    const int kw = conv.spec().kernel;
+    const kernels::KernelOps &kops = kernels::kernelOps();
+    int xlo, xhi;
+    kernels::interiorXSpan(iw, kw, stride, pad, ow, &xlo, &xhi);
+
+    // Reusable scratch (hoisted; see EngineScratch).  Instrumented
+    // images run one at a time, so resizing here is safe; the row
+    // buffers are per worker because kernels walk in parallel.
+    EngineScratch &sc = *scratch_;
+    const std::int64_t n_ch =
+        static_cast<std::int64_t>(pl.kernels.size());
+    sc.prepare(n_ch, std::max(util::threadCount(), 1), ow);
+
     // Kernels walk in parallel into per-kernel partials which are
     // merged below on this thread in kernel order.  Every partial
     // depends only on its own kernel's windows and the merge order
     // is fixed, so outputs, counters, fn_values, and the positive
     // sample are bitwise identical for any thread count (including
-    // the serial path, which runs the very same code).
-    const std::int64_t n_ch =
-        static_cast<std::int64_t>(pl.kernels.size());
-    std::vector<ChannelPartial> parts(n_ch);
+    // the serial path, which runs the very same code).  Each row is
+    // walked into SoA scratch — interior spans by the SIMD walk
+    // kernel (one window per lane, termination via vector masks),
+    // border windows by the scalar walkWindow — then consumed into
+    // outputs and statistics in (y, x) order.
     util::parallel_for(0, n_ch, 1, [&](std::int64_t o) {
-        ChannelPartial &p = parts[o];
+        EngineScratch::ChannelPartial &p = sc.parts[o];
         const PreparedKernel &pk = pl.kernels[o];
+        const kernels::PackedKernel &pp = pl.packed[o];
+        EngineScratch::WalkRow &wr = sc.rows[util::workerIndex()];
+        const kernels::WalkSoa soa = wr.soa();
         uint16_t *trace_ops = trace
             ? trace->ops.data() + static_cast<size_t>(o) * oh * ow
             : nullptr;
+        float *plane = out.data() + static_cast<size_t>(o) * oh * ow;
         size_t widx = 0;
         for (int y = 0; y < oh; ++y) {
             const int iy0 = y * stride - pad;
+
+            const auto scalarWalkSpan = [&](int x0, int x1) {
+                for (int x = x0; x < x1; ++x) {
+                    const int ix0 = x * stride - pad;
+                    const WindowWalk ww = walkWindow(
+                        pk, in, iy0, ix0, /*need_full=*/true);
+                    soa.out[x] = ww.out;
+                    soa.full[x] = ww.full_sum;
+                    soa.ops[x] = ww.ops;
+                    soa.flags[x] = static_cast<uint8_t>(
+                        (ww.spec_fired ? kernels::kWalkSpecFired : 0)
+                        | (ww.sign_fired ? kernels::kWalkSignFired : 0)
+                        | (ww.full_known ? kernels::kWalkFullKnown
+                                         : 0));
+                }
+            };
+
+            if (iy0 >= 0 && iy0 + kw <= ih && xhi > xlo) {
+                scalarWalkSpan(0, xlo);
+                const float *win0 = in.data()
+                    + static_cast<size_t>(iy0) * iw
+                    + (xlo * stride - pad);
+                const kernels::WalkSoa span = {
+                    soa.out + xlo, soa.full + xlo, soa.ops + xlo,
+                    soa.flags + xlo};
+                kops.walk_row(pp, win0, stride, xhi - xlo,
+                              /*need_full=*/true, span);
+                scalarWalkSpan(xhi, ow);
+            } else {
+                scalarWalkSpan(0, ow);
+            }
+
+            float *orow = plane + static_cast<size_t>(y) * ow;
             for (int x = 0; x < ow; ++x, ++widx) {
-                const int ix0 = x * stride - pad;
-                const WindowWalk ww =
-                    walkWindow(pk, in, iy0, ix0, /*need_full=*/true);
-                out.at(static_cast<int>(o), y, x) = ww.out;
+                const int wops = soa.ops[x];
+                const uint8_t fl = soa.flags[x];
+                const bool spec_fired = fl & kernels::kWalkSpecFired;
+                const bool sign_fired = fl & kernels::kWalkSignFired;
+                orow[x] = soa.out[x];
 
                 ++p.windows;
-                p.macs_performed += ww.ops;
+                p.macs_performed += wops;
                 if (trace_ops) {
                     trace_ops[widx] = static_cast<uint16_t>(
-                        std::min(ww.ops, 65535));
+                        std::min(wops, 65535));
                 }
 
                 bool actual_neg;
-                if (ww.sign_fired) {
+                if (sign_fired) {
                     actual_neg = true;  // sign check is exact
-                } else if (ww.spec_fired) {
-                    SNAPEA_ASSERT(ww.full_known);
-                    actual_neg = ww.full_sum <= 0.0f;
+                } else if (spec_fired) {
+                    SNAPEA_ASSERT(fl & kernels::kWalkFullKnown);
+                    actual_neg = soa.full[x] <= 0.0f;
                 } else {
-                    actual_neg = ww.out <= 0.0f;
+                    actual_neg = soa.out[x] <= 0.0f;
                 }
                 if (actual_neg)
                     ++p.actual_negative;
                 else
                     ++p.actual_positive;
 
-                if (ww.spec_fired) {
+                if (spec_fired) {
                     ++p.spec_terminated;
                     if (actual_neg) {
                         ++p.true_negative;
                     } else {
                         ++p.false_negative;
-                        p.fn_values.push_back(ww.full_sum);
+                        p.fn_values.push_back(soa.full[x]);
                     }
-                } else if (ww.sign_fired) {
+                } else if (sign_fired) {
                     ++p.sign_terminated;
                 } else {
                     ++p.completed;
-                    if (ww.out > 0.0f) {
+                    if (soa.out[x] > 0.0f) {
                         // Fixed-stride sample of positive magnitudes
                         // for the "errors land on small positives"
                         // statistic of Section VI-B: every
@@ -428,7 +572,7 @@ SnapeaEngine::runInstrumented(int layer_idx, const Conv2D &conv,
                                 == 0
                             && p.pos_sample.size()
                                    < LayerExecStats::kPosSampleCap) {
-                            p.pos_sample.push_back(ww.out);
+                            p.pos_sample.push_back(soa.out[x]);
                         }
                         ++p.pos_seen;
                     }
@@ -439,7 +583,7 @@ SnapeaEngine::runInstrumented(int layer_idx, const Conv2D &conv,
 
     size_t macs_performed = 0;
     for (std::int64_t o = 0; o < n_ch; ++o) {
-        const ChannelPartial &p = parts[o];
+        const EngineScratch::ChannelPartial &p = sc.parts[o];
         st.windows += p.windows;
         st.macs_full += p.windows * static_cast<size_t>(ks);
         st.macs_performed += p.macs_performed;

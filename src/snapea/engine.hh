@@ -17,6 +17,18 @@
  * Both modes produce identical zeroing decisions (the prefix sums are
  * accumulated in the same order); completed windows may differ in the
  * last float ulp because accumulation order differs.
+ *
+ * Both modes run on the SIMD row kernels of snapea/kernels/ for
+ * windows away from the input borders (several windows per lane-
+ * register, early termination via vector masks) and on the scalar
+ * walkWindow/prefixSum paths for border windows; per-window
+ * arithmetic is bitwise identical either way in default mode (see
+ * kernels.hh for the SNAPEA_RELAXED_ACCUM contract).
+ *
+ * Thread-safety: Fast mode is re-entrant (the evaluator drives one
+ * engine from its parallel image loop); Instrumented mode mutates
+ * shared statistics and per-engine scratch, so instrumented images
+ * must be run one at a time, as every driver in-tree does.
  */
 
 #ifndef SNAPEA_SNAPEA_ENGINE_HH
@@ -24,11 +36,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "nn/conv.hh"
 #include "nn/network.hh"
+#include "snapea/kernels/kernels.hh"
 #include "snapea/params.hh"
 #include "util/stats.hh"
 
@@ -154,6 +168,8 @@ enum class ExecMode {
     Instrumented,  ///< Honest walk: op traces + Table V statistics.
 };
 
+struct EngineScratch;
+
 /**
  * ConvOverride implementing SnaPEA execution for the layers present
  * in a NetworkPlan.  Layers absent from the plan run as plain
@@ -168,6 +184,7 @@ class SnapeaEngine : public ConvOverride
      * @param plan Per-layer kernel plans.
      */
     SnapeaEngine(const Network &net, NetworkPlan plan);
+    ~SnapeaEngine() override;
 
     /** Select fast or instrumented execution. */
     void setMode(ExecMode mode) { mode_ = mode; }
@@ -203,6 +220,8 @@ class SnapeaEngine : public ConvOverride
     struct PreparedLayer
     {
         std::vector<PreparedKernel> kernels;
+        /** SoA panel form of each kernel for the SIMD row kernels. */
+        std::vector<kernels::PackedKernel> packed;
         bool any_predictive = false;
     };
 
@@ -218,6 +237,8 @@ class SnapeaEngine : public ConvOverride
     bool collect_traces_ = false;
     std::map<int, LayerExecStats> stats_;
     std::vector<ImageTrace> traces_;
+    /** Reusable instrumented-mode buffers (see engine.cc). */
+    std::unique_ptr<EngineScratch> scratch_;
 };
 
 } // namespace snapea

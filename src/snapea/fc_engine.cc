@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "snapea/kernels/kernels.hh"
 #include "util/logging.hh"
 
 namespace snapea {
@@ -29,6 +30,9 @@ makeFcExactPlan(const FullyConnected &fc)
             return w[a] < w[b];  // most negative first
         });
         np.order.insert(np.order.end(), negs.begin(), negs.end());
+        np.w.reserve(np.order.size());
+        for (int idx : np.order)
+            np.w.push_back(w[idx]);
     }
     return plan;
 }
@@ -45,16 +49,36 @@ runFcExact(const FullyConnected &fc, const FcLayerPlan &plan,
     const float *x = in.data();
     const int n_in = fc.inFeatures();
 
+    // The relaxed-accumulation mode splits the checkless positive
+    // run over four accumulators (summed in fixed order afterwards),
+    // which breaks bitwise equality with the strict serial order but
+    // cuts the dependency chain; decisions stay exact because the
+    // sign checks only ever run in the strictly serial negative run.
+    const bool relaxed = kernels::relaxedAccum();
+
     for (int o = 0; o < fc.outFeatures(); ++o) {
-        const float *w = fc.weights().data()
-            + static_cast<size_t>(o) * n_in;
         const FcNeuronPlan &np = plan.neurons[o];
+        SNAPEA_ASSERT(np.w.size() == np.order.size());
+        const float *w = np.w.data();
+        const int *ord = np.order.data();
         float psum = fc.bias()[o];
         int ops = 0;
         bool terminated = false;
-        for (int i = 0; i < n_in; ++i) {
-            const int idx = np.order[i];
-            psum += w[idx] * x[idx];
+        int i = 0;
+        if (relaxed && np.neg_start >= 8) {
+            float acc[4] = {0.0f, 0.0f, 0.0f, 0.0f};
+            const int n4 = np.neg_start - np.neg_start % 4;
+            for (; i < n4; i += 4) {
+                acc[0] += w[i] * x[ord[i]];
+                acc[1] += w[i + 1] * x[ord[i + 1]];
+                acc[2] += w[i + 2] * x[ord[i + 2]];
+                acc[3] += w[i + 3] * x[ord[i + 3]];
+            }
+            psum += ((acc[0] + acc[1]) + (acc[2] + acc[3]));
+            ops += n4;
+        }
+        for (; i < n_in; ++i) {
+            psum += w[i] * x[ord[i]];
             ++ops;
             if (i >= np.neg_start && psum < 0.0f) {
                 terminated = true;

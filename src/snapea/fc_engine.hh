@@ -27,6 +27,10 @@ namespace snapea {
 struct FcNeuronPlan
 {
     std::vector<int> order;  ///< Permutation of input indices.
+    std::vector<float> w;    ///< Weights in execution order (packed
+                             ///< at plan build so the hot loop
+                             ///< streams weights and gathers only
+                             ///< activations).
     int neg_start = 0;       ///< Where sign checks begin.
 };
 

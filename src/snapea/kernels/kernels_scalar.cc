@@ -1,0 +1,16 @@
+#include "snapea/kernels/kernels_impl.hh"
+
+namespace snapea::kernels {
+
+const KernelOps &
+scalarKernelOps()
+{
+    static const KernelOps ops = {
+        "scalar", Isa::Scalar, /*lanes=*/1,
+        &scalarConvRow, &scalarPrefixRow, &scalarWalkRow,
+        &scalarDense, &scalarConvChan,
+    };
+    return ops;
+}
+
+} // namespace snapea::kernels

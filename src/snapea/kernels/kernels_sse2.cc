@@ -1,0 +1,360 @@
+/**
+ * @file
+ * SSE2 kernels: 4 output windows per 128-bit register, one lane per
+ * window.  SSE2 is the x86-64 baseline, so this TU compiles without
+ * extra flags; it is the portable fast path on machines without
+ * AVX2.  SSE2 has no blendv/maskload/gather, so masks are and/andnot
+ * composites, non-unit strides use lane inserts, and ragged `n % 4`
+ * row tails fall back to the scalar reference (bitwise identical by
+ * construction).  SSE2 has no FMA either, so the relaxed-
+ * accumulation mode changes nothing here.
+ */
+
+#include "snapea/kernels/kernels_impl.hh"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+namespace snapea::kernels {
+
+namespace {
+
+constexpr int kLanes = 4;
+
+/** SSE2 blendv: mask ? b : a (mask lanes all-ones or all-zeros). */
+inline __m128
+blend4(__m128 a, __m128 b, __m128 mask)
+{
+    return _mm_or_ps(_mm_and_ps(mask, b), _mm_andnot_ps(mask, a));
+}
+
+inline __m128i
+blend4i(__m128i a, __m128i b, __m128 mask)
+{
+    const __m128i m = _mm_castps_si128(mask);
+    return _mm_or_si128(_mm_and_si128(m, b), _mm_andnot_si128(m, a));
+}
+
+/** One tap of 4 adjacent windows starting at @p p. */
+template <bool S1>
+inline __m128
+load4(const float *p, int stride)
+{
+    if constexpr (S1)
+        return _mm_loadu_ps(p);
+    else
+        return _mm_setr_ps(p[0], p[stride], p[2 * stride],
+                           p[3 * stride]);
+}
+
+template <bool S1>
+void
+convRow(const float *win0, int stride, int n, const float *w,
+        const int32_t *off, int ntaps, int panel, float bias,
+        float *out)
+{
+    const int nv = n - n % kLanes;
+    const __m128 vbias = _mm_set1_ps(bias);
+
+    for (int x = 0; x < nv; x += kLanes)
+        _mm_storeu_ps(out + x, vbias);
+
+    for (int t0 = 0; t0 < ntaps; t0 += panel) {
+        const int t1 = std::min(t0 + panel, ntaps);
+        for (int x = 0; x < nv; x += kLanes) {
+            const float *base = win0 + static_cast<size_t>(x) * stride;
+            __m128 acc = _mm_loadu_ps(out + x);
+            for (int t = t0; t < t1; ++t) {
+                const __m128 vw = _mm_set1_ps(w[t]);
+                const __m128 vx = load4<S1>(base + off[t], stride);
+                acc = _mm_add_ps(acc, _mm_mul_ps(vw, vx));
+            }
+            _mm_storeu_ps(out + x, acc);
+        }
+    }
+    if (nv < n) {
+        scalarConvRow(win0 + static_cast<size_t>(nv) * stride, stride,
+                      n - nv, w, off, ntaps, panel, bias, out + nv);
+    }
+}
+
+template <bool S1>
+void
+prefixRow(const PackedKernel &pk, const float *win0, int stride, int n,
+          float *out)
+{
+    const float *w = pk.w.data();
+    const int32_t *off = pk.off.data();
+    const __m128 vbias = _mm_set1_ps(pk.bias);
+    const __m128 vth = _mm_set1_ps(pk.th);
+    const __m128 vneg1 = _mm_set1_ps(-1.0f);
+    const int nv = n - n % kLanes;
+
+    for (int x = 0; x < nv; x += kLanes) {
+        const float *base = win0 + static_cast<size_t>(x) * stride;
+        __m128 acc = vbias;
+        for (int t = 0; t < pk.prefix_len; ++t) {
+            const __m128 vw = _mm_set1_ps(w[t]);
+            const __m128 vx = load4<S1>(base + off[t], stride);
+            acc = _mm_add_ps(acc, _mm_mul_ps(vw, vx));
+        }
+        // psum <= th  =>  squash to the PE's negative surrogate.
+        const __m128 squash = _mm_cmple_ps(acc, vth);
+        const __m128 cur = _mm_loadu_ps(out + x);
+        _mm_storeu_ps(out + x, blend4(cur, vneg1, squash));
+    }
+    if (nv < n) {
+        scalarPrefixRow(pk, win0 + static_cast<size_t>(nv) * stride,
+                        stride, n - nv, out + nv);
+    }
+}
+
+/** The three-phase walk for one full tile of 4 interior windows. */
+template <bool S1>
+void
+walkTile(const PackedKernel &pk, const float *base, int stride,
+         bool need_full, const WalkSoa &res)
+{
+    const float *w = pk.w.data();
+    const int32_t *off = pk.off.data();
+    const int ks = static_cast<int>(pk.w.size());
+    const __m128 vzero = _mm_setzero_ps();
+
+    // Phase 1: speculation prefix plus the PAU threshold check.
+    __m128 acc = _mm_set1_ps(pk.bias);
+    for (int t = 0; t < pk.prefix_len; ++t) {
+        const __m128 vw = _mm_set1_ps(w[t]);
+        const __m128 vx = load4<S1>(base + off[t], stride);
+        acc = _mm_add_ps(acc, _mm_mul_ps(vw, vx));
+    }
+    const __m128 spec = pk.prefix_len > 0
+        ? _mm_cmple_ps(acc, _mm_set1_ps(pk.th)) : vzero;
+    const int spec_m = _mm_movemask_ps(spec);
+
+    // Phase 1b: continue speculated lanes until the true sign
+    // settles, freezing each lane's sum on settle (walkWindow's
+    // need_full continuation).
+    __m128 spec_full = vzero;
+    if (spec_m && need_full) {
+        __m128 full = acc;
+        __m128 settled = vzero;
+        for (int j = pk.prefix_len; j < ks; ++j) {
+            const __m128 vw = _mm_set1_ps(w[j]);
+            const __m128 vx = load4<S1>(base + off[j], stride);
+            const __m128 fnew = _mm_add_ps(full, _mm_mul_ps(vw, vx));
+            full = blend4(fnew, full, settled);
+            if (j >= pk.neg_start) {
+                const __m128 neg = _mm_cmplt_ps(full, vzero);
+                settled = _mm_or_ps(settled, _mm_and_ps(neg, spec));
+                if (_mm_movemask_ps(settled) == spec_m)
+                    break;
+            }
+        }
+        spec_full = full;
+    }
+
+    // Phases 2+3 for the remaining lanes; fired lanes freeze.
+    __m128 acc2 = acc;
+    __m128 sign = vzero;
+    __m128i opsv = _mm_set1_epi32(ks);
+    const int live_m = ~spec_m & 0xf;
+    if (live_m) {
+        for (int t = pk.prefix_len; t < pk.neg_start; ++t) {
+            const __m128 vw = _mm_set1_ps(w[t]);
+            const __m128 vx = load4<S1>(base + off[t], stride);
+            acc2 = _mm_add_ps(acc2, _mm_mul_ps(vw, vx));
+        }
+        for (int t = pk.neg_start; t < ks; ++t) {
+            const __m128 vw = _mm_set1_ps(w[t]);
+            const __m128 vx = load4<S1>(base + off[t], stride);
+            const __m128 anew = _mm_add_ps(acc2, _mm_mul_ps(vw, vx));
+            acc2 = blend4(anew, acc2, sign);
+            const __m128 isneg = _mm_cmplt_ps(acc2, vzero);
+            const __m128 newly =
+                _mm_andnot_ps(sign, _mm_andnot_ps(spec, isneg));
+            opsv = blend4i(opsv, _mm_set1_epi32(t + 1), newly);
+            sign = _mm_or_ps(sign, newly);
+            if ((_mm_movemask_ps(sign) & live_m) == live_m)
+                break;
+        }
+    }
+
+    // Assemble the SoA row (see the AVX2 TU for the conventions).
+    const __m128 vneg1 = _mm_set1_ps(-1.0f);
+    _mm_storeu_ps(res.out, blend4(acc2, vneg1, spec));
+    __m128 fullv = blend4(acc2, vzero, sign);
+    fullv = blend4(fullv, need_full ? spec_full : vzero, spec);
+    _mm_storeu_ps(res.full, fullv);
+    opsv = blend4i(opsv, _mm_set1_epi32(pk.prefix_len), spec);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(res.ops), opsv);
+
+    const int sign_m = _mm_movemask_ps(sign);
+    const uint8_t spec_flags = static_cast<uint8_t>(
+        kWalkSpecFired | (need_full ? kWalkFullKnown : 0));
+    for (int l = 0; l < kLanes; ++l) {
+        if (spec_m >> l & 1)
+            res.flags[l] = spec_flags;
+        else if (sign_m >> l & 1)
+            res.flags[l] = kWalkSignFired;
+        else
+            res.flags[l] = kWalkFullKnown;
+    }
+}
+
+template <bool S1>
+void
+walkRow(const PackedKernel &pk, const float *win0, int stride, int n,
+        bool need_full, const WalkSoa &res)
+{
+    int x = 0;
+    for (; x + kLanes <= n; x += kLanes) {
+        const WalkSoa tile = {res.out + x, res.full + x, res.ops + x,
+                              res.flags + x};
+        walkTile<S1>(pk, win0 + static_cast<size_t>(x) * stride,
+                     stride, need_full, tile);
+    }
+    if (x < n) {
+        const WalkSoa tail = {res.out + x, res.full + x, res.ops + x,
+                              res.flags + x};
+        scalarWalkRow(pk, win0 + static_cast<size_t>(x) * stride,
+                      stride, n - x, need_full, tail);
+    }
+}
+
+void
+convChan(const float *wt, const float *bias8,
+         const float *const *bases, int nwin, const int32_t *off,
+         const int32_t *idx, int ntaps, float *out8s)
+{
+    const __m128 vbias_lo = _mm_loadu_ps(bias8);
+    const __m128 vbias_hi = _mm_loadu_ps(bias8 + 4);
+    // Two windows per pass; each window needs two 128-bit
+    // accumulators for its eight channel lanes.
+    int w = 0;
+    for (; w + 2 <= nwin; w += 2) {
+        const float *b0 = bases[w], *b1 = bases[w + 1];
+        __m128 a0l = vbias_lo, a0h = vbias_hi;
+        __m128 a1l = vbias_lo, a1h = vbias_hi;
+        for (int j = 0; j < ntaps; ++j) {
+            const float *wr = wt + (idx ? idx[j] : j) * 8;
+            const __m128 wl = _mm_loadu_ps(wr);
+            const __m128 wh = _mm_loadu_ps(wr + 4);
+            const __m128 x0 = _mm_set1_ps(b0[off[j]]);
+            const __m128 x1 = _mm_set1_ps(b1[off[j]]);
+            a0l = _mm_add_ps(a0l, _mm_mul_ps(wl, x0));
+            a0h = _mm_add_ps(a0h, _mm_mul_ps(wh, x0));
+            a1l = _mm_add_ps(a1l, _mm_mul_ps(wl, x1));
+            a1h = _mm_add_ps(a1h, _mm_mul_ps(wh, x1));
+        }
+        _mm_storeu_ps(out8s + w * 8, a0l);
+        _mm_storeu_ps(out8s + w * 8 + 4, a0h);
+        _mm_storeu_ps(out8s + (w + 1) * 8, a1l);
+        _mm_storeu_ps(out8s + (w + 1) * 8 + 4, a1h);
+    }
+    for (; w < nwin; ++w) {
+        const float *base = bases[w];
+        __m128 al = vbias_lo, ah = vbias_hi;
+        for (int j = 0; j < ntaps; ++j) {
+            const float *wr = wt + (idx ? idx[j] : j) * 8;
+            const __m128 x = _mm_set1_ps(base[off[j]]);
+            al = _mm_add_ps(al, _mm_mul_ps(_mm_loadu_ps(wr), x));
+            ah = _mm_add_ps(ah, _mm_mul_ps(_mm_loadu_ps(wr + 4), x));
+        }
+        _mm_storeu_ps(out8s + w * 8, al);
+        _mm_storeu_ps(out8s + w * 8 + 4, ah);
+    }
+}
+
+void
+denseRows(const float *w, const float *x, const float *bias, int n_in,
+          int n_out, float *out)
+{
+    const int n8 = n_in & ~7;
+    for (int o = 0; o < n_out; ++o) {
+        const float *wr = w + static_cast<size_t>(o) * n_in;
+        // Four 2-double accumulators carry the eight interleaved
+        // lanes of the DenseFn contract (lane j takes i == j mod 8).
+        __m128d a01 = _mm_setzero_pd();
+        __m128d a23 = _mm_setzero_pd();
+        __m128d a45 = _mm_setzero_pd();
+        __m128d a67 = _mm_setzero_pd();
+        int i = 0;
+        for (; i < n8; i += 8) {
+            const __m128 w0 = _mm_loadu_ps(wr + i);
+            const __m128 w4 = _mm_loadu_ps(wr + i + 4);
+            const __m128 x0 = _mm_loadu_ps(x + i);
+            const __m128 x4 = _mm_loadu_ps(x + i + 4);
+            a01 = _mm_add_pd(a01, _mm_mul_pd(_mm_cvtps_pd(w0),
+                                             _mm_cvtps_pd(x0)));
+            a23 = _mm_add_pd(a23, _mm_mul_pd(
+                _mm_cvtps_pd(_mm_movehl_ps(w0, w0)),
+                _mm_cvtps_pd(_mm_movehl_ps(x0, x0))));
+            a45 = _mm_add_pd(a45, _mm_mul_pd(_mm_cvtps_pd(w4),
+                                             _mm_cvtps_pd(x4)));
+            a67 = _mm_add_pd(a67, _mm_mul_pd(
+                _mm_cvtps_pd(_mm_movehl_ps(w4, w4)),
+                _mm_cvtps_pd(_mm_movehl_ps(x4, x4))));
+        }
+        double a[8];
+        _mm_storeu_pd(a, a01);
+        _mm_storeu_pd(a + 2, a23);
+        _mm_storeu_pd(a + 4, a45);
+        _mm_storeu_pd(a + 6, a67);
+        double acc = static_cast<double>(bias[o]);
+        acc += ((a[0] + a[1]) + (a[2] + a[3]))
+            + ((a[4] + a[5]) + (a[6] + a[7]));
+        for (; i < n_in; ++i)
+            acc += static_cast<double>(wr[i]) * x[i];
+        out[o] = static_cast<float>(acc);
+    }
+}
+
+void
+convRowDispatch(const float *win0, int stride, int n, const float *w,
+                const int32_t *off, int ntaps, int panel, float bias,
+                float *out)
+{
+    if (stride == 1)
+        convRow<true>(win0, stride, n, w, off, ntaps, panel, bias, out);
+    else
+        convRow<false>(win0, stride, n, w, off, ntaps, panel, bias,
+                       out);
+}
+
+void
+prefixRowDispatch(const PackedKernel &pk, const float *win0,
+                  int stride, int n, float *out)
+{
+    if (stride == 1)
+        prefixRow<true>(pk, win0, stride, n, out);
+    else
+        prefixRow<false>(pk, win0, stride, n, out);
+}
+
+void
+walkRowDispatch(const PackedKernel &pk, const float *win0, int stride,
+                int n, bool need_full, const WalkSoa &res)
+{
+    if (stride == 1)
+        walkRow<true>(pk, win0, stride, n, need_full, res);
+    else
+        walkRow<false>(pk, win0, stride, n, need_full, res);
+}
+
+} // namespace
+
+const KernelOps &
+sse2KernelOps()
+{
+    static const KernelOps ops = {
+        "sse2", Isa::Sse2, kLanes,
+        &convRowDispatch, &prefixRowDispatch, &walkRowDispatch,
+        &denseRows, &convChan,
+    };
+    return ops;
+}
+
+} // namespace snapea::kernels
+
+#endif // defined(__SSE2__)

@@ -244,6 +244,34 @@ TEST(Lint, CancellableLoopOnlyInLibTier)
     EXPECT_EQ(run.exit_code, 0) << run.output;
 }
 
+TEST(Lint, FiresIntrinsicsOutsideKernels)
+{
+    expectSingleViolation(
+        "intrin", "src/nn/bad_simd.cc",
+        "void f(float *p) { auto v = _mm256_loadu_ps(p); }\n",
+        "SL009");
+}
+
+TEST(Lint, IntrinsicsHeaderFiresOutsideKernels)
+{
+    expectSingleViolation(
+        "intrinhdr", "bench/bad_bench.cc",
+        "#include <immintrin.h>\n", "SL009");
+}
+
+TEST(Lint, IntrinsicsAllowedInKernelsModule)
+{
+    FixtureTree tree("intrinok");
+    tree.write("src/snapea/kernels/k_avx2.cc",
+               "#include <immintrin.h>\n"
+               "float f(const float *p) {\n"
+               "    __m256 v = _mm256_loadu_ps(p);\n"
+               "    return _mm256_cvtss_f32(v);\n"
+               "}\n");
+    const LintRun run = runLint(tree.rootArg());
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
 TEST(Lint, CleanFilePasses)
 {
     FixtureTree tree("clean");
@@ -310,7 +338,7 @@ TEST(Lint, ListRulesShowsAllIds)
     const LintRun run = runLint("--list-rules");
     EXPECT_EQ(run.exit_code, 0);
     for (const char *id : {"SL001", "SL002", "SL003", "SL004", "SL005",
-                           "SL006", "SL007", "SL008"}) {
+                           "SL006", "SL007", "SL008", "SL009"}) {
         EXPECT_NE(run.output.find(id), std::string::npos) << id;
     }
 }

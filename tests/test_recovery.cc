@@ -414,15 +414,17 @@ TEST(Recovery, CliSigintExits130)
     if (pid == 0) {
         std::freopen("/dev/null", "w", stdout);
         std::freopen("/dev/null", "w", stderr);
-        execl(SNAPEA_CLI_BIN, "snapea_cli", "--input", "48",
+        execl(SNAPEA_CLI_BIN, "snapea_cli", "--input", "96",
               "--threads", "1", "--no-cache", "exact", "AlexNet",
               static_cast<char *>(nullptr));
         _exit(99);  // exec failed
     }
     // Let the CLI install its handlers, then interrupt repeatedly:
     // the first SIGINT trips the token, a second force-exits, so the
-    // child terminates promptly either way — with code 130.
-    std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+    // child terminates promptly either way — with code 130.  The
+    // input is sized so the run comfortably outlasts the delay even
+    // as the compute kernels get faster.
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
     int st = 0;
     pid_t done = 0;
     for (int i = 0; i < 600 && done != pid; ++i) {

@@ -14,6 +14,10 @@
 #   3. The full test suite twice: the default build, then a
 #      SNAPEA_CHECK_INVARIANTS=ON build (`checked` ctest label)
 #      where the paper's math invariants are asserted at runtime.
+#   4. The scalar-vs-SIMD equality gate (`simd` ctest label) twice:
+#      once under the default CPUID dispatch and once with
+#      SNAPEA_SIMD=scalar forced, proving the dispatch override and
+#      the bitwise-equivalence contract both hold on this machine.
 #
 # Usage: tools/check.sh [--sanitize thread|address] [--labels REGEX]
 #                       [build-dir-prefix]
@@ -122,29 +126,38 @@ run_ctest() {
     fi
 }
 
-step "[1/5] configure + build, hardened warnings as errors"
+step "[1/6] configure + build, hardened warnings as errors"
 cmake -B "$ROOT/$PREFIX" -S "$ROOT" \
       -DSNAPEA_WERROR=ON -DSNAPEA_LINT=ON \
     || fail "configure ($PREFIX)"
 cmake --build "$ROOT/$PREFIX" -j "$JOBS" \
     || fail "-Werror build (warnings present or compile error)"
 
-step "[2/5] snapea_lint over src/ tools/ bench/ tests/"
+step "[2/6] snapea_lint over src/ tools/ bench/ tests/"
 "$ROOT/$PREFIX/tools/snapea_lint" --root "$ROOT" \
     || fail "snapea_lint found violations"
 
 if [ -n "$LABELS" ]; then
-    step "[3/5] test suite, labels matching '$LABELS'"
+    step "[3/6] test suite, labels matching '$LABELS'"
     run_ctest --test-dir "$ROOT/$PREFIX" -L "$LABELS" -j "$JOBS" \
               --output-on-failure \
         || fail "labeled test suite ($LABELS)"
 else
-    step "[3/5] default test suite"
+    step "[3/6] default test suite"
     run_ctest --test-dir "$ROOT/$PREFIX" -j "$JOBS" --output-on-failure \
         || fail "default test suite"
 fi
 
-step "[4/5] configure + build with SNAPEA_CHECK_INVARIANTS=ON${SANITIZE:+ + SNAPEA_SANITIZE=$SANITIZE}"
+step "[4/6] scalar-vs-SIMD kernel equality (ctest -L simd, both dispatch modes)"
+run_ctest --test-dir "$ROOT/$PREFIX" -L simd --output-on-failure \
+    || fail "simd equality suite (dispatched kernels diverge from scalar)"
+(
+    SNAPEA_SIMD=scalar
+    export SNAPEA_SIMD
+    run_ctest --test-dir "$ROOT/$PREFIX" -L simd --output-on-failure
+) || fail "simd equality suite under forced SNAPEA_SIMD=scalar"
+
+step "[5/6] configure + build with SNAPEA_CHECK_INVARIANTS=ON${SANITIZE:+ + SNAPEA_SANITIZE=$SANITIZE}"
 cmake -B "$ROOT/$PREFIX-checked" -S "$ROOT" \
       -DSNAPEA_WERROR=ON -DSNAPEA_CHECK_INVARIANTS=ON \
       -DSNAPEA_SANITIZE="$SANITIZE" \
@@ -152,7 +165,7 @@ cmake -B "$ROOT/$PREFIX-checked" -S "$ROOT" \
 cmake --build "$ROOT/$PREFIX-checked" -j "$JOBS" \
     || fail "checked build"
 
-step "[5/5] full test suite under runtime invariant checks (ctest -L checked)"
+step "[6/6] full test suite under runtime invariant checks (ctest -L checked)"
 run_ctest --test-dir "$ROOT/$PREFIX-checked" -L checked -j "$JOBS" \
           --output-on-failure \
     || fail "checked test suite (an invariant fired or a test broke)"

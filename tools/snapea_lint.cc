@@ -89,6 +89,11 @@ const RuleInfo kRules[] = {
      "CancelToken (or pass one to parallel_for) so long computations "
      "unwind at signals and deadlines instead of running to "
      "completion"},
+    {"SL009", "intrinsics-only-in-kernels",
+     "raw SIMD intrinsics and their headers belong in "
+     "src/snapea/kernels/ behind the dispatched KernelOps tables; "
+     "anywhere else they bypass the runtime ISA dispatch and the "
+     "scalar-equivalence contract"},
 };
 
 const RuleInfo *
@@ -380,6 +385,8 @@ checkLineRules(const ScannedFile &f, std::vector<Violation> &out)
     const bool is_thread_pool =
         f.path.filename() == "thread_pool.cc"
         || f.path.filename() == "thread_pool.hh";
+    const bool in_kernels =
+        f.path.generic_string().rfind("src/snapea/kernels/", 0) == 0;
 
     static const char *const kTerminators[] = {
         "fatal", "abort", "exit", "_exit", "_Exit", "quick_exit",
@@ -460,6 +467,29 @@ checkLineRules(const ScannedFile &f, std::vector<Violation> &out)
                     break;
                 }
                 pos = line.find("(void)", pos + 1);
+            }
+        }
+
+        // SL009: raw SIMD intrinsics outside the kernels module.
+        // Substring match on purpose: any _mm*/__m* identifier or an
+        // intrinsics header spelled in an angle include is evidence.
+        if (!in_kernels) {
+            const RuleInfo &r9 = *findRule("intrinsics-only-in-kernels");
+            static const char *const kIntrin[] = {
+                "_mm_",        "_mm256_",     "_mm512_",
+                "__m128",      "__m256",      "__m512",
+                "immintrin.h", "emmintrin.h", "xmmintrin.h",
+                "arm_neon.h",
+            };
+            for (const char *tok : kIntrin) {
+                if (line.find(tok) != std::string::npos
+                    && !lineAllowed(f, ln, r9)) {
+                    out.push_back({f.path, ln + 1, &r9,
+                                   std::string(tok)
+                                   + " used outside "
+                                   "src/snapea/kernels/"});
+                    break;
+                }
             }
         }
 
