@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Serving load generator: offered-load sweeps against the snapea_serve
+ * stack, written to BENCH_serving.json so successive PRs accumulate a
+ * tail-latency trajectory.
+ *
+ * Default mode boots two in-process serving instances and sweeps an
+ * open-loop arrival process over each:
+ *
+ *  - "ladder": the real configuration — bounded queue, degradation
+ *    ladder armed.  The claim under test is that p99 stays bounded as
+ *    offered load passes capacity, because the ladder first swaps the
+ *    predictive plan in (cheaper requests drain the queue faster) and
+ *    then rejects at the door instead of queueing.
+ *  - "no_shed_baseline": ladder frozen at Exact with a deep queue —
+ *    what a naive daemon does.  Past capacity its p99 is the queue
+ *    drain time, i.e. it collapses.
+ *
+ * Each sweep point offers a fixed multiple of the instance's measured
+ * closed-loop capacity, so the sweep lands on the interesting region
+ * of the curve on any host.  Open loop means send times never wait on
+ * replies: a recorder thread drains replies concurrently and matches
+ * them to send timestamps by correlation id.
+ *
+ * --connect/--smoke is the closed-loop mode tools/check.sh uses
+ * against an externally booted daemon (typically under fault
+ * injection): drive requests for a fixed wall time, require that every
+ * reply is well-formed, and exit 0 as long as the daemon kept
+ * answering — degraded statuses are expected there, protocol errors
+ * are not.
+ *
+ * Usage: bench_serving [--model M] [--input px] [--mu th] [--seed n]
+ *                      [--duration s] [--out path]
+ *        bench_serving --connect port --smoke [--input px]
+ *                      [--duration s]
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hh"
+#include "serve/server.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+
+using namespace snapea;
+using namespace snapea::serve;
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double
+seconds(SteadyClock::time_point a, SteadyClock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+/** Deterministic request payload (valid activations in [-1, 1)). */
+std::vector<float>
+makeInput(uint64_t seed, size_t elems)
+{
+    Rng rng(seed);
+    std::vector<float> v(elems);
+    for (float &x : v)
+        x = static_cast<float>(rng.uniform(-1.0, 1.0));
+    return v;
+}
+
+/** Tallies of one load point. */
+struct PointResult
+{
+    double offered_rps = 0.0;
+    size_t sent = 0;
+    size_t ok = 0;
+    size_t rejected = 0;
+    size_t shed = 0;       ///< Cancelled / DeadlineExceeded replies.
+    size_t failed = 0;     ///< Unavailable / Internal replies.
+    size_t ok_exact = 0;
+    size_t ok_predictive = 0;
+    double p50_ms = 0.0, p99_ms = 0.0, mean_ms = 0.0;
+};
+
+/**
+ * Closed-loop capacity estimate: one request outstanding, as many as
+ * fit into @p duration_s.  The inverse of the mean service + round
+ * trip time, which is what an open-loop sweep should be scaled by.
+ */
+double
+measureCapacity(uint16_t port, const std::vector<float> &input,
+                double duration_s)
+{
+    StatusOr<ServeClient> client = ServeClient::connect("", port);
+    if (!client.ok())
+        return 0.0;
+    const auto t0 = SteadyClock::now();
+    size_t n = 0;
+    while (seconds(t0, SteadyClock::now()) < duration_s) {
+        StatusOr<Reply> r = client.value().infer(input);
+        if (!r.ok())
+            return 0.0;
+        ++n;
+    }
+    const double el = seconds(t0, SteadyClock::now());
+    return el > 0.0 ? n / el : 0.0;
+}
+
+/**
+ * One open-loop point: offer @p rate req/s for @p duration_s, then
+ * stop sending and drain every outstanding reply (the server answers
+ * all of them — rejections immediately, admitted work when served).
+ */
+PointResult
+runPoint(uint16_t port, const std::vector<float> &input, double rate,
+         double duration_s)
+{
+    PointResult res;
+    res.offered_rps = rate;
+    StatusOr<ServeClient> client = ServeClient::connect("", port);
+    if (!client.ok())
+        return res;
+
+    std::mutex mu;
+    std::map<uint64_t, SteadyClock::time_point> sent_at;
+    std::vector<double> lat_ms;
+    std::atomic<size_t> n_sent{0};
+    std::atomic<bool> done_sending{false};
+
+    std::thread recorder([&] {
+        size_t received = 0;
+        for (;;) {
+            if (done_sending.load() &&
+                received >= n_sent.load())
+                break;
+            StatusOr<Reply> rr = client.value().readReply();
+            if (!rr.ok())
+                break; // connection died; tallies show the gap
+            ++received;
+            const Reply &r = rr.value();
+            SteadyClock::time_point t_sent;
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                auto it = sent_at.find(r.req_id);
+                if (it == sent_at.end())
+                    continue;
+                t_sent = it->second;
+                sent_at.erase(it);
+            }
+            switch (r.status) {
+              case WireStatus::Ok:
+                ++res.ok;
+                if (r.level == 1)
+                    ++res.ok_predictive;
+                else
+                    ++res.ok_exact;
+                lat_ms.push_back(
+                    seconds(t_sent, SteadyClock::now()) * 1e3);
+                break;
+              case WireStatus::Overloaded:
+                ++res.rejected;
+                break;
+              case WireStatus::Cancelled:
+              case WireStatus::DeadlineExceeded:
+                ++res.shed;
+                break;
+              default:
+                ++res.failed;
+                break;
+            }
+        }
+    });
+
+    const auto interval = std::chrono::nanoseconds(
+        static_cast<int64_t>(1e9 / rate));
+    const auto t0 = SteadyClock::now();
+    auto next = t0;
+    uint64_t id = 0;
+    while (seconds(t0, SteadyClock::now()) < duration_s) {
+        std::this_thread::sleep_until(next);
+        ++id;
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            sent_at.emplace(id, SteadyClock::now());
+        }
+        if (!client.value()
+                 .sendInfer(id, input.data(), input.size())
+                 .ok()) {
+            std::lock_guard<std::mutex> lock(mu);
+            sent_at.erase(id);
+            break;
+        }
+        n_sent.fetch_add(1);
+        next += interval;
+    }
+    done_sending.store(true);
+    // The recorder exits once replies account for every send; sending
+    // is done, so no new ids race the check.  Half-close so the
+    // server side also sees the stream end.
+    client.value().finishSending();
+    recorder.join();
+
+    res.sent = n_sent.load();
+    if (!lat_ms.empty()) {
+        res.p50_ms = quantile(lat_ms, 0.50);
+        res.p99_ms = quantile(lat_ms, 0.99);
+        res.mean_ms = mean(lat_ms);
+    }
+    return res;
+}
+
+/** One swept configuration and its results. */
+struct Sweep
+{
+    std::string name;
+    size_t queue_capacity = 0;
+    bool ladder = false;
+    double capacity_rps = 0.0;
+    std::vector<PointResult> points;
+};
+
+int
+smokeMode(uint16_t port, size_t input_elems, double duration_s)
+{
+    const std::vector<float> input = makeInput(7, input_elems);
+    StatusOr<ServeClient> client = ServeClient::connect("", port);
+    if (!client.ok()) {
+        std::fprintf(stderr, "bench_serving: connect: %s\n",
+                     client.status().toString().c_str());
+        return 1;
+    }
+    size_t ok = 0, degraded = 0;
+    const auto t0 = SteadyClock::now();
+    while (seconds(t0, SteadyClock::now()) < duration_s) {
+        StatusOr<Reply> r = client.value().infer(input);
+        if (!r.ok()) {
+            std::fprintf(stderr, "bench_serving: protocol: %s\n",
+                         r.status().toString().c_str());
+            return 1;
+        }
+        if (r.value().status == WireStatus::Ok)
+            ++ok;
+        else
+            ++degraded;
+    }
+    StatusOr<std::string> stats = client.value().statsJson();
+    if (!stats.ok()) {
+        std::fprintf(stderr, "bench_serving: stats: %s\n",
+                     stats.status().toString().c_str());
+        return 1;
+    }
+    std::printf("smoke: %zu ok, %zu degraded replies in %.1fs\n%s\n",
+                ok, degraded, duration_s, stats.value().c_str());
+    if (ok + degraded == 0) {
+        std::fprintf(stderr,
+                     "bench_serving: no replies within %.1fs\n",
+                     duration_s);
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServeModelConfig model;
+    std::string out_path = "BENCH_serving.json";
+    double duration_s = 2.0;
+    int connect_port = -1;
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--model") && i + 1 < argc)
+            model.model = argv[++i];
+        else if (!std::strcmp(argv[i], "--input") && i + 1 < argc)
+            model.input_px = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--mu") && i + 1 < argc)
+            model.mu = static_cast<float>(std::atof(argv[++i]));
+        else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc)
+            model.seed = static_cast<uint32_t>(std::atol(argv[++i]));
+        else if (!std::strcmp(argv[i], "--duration") && i + 1 < argc)
+            duration_s = std::atof(argv[++i]);
+        else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
+            out_path = argv[++i];
+        else if (!std::strcmp(argv[i], "--connect") && i + 1 < argc)
+            connect_port = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--smoke"))
+            smoke = true;
+        else {
+            std::fprintf(
+                stderr,
+                "usage: bench_serving [--model M] [--input px] "
+                "[--mu th] [--seed n] [--duration s] [--out path]\n"
+                "       bench_serving --connect port --smoke "
+                "[--input px] [--duration s]\n");
+            return 1;
+        }
+    }
+    if (duration_s <= 0.0)
+        duration_s = 2.0;
+
+    if (connect_port >= 0) {
+        if (!smoke) {
+            std::fprintf(stderr,
+                         "bench_serving: --connect requires --smoke "
+                         "(sweeps are self-hosted)\n");
+            return 1;
+        }
+        const size_t elems = static_cast<size_t>(3) *
+            model.input_px * model.input_px;
+        return smokeMode(static_cast<uint16_t>(connect_port), elems,
+                         duration_s);
+    }
+
+    std::printf("=== SnaPEA reproduction: serving tail-latency "
+                "sweep ===\n");
+
+    std::vector<Sweep> sweeps;
+    sweeps.push_back({"ladder", 64, true, 0.0, {}});
+    sweeps.push_back({"no_shed_baseline", 512, false, 0.0, {}});
+    const std::vector<double> load_factors{0.5, 0.9, 1.5, 3.0};
+
+    for (Sweep &sweep : sweeps) {
+        ServerConfig cfg;
+        cfg.model = model;
+        cfg.queue_capacity = sweep.queue_capacity;
+        cfg.ladder_enabled = sweep.ladder;
+        StatusOr<std::unique_ptr<Server>> server =
+            Server::start(cfg);
+        if (!server.ok()) {
+            std::fprintf(stderr, "bench_serving: start: %s\n",
+                         server.status().toString().c_str());
+            return 1;
+        }
+        const std::vector<float> input = makeInput(
+            7, server.value()->cache().inputElems());
+
+        sweep.capacity_rps = measureCapacity(
+            server.value()->port(), input, duration_s / 2.0);
+        if (sweep.capacity_rps <= 0.0) {
+            std::fprintf(stderr,
+                         "bench_serving: capacity probe failed\n");
+            return 1;
+        }
+        std::printf("[%s] capacity %.1f req/s (queue %zu)\n",
+                    sweep.name.c_str(), sweep.capacity_rps,
+                    sweep.queue_capacity);
+
+        for (double factor : load_factors) {
+            const double rate = sweep.capacity_rps * factor;
+            PointResult p = runPoint(server.value()->port(), input,
+                                     rate, duration_s);
+            std::printf(
+                "[%s] offered %.1f req/s (%.1fx): sent %zu ok %zu "
+                "rejected %zu shed %zu failed %zu  p50 %.1f ms "
+                "p99 %.1f ms  (exact %zu / predictive %zu)\n",
+                sweep.name.c_str(), rate, factor, p.sent, p.ok,
+                p.rejected, p.shed, p.failed, p.p50_ms, p.p99_ms,
+                p.ok_exact, p.ok_predictive);
+            sweep.points.push_back(p);
+        }
+        server.value()->drainAndJoin();
+    }
+
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"model\": \"%s\",\n", model.model.c_str());
+    std::fprintf(f, "  \"input_size\": %d,\n", model.input_px);
+    std::fprintf(f, "  \"mu\": %.4f,\n",
+                 static_cast<double>(model.mu));
+    std::fprintf(f, "  \"duration_per_point_sec\": %.1f,\n",
+                 duration_s);
+    std::fprintf(f, "  \"load_factors\": [0.5, 0.9, 1.5, 3.0],\n");
+    std::fprintf(f, "  \"sweeps\": [\n");
+    for (size_t s = 0; s < sweeps.size(); ++s) {
+        const Sweep &sweep = sweeps[s];
+        std::fprintf(f,
+                     "    {\"config\": \"%s\", "
+                     "\"queue_capacity\": %zu, "
+                     "\"ladder_enabled\": %s, "
+                     "\"capacity_rps\": %.2f,\n     \"points\": [\n",
+                     sweep.name.c_str(), sweep.queue_capacity,
+                     sweep.ladder ? "true" : "false",
+                     sweep.capacity_rps);
+        for (size_t i = 0; i < sweep.points.size(); ++i) {
+            const PointResult &p = sweep.points[i];
+            std::fprintf(
+                f,
+                "      {\"offered_rps\": %.2f, \"sent\": %zu, "
+                "\"ok\": %zu, \"rejected\": %zu, \"shed\": %zu, "
+                "\"failed\": %zu, \"ok_exact\": %zu, "
+                "\"ok_predictive\": %zu, \"p50_ms\": %.3f, "
+                "\"p99_ms\": %.3f, \"mean_ms\": %.3f}%s\n",
+                p.offered_rps, p.sent, p.ok, p.rejected, p.shed,
+                p.failed, p.ok_exact, p.ok_predictive, p.p50_ms,
+                p.p99_ms, p.mean_ms,
+                i + 1 < sweep.points.size() ? "," : "");
+        }
+        std::fprintf(f, "    ]}%s\n",
+                     s + 1 < sweeps.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -254,11 +254,23 @@ main(int argc, char **argv)
         if (r.threads == 8)
             r8 = &r;
     // A thread-scaling "speedup" measured with more workers than
-    // hardware threads is scheduler noise, not a speedup; report it
-    // only when the hardware can actually run the workers.
-    const bool speedup8_valid = r8 && !r8->oversubscribed;
-    const double speedup8 = speedup8_valid
-        ? r8->instr_imgs_per_sec / r1.instr_imgs_per_sec : 0.0;
+    // hardware threads is scheduler noise, not a speedup.  When the
+    // host cannot run 8 real workers, fall back to the widest run the
+    // hardware does cover so the field is always a number downstream
+    // tooling can plot (on a 1-thread host that is 1 thread and the
+    // speedup is exactly 1.0), and flag the host so nobody reads the
+    // fallback as an 8-thread measurement.
+    const bool oversubscribed_host = !r8 || r8->oversubscribed;
+    const Run *speedup_run = r8;
+    if (oversubscribed_host) {
+        speedup_run = &r1;
+        for (const Run &r : runs)
+            if (!r.oversubscribed
+                && r.threads > speedup_run->threads)
+                speedup_run = &r;
+    }
+    const double speedup8 =
+        speedup_run->instr_imgs_per_sec / r1.instr_imgs_per_sec;
 
     const kernels::CpuInfo &cpu = kernels::cpuInfo();
     const kernels::KernelOps &kops = kernels::kernelOps();
@@ -282,13 +294,15 @@ main(int argc, char **argv)
                 "hardware threads: %d\n",
                 kops.name, kops.lanes, cpu.l1d_bytes / 1024,
                 cpu.l2_bytes / 1024, hw);
-    if (speedup8_valid)
+    if (!oversubscribed_host)
         std::printf("instrumented speedup 8 over 1 threads: %.2fx\n",
                     speedup8);
     else
-        std::printf("instrumented speedup 8 over 1 threads: n/a "
-                    "(only %d hardware thread%s)\n",
-                    hw, hw == 1 ? "" : "s");
+        std::printf("instrumented speedup %d over 1 threads: %.2fx "
+                    "(oversubscribed host: only %d hardware "
+                    "thread%s)\n",
+                    speedup_run->threads, speedup8, hw,
+                    hw == 1 ? "" : "s");
     std::printf("deterministic (1 vs max threads, bitwise): %s\n",
                 deterministic ? "yes" : "NO");
 
@@ -310,13 +324,12 @@ main(int argc, char **argv)
     std::fprintf(f, "  \"hardware_threads\": %d,\n", hw);
     std::fprintf(f, "  \"deterministic_1_vs_max\": %s,\n",
                  deterministic ? "true" : "false");
-    if (speedup8_valid)
-        std::fprintf(f,
-                     "  \"instrumented_speedup_8_over_1\": %.3f,\n",
-                     speedup8);
-    else
-        std::fprintf(f,
-                     "  \"instrumented_speedup_8_over_1\": null,\n");
+    std::fprintf(f, "  \"instrumented_speedup_8_over_1\": %.3f,\n",
+                 speedup8);
+    std::fprintf(f, "  \"oversubscribed_host\": %s,\n",
+                 oversubscribed_host ? "true" : "false");
+    std::fprintf(f, "  \"speedup_measured_at_threads\": %d,\n",
+                 speedup_run->threads);
     std::fprintf(f, "  \"runs\": [\n");
     for (size_t i = 0; i < runs.size(); ++i) {
         const Run &r = runs[i];

@@ -1,0 +1,106 @@
+#include "serve/client.hh"
+
+#include <cstring>
+#include <sys/socket.h>
+
+namespace snapea::serve {
+
+StatusOr<ServeClient>
+ServeClient::connect(const std::string &host, uint16_t port)
+{
+    StatusOr<Fd> fd = connectTcp(host, port);
+    if (!fd.ok())
+        return fd.status();
+    return ServeClient(std::move(fd).value());
+}
+
+Status
+ServeClient::sendInfer(uint64_t req_id, const float *input, size_t n,
+                       uint32_t deadline_ms)
+{
+    FrameHeader h;
+    h.type = MsgType::Infer;
+    h.req_id = req_id;
+    h.aux = deadline_ms;
+    const std::string_view body(
+        reinterpret_cast<const char *>(input), n * sizeof(float));
+    return writeFrame(fd_.get(), h, body);
+}
+
+StatusOr<Reply>
+ServeClient::readReply()
+{
+    std::string body;
+    StatusOr<FrameHeader> h = readFrame(fd_.get(), body);
+    if (!h.ok())
+        return h.status();
+    Reply r;
+    r.req_id = h.value().req_id;
+    r.status = replyStatus(h.value().aux);
+    r.level = replyLevel(h.value().aux);
+    if (h.value().type == MsgType::StatsReply) {
+        // Callers wanting the JSON go through statsJson(); a stray
+        // stats reply in the pipelined stream keeps its id only.
+        return r;
+    }
+    if (r.status == WireStatus::Ok && !body.empty()) {
+        if (body.size() % sizeof(float) != 0) {
+            return Status(StatusCode::Corrupt,
+                          "reply body is not a whole float array");
+        }
+        r.output.resize(body.size() / sizeof(float));
+        std::memcpy(r.output.data(), body.data(), body.size());
+    }
+    return r;
+}
+
+StatusOr<Reply>
+ServeClient::infer(const std::vector<float> &input,
+                   uint32_t deadline_ms)
+{
+    const uint64_t id = next_req_id_++;
+    if (Status st =
+            sendInfer(id, input.data(), input.size(), deadline_ms);
+        !st.ok()) {
+        return st;
+    }
+    StatusOr<Reply> r = readReply();
+    if (!r.ok())
+        return r.status();
+    if (r.value().req_id != id) {
+        return statusf(StatusCode::Corrupt,
+                       "reply correlates to request %llu, expected "
+                       "%llu (pipelined replies on a sync client?)",
+                       static_cast<unsigned long long>(
+                           r.value().req_id),
+                       static_cast<unsigned long long>(id));
+    }
+    return r;
+}
+
+StatusOr<std::string>
+ServeClient::statsJson()
+{
+    FrameHeader h;
+    h.type = MsgType::Stats;
+    h.req_id = next_req_id_++;
+    if (Status st = writeFrame(fd_.get(), h, {}); !st.ok())
+        return st;
+    std::string body;
+    StatusOr<FrameHeader> reply = readFrame(fd_.get(), body);
+    if (!reply.ok())
+        return reply.status();
+    if (reply.value().type != MsgType::StatsReply) {
+        return Status(StatusCode::Corrupt,
+                      "expected a stats reply");
+    }
+    return body;
+}
+
+void
+ServeClient::finishSending()
+{
+    ::shutdown(fd_.get(), SHUT_WR);
+}
+
+} // namespace snapea::serve

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Client side of the snapea_serve protocol, used by the serving
+ * bench, the chaos tests, and anything else that talks to the
+ * daemon.
+ *
+ * Two usage shapes:
+ *
+ *  - synchronous: infer()/statsJson() send one request and block for
+ *    its reply (one outstanding request per client);
+ *  - pipelined: sendInfer() many times, then readReply() until the
+ *    correlation ids account for everything.  Replies can arrive out
+ *    of order (rejections overtake computed replies), so callers
+ *    match on Reply::req_id.
+ *
+ * A client is single-threaded by contract; the load generator opens
+ * one client per concurrent stream.
+ */
+
+#ifndef SNAPEA_SERVE_CLIENT_HH
+#define SNAPEA_SERVE_CLIENT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/net.hh"
+#include "serve/protocol.hh"
+#include "util/status.hh"
+
+namespace snapea::serve {
+
+/** One decoded server reply. */
+struct Reply
+{
+    uint64_t req_id = 0;
+    WireStatus status = WireStatus::Internal;
+    int level = 0;              ///< ServeLevel the server decided.
+    std::vector<float> output;  ///< Non-empty only on Ok Infer.
+};
+
+/** A connected protocol client. */
+class ServeClient
+{
+  public:
+    /** Connect to @p host (empty = loopback) : @p port. */
+    static StatusOr<ServeClient> connect(const std::string &host,
+                                         uint16_t port);
+
+    ServeClient(ServeClient &&) = default;
+    ServeClient &operator=(ServeClient &&) = default;
+
+    /** Send one Infer frame without waiting (pipelined use). */
+    Status sendInfer(uint64_t req_id, const float *input, size_t n,
+                     uint32_t deadline_ms = 0);
+
+    /** Read one reply frame (blocking). */
+    StatusOr<Reply> readReply();
+
+    /** sendInfer + readReply, for the one-outstanding case. */
+    StatusOr<Reply> infer(const std::vector<float> &input,
+                          uint32_t deadline_ms = 0);
+
+    /** Request and return the server's stats JSON. */
+    StatusOr<std::string> statsJson();
+
+    /**
+     * Half-close the sending side: the server reader sees EOF and
+     * stops consuming, while replies to requests already sent keep
+     * flowing until readReply() reports NotFound.
+     */
+    void finishSending();
+
+    /** Raw descriptor (tests poke the socket directly). */
+    int fd() const { return fd_.get(); }
+
+  private:
+    explicit ServeClient(Fd fd) : fd_(std::move(fd)) {}
+
+    Fd fd_;
+    uint64_t next_req_id_ = 1;
+};
+
+} // namespace snapea::serve
+
+#endif // SNAPEA_SERVE_CLIENT_HH

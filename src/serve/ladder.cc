@@ -1,0 +1,76 @@
+#include "serve/ladder.hh"
+
+namespace snapea::serve {
+
+const char *
+serveLevelName(ServeLevel level)
+{
+    switch (level) {
+      case ServeLevel::Exact: return "exact";
+      case ServeLevel::Predictive: return "predictive";
+      case ServeLevel::Reject: return "reject";
+    }
+    return "?";
+}
+
+LadderConfig
+LadderConfig::forCapacity(size_t capacity)
+{
+    LadderConfig cfg;
+    cfg.predictive_enter = capacity / 2;
+    cfg.predictive_exit = capacity / 4;
+    cfg.reject_enter = capacity * 9 / 10;
+    cfg.reject_exit = capacity * 6 / 10;
+    // Tiny queues collapse the integer marks onto each other; keep
+    // the bands ordered and non-empty so valid() holds for any
+    // capacity >= 4.
+    if (cfg.predictive_enter <= cfg.predictive_exit)
+        cfg.predictive_enter = cfg.predictive_exit + 1;
+    if (cfg.reject_enter <= cfg.reject_exit)
+        cfg.reject_enter = cfg.reject_exit + 1;
+    if (cfg.reject_exit < cfg.predictive_enter)
+        cfg.reject_exit = cfg.predictive_enter;
+    if (cfg.reject_enter <= cfg.reject_exit)
+        cfg.reject_enter = cfg.reject_exit + 1;
+    return cfg;
+}
+
+bool
+LadderConfig::valid() const
+{
+    return predictive_enter > predictive_exit
+        && reject_enter > reject_exit
+        && reject_exit >= predictive_enter;
+}
+
+ServeLevel
+DegradationLadder::update(size_t depth)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto level = static_cast<ServeLevel>(
+        level_.load(std::memory_order_relaxed));
+    switch (level) {
+      case ServeLevel::Exact:
+        if (depth >= cfg_.reject_enter)
+            level = ServeLevel::Reject;
+        else if (depth >= cfg_.predictive_enter)
+            level = ServeLevel::Predictive;
+        break;
+      case ServeLevel::Predictive:
+        if (depth >= cfg_.reject_enter)
+            level = ServeLevel::Reject;
+        else if (depth <= cfg_.predictive_exit)
+            level = ServeLevel::Exact;
+        break;
+      case ServeLevel::Reject:
+        if (depth <= cfg_.predictive_exit)
+            level = ServeLevel::Exact;
+        else if (depth <= cfg_.reject_exit)
+            level = ServeLevel::Predictive;
+        break;
+    }
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+    return level;
+}
+
+} // namespace snapea::serve

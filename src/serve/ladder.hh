@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The three-level graceful-degradation ladder (DESIGN.md §5f).
+ *
+ * Queue depth drives the serving level:
+ *
+ *   Exact      -> full-precision SnaPEA exact mode (sign-check
+ *                 reordering only; bitwise-equal to the plain conv).
+ *   Predictive -> the Fig. 11 accuracy knob: every kernel speculates
+ *                 with the configured threshold mu, trading a bounded
+ *                 accuracy loss for fewer MACs per window, so the
+ *                 queue drains faster under load.
+ *   Reject     -> admission control refuses new work (Overloaded)
+ *                 until the backlog recedes; queued work still runs.
+ *
+ * Each boundary is a hysteresis band (enter above, exit below a
+ * strictly lower mark) so a queue oscillating around one depth does
+ * not flap the level — and, with it, the reply contents — on every
+ * request.  Transitions are monotone in depth: update() never skips
+ * from Exact to Reject without the depth actually being past the
+ * reject mark, and recovery steps down through Predictive unless the
+ * queue has fully drained below the predictive-exit mark.
+ */
+
+#ifndef SNAPEA_SERVE_LADDER_HH
+#define SNAPEA_SERVE_LADDER_HH
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+
+namespace snapea::serve {
+
+/** Serving level, ordered by increasing degradation. */
+enum class ServeLevel : int {
+    Exact = 0,
+    Predictive = 1,
+    Reject = 2,
+};
+
+/** Stable lower-case name ("exact", "predictive", "reject"). */
+const char *serveLevelName(ServeLevel level);
+
+/** Hysteresis marks, in queue-depth units. */
+struct LadderConfig
+{
+    size_t predictive_enter = 0; ///< depth >= this: leave Exact.
+    size_t predictive_exit = 0;  ///< depth <= this: back to Exact.
+    size_t reject_enter = 0;     ///< depth >= this: refuse admission.
+    size_t reject_exit = 0;      ///< depth <= this: admit again.
+
+    /**
+     * Default marks for a queue of @p capacity: speculate at half
+     * full (recover at a quarter), reject at nine tenths (recover at
+     * six tenths).  The reject-enter mark is the "high water mark" of
+     * the admission-control contract: below it the reject rate is
+     * exactly zero.
+     */
+    static LadderConfig forCapacity(size_t capacity);
+
+    /** enter > exit per band, predictive band below the reject band. */
+    bool valid() const;
+};
+
+/**
+ * The ladder itself.  update() is called with the current queue depth
+ * at every admission and every batch dequeue; level() is a cheap
+ * atomic read for stats snapshots.  Thread-safe.
+ */
+class DegradationLadder
+{
+  public:
+    explicit DegradationLadder(const LadderConfig &cfg) : cfg_(cfg) {}
+
+    /** Fold a depth observation in; returns the (new) level. */
+    ServeLevel update(size_t depth);
+
+    /** Last decided level, without a new observation. */
+    ServeLevel level() const
+    {
+        return static_cast<ServeLevel>(
+            level_.load(std::memory_order_relaxed));
+    }
+
+    const LadderConfig &config() const { return cfg_; }
+
+  private:
+    const LadderConfig cfg_;
+    /** Serializes transitions so hysteresis state cannot be torn. */
+    std::mutex mu_;
+    std::atomic<int> level_{static_cast<int>(ServeLevel::Exact)};
+};
+
+} // namespace snapea::serve
+
+#endif // SNAPEA_SERVE_LADDER_HH

@@ -1,0 +1,207 @@
+#include "serve/net.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace snapea::serve {
+
+namespace {
+
+Status
+errnoStatus(const char *what)
+{
+    return statusf(StatusCode::IoError, "%s: %s", what,
+                   std::strerror(errno));
+}
+
+} // namespace
+
+Fd &
+Fd::operator=(Fd &&other) noexcept
+{
+    if (this != &other) {
+        reset();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+Fd::~Fd()
+{
+    reset();
+}
+
+void
+Fd::reset()
+{
+    if (fd_ >= 0) {
+        int rc;
+        do {
+            rc = ::close(fd_);
+        } while (rc < 0 && errno == EINTR);
+        fd_ = -1;
+    }
+}
+
+StatusOr<Fd>
+listenTcp(uint16_t port, int backlog)
+{
+    Fd sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid())
+        return errnoStatus("socket");
+    const int one = 1;
+    ::setsockopt(sock.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(sock.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0) {
+        return errnoStatus("bind");
+    }
+    if (::listen(sock.get(), backlog) < 0)
+        return errnoStatus("listen");
+    return sock;
+}
+
+StatusOr<uint16_t>
+boundPort(const Fd &sock)
+{
+    sockaddr_in addr = {};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(sock.get(), reinterpret_cast<sockaddr *>(&addr),
+                      &len) < 0) {
+        return errnoStatus("getsockname");
+    }
+    return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+StatusOr<Fd>
+acceptWithTimeout(const Fd &listen_fd, int timeout_ms)
+{
+    StatusOr<bool> readable = waitReadable(listen_fd.get(), timeout_ms);
+    if (!readable.ok())
+        return readable.status();
+    if (!readable.value()) {
+        return Status(StatusCode::Unavailable,
+                      "no connection within the accept timeout");
+    }
+    int fd;
+    do {
+        fd = ::accept(listen_fd.get(), nullptr, nullptr);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0)
+        return errnoStatus("accept");
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Fd(fd);
+}
+
+StatusOr<Fd>
+connectTcp(const std::string &host, uint16_t port)
+{
+    Fd sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid())
+        return errnoStatus("socket");
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    const char *ip = host.empty() ? "127.0.0.1" : host.c_str();
+    if (::inet_pton(AF_INET, ip, &addr.sin_addr) != 1) {
+        return statusf(StatusCode::InvalidArgument,
+                       "'%s' is not a dotted-quad IPv4 address", ip);
+    }
+    int rc;
+    do {
+        rc = ::connect(sock.get(),
+                       reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0)
+        return errnoStatus("connect");
+    const int one = 1;
+    ::setsockopt(sock.get(), IPPROTO_TCP, TCP_NODELAY, &one,
+                 sizeof(one));
+    return sock;
+}
+
+StatusOr<bool>
+waitReadable(int fd, int timeout_ms)
+{
+    pollfd pfd = {};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    int rc;
+    do {
+        rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0)
+        return errnoStatus("poll");
+    return rc > 0;
+}
+
+Status
+readFull(int fd, void *buf, size_t n)
+{
+    auto *p = static_cast<uint8_t *>(buf);
+    size_t got = 0;
+    while (got < n) {
+        const ssize_t rc = ::read(fd, p + got, n - got);
+        if (rc == 0) {
+            if (got == 0) {
+                return Status(StatusCode::NotFound,
+                              "connection closed by peer");
+            }
+            return statusf(StatusCode::IoError,
+                           "connection closed after %zu of %zu bytes",
+                           got, n);
+        }
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return errnoStatus("read");
+        }
+        got += static_cast<size_t>(rc);
+    }
+    return Status();
+}
+
+Status
+writeFull(int fd, const void *buf, size_t n)
+{
+    const auto *p = static_cast<const uint8_t *>(buf);
+    size_t sent = 0;
+    while (sent < n) {
+        const ssize_t rc =
+            ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return errnoStatus("send");
+        }
+        sent += static_cast<size_t>(rc);
+    }
+    return Status();
+}
+
+void
+shutdownBoth(int fd)
+{
+    ::shutdown(fd, SHUT_RDWR);
+}
+
+void
+shutdownRead(int fd)
+{
+    ::shutdown(fd, SHUT_RD);
+}
+
+} // namespace snapea::serve

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Thin POSIX TCP helpers for snapea_serve: RAII descriptors,
+ * EINTR-safe full reads/writes, and poll-based waits.
+ *
+ * The process installs signal handlers without SA_RESTART (see
+ * util/cancel.hh), so every blocking call here retries EINTR
+ * explicitly; cancellation is observed by the callers' poll loops,
+ * not by aborting syscalls mid-transfer.  Writes use MSG_NOSIGNAL so
+ * a peer that vanished surfaces as EPIPE, not a process-killing
+ * SIGPIPE.
+ */
+
+#ifndef SNAPEA_SERVE_NET_HH
+#define SNAPEA_SERVE_NET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.hh"
+
+namespace snapea::serve {
+
+/** RAII file descriptor (sockets here, but any fd works). */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : fd_(fd) {}
+    Fd(Fd &&other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Fd &operator=(Fd &&other) noexcept;
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+    ~Fd();
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    /** Close now (idempotent). */
+    void reset();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Create a listening IPv4 socket bound to 127.0.0.1:@p port
+ * (0 = kernel-assigned).  The bound port is returned via
+ * boundPort().
+ */
+StatusOr<Fd> listenTcp(uint16_t port, int backlog = 64);
+
+/** The local port a bound socket ended up on. */
+StatusOr<uint16_t> boundPort(const Fd &sock);
+
+/**
+ * Wait up to @p timeout_ms for @p listen_fd to become readable, then
+ * accept.  Unavailable on timeout (the normal idle case — callers
+ * poll their stop token and retry), IoError on failure.
+ */
+StatusOr<Fd> acceptWithTimeout(const Fd &listen_fd, int timeout_ms);
+
+/** Connect to 127.0.0.1:@p port (or @p host when non-empty). */
+StatusOr<Fd> connectTcp(const std::string &host, uint16_t port);
+
+/**
+ * Wait up to @p timeout_ms for @p fd to become readable.  Returns
+ * true when readable (or the peer hung up — the next read reports
+ * it), false on timeout; IoError on poll failure.
+ */
+StatusOr<bool> waitReadable(int fd, int timeout_ms);
+
+/**
+ * Read exactly @p n bytes.  NotFound on clean EOF before the first
+ * byte, IoError on EOF mid-buffer or an OS failure.
+ */
+Status readFull(int fd, void *buf, size_t n);
+
+/** Write exactly @p n bytes (MSG_NOSIGNAL). */
+Status writeFull(int fd, const void *buf, size_t n);
+
+/** shutdown(2) both directions, ignoring errors (drain wakeups). */
+void shutdownBoth(int fd);
+
+/**
+ * shutdown(2) the read side only: a reader blocked in read() sees
+ * EOF, while replies already queued behind the connection's write
+ * lock still go out.  The drain path uses this to unblock readers
+ * without clipping in-flight responses.
+ */
+void shutdownRead(int fd);
+
+} // namespace snapea::serve
+
+#endif // SNAPEA_SERVE_NET_HH

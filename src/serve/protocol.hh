@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The snapea_serve wire protocol: length-prefixed binary frames over
+ * a byte stream (TCP).
+ *
+ * Every message is one frame:
+ *
+ *   offset  size  field
+ *        0     4  magic "SNPA" (0x53 0x4e 0x50 0x41 on the wire)
+ *        4     1  version (kProtocolVersion)
+ *        5     1  type (MsgType)
+ *        6     2  reserved, must be zero
+ *        8     8  request id (echoed verbatim in the reply)
+ *       16     4  aux: requests carry the deadline in ms (0 = none);
+ *                 replies carry WireStatus in the low byte and the
+ *                 degradation level (ServeLevel) in the next byte
+ *       20     4  body length in bytes (<= kMaxBodyBytes)
+ *       24     4  CRC32 of the body
+ *       28     .  body
+ *
+ * All integers are little-endian.  An Infer body is the input image
+ * as raw IEEE-754 float32, CHW order, exactly the model's input
+ * element count; an InferReply body is the network output the same
+ * way.  Stats has an empty body; a StatsReply body is a JSON text.
+ *
+ * Replies may arrive out of order relative to pipelined requests
+ * (rejections overtake computed replies); the request id is the
+ * correlation key.  Corrupt framing (bad magic, oversized body, CRC
+ * mismatch) is unrecoverable on a byte stream, so both sides drop
+ * the connection on it.
+ */
+
+#ifndef SNAPEA_SERVE_PROTOCOL_HH
+#define SNAPEA_SERVE_PROTOCOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.hh"
+
+namespace snapea::serve {
+
+constexpr uint32_t kMagic = 0x41504e53u; // "SNPA" little-endian
+constexpr uint8_t kProtocolVersion = 1;
+constexpr size_t kHeaderBytes = 28;
+constexpr uint32_t kMaxBodyBytes = 64u << 20;
+
+/** Frame types. */
+enum class MsgType : uint8_t {
+    Infer = 1,      ///< Client -> server: one input image.
+    Stats = 2,      ///< Client -> server: stats snapshot request.
+    InferReply = 3, ///< Server -> client: output or a typed failure.
+    StatsReply = 4, ///< Server -> client: JSON stats body.
+};
+
+/** Stable on-wire result codes (a subset of StatusCode). */
+enum class WireStatus : uint8_t {
+    Ok = 0,
+    Overloaded = 1,       ///< Admission control refused the request.
+    DeadlineExceeded = 2, ///< Deadline elapsed before completion.
+    Cancelled = 3,
+    InvalidArgument = 4,  ///< Malformed body (wrong input size).
+    Unavailable = 5,      ///< Execution failed past every retry, or
+                          ///< the server is shutting down.
+    Internal = 6,
+};
+
+/** Map a wire code to the in-process status code. */
+StatusCode wireToStatusCode(WireStatus ws);
+
+/** Map an in-process status code to its wire code. */
+WireStatus statusCodeToWire(StatusCode code);
+
+/** Decoded frame header. */
+struct FrameHeader
+{
+    uint8_t version = kProtocolVersion;
+    MsgType type = MsgType::Infer;
+    uint64_t req_id = 0;
+    uint32_t aux = 0;
+    uint32_t body_len = 0;
+    uint32_t body_crc = 0;
+};
+
+/** Pack a reply aux field from status + degradation level. */
+uint32_t packReplyAux(WireStatus status, int level);
+
+/** Unpack the status byte of a reply aux field. */
+WireStatus replyStatus(uint32_t aux);
+
+/** Unpack the degradation-level byte of a reply aux field. */
+int replyLevel(uint32_t aux);
+
+/**
+ * Serialize a header (body_len/body_crc are filled in from @p body)
+ * followed by the body into one contiguous buffer.
+ */
+std::string encodeFrame(const FrameHeader &h, std::string_view body);
+
+/**
+ * Decode and validate the fixed-size header from @p bytes
+ * (>= kHeaderBytes).  Corrupt on bad magic/version/reserved bytes or
+ * an oversized body length.
+ */
+StatusOr<FrameHeader> decodeHeader(const uint8_t *bytes);
+
+/** Validate a received body against the header's length and CRC. */
+Status validateBody(const FrameHeader &h, std::string_view body);
+
+/**
+ * Read one full frame from @p fd (blocking).  NotFound on clean EOF
+ * before the first header byte, IoError on truncation mid-frame,
+ * Corrupt on framing violations.
+ */
+StatusOr<FrameHeader> readFrame(int fd, std::string &body);
+
+/** Encode and write one full frame to @p fd (blocking). */
+Status writeFrame(int fd, const FrameHeader &h, std::string_view body);
+
+} // namespace snapea::serve
+
+#endif // SNAPEA_SERVE_PROTOCOL_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The bounded MPMC request queue behind snapea_serve's admission
+ * control.
+ *
+ * The queue is the server's only buffer, and it never grows past its
+ * capacity: producers use tryPush(), which refuses (Overloaded)
+ * instead of blocking or reallocating when the queue is full.  That
+ * makes overload visible at the edge — the reader thread turns the
+ * refusal into an Overloaded reply immediately — rather than as
+ * unbounded memory growth and unbounded queueing delay.  Consumers
+ * block, and batch: popBatch() waits for the first item, then drains
+ * up to a batch bound in one critical section so workers amortize
+ * per-batch setup (plan/engine lookup) across requests.
+ *
+ * close() starts the drain protocol: further pushes are refused
+ * (Closed), pops keep succeeding until the queue is empty, and only
+ * then do consumers observe shutdown.  In-flight work is therefore
+ * completed, never dropped, on a graceful stop.
+ */
+
+#ifndef SNAPEA_SERVE_QUEUE_HH
+#define SNAPEA_SERVE_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace snapea::serve {
+
+/** Outcome of a producer-side push attempt. */
+enum class Push {
+    Ok,         ///< Item enqueued.
+    Overloaded, ///< Queue at capacity; item refused.
+    Closed,     ///< Queue closed (drain in progress); item refused.
+};
+
+/**
+ * Bounded multi-producer multi-consumer FIFO.  All operations are
+ * thread-safe; capacity is fixed at construction.
+ */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+    /** Enqueue without blocking; never exceeds capacity. */
+    Push tryPush(T item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (closed_)
+                return Push::Closed;
+            if (items_.size() >= capacity_)
+                return Push::Overloaded;
+            items_.push_back(std::move(item));
+        }
+        not_empty_.notify_one();
+        return Push::Ok;
+    }
+
+    /**
+     * Block until an item arrives, then move up to @p max items into
+     * @p out (appended; existing contents untouched).  Returns the
+     * number taken; 0 only when the queue is closed and drained.
+     */
+    size_t popBatch(std::vector<T> &out, size_t max)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        not_empty_.wait(lock,
+                        [this] { return closed_ || !items_.empty(); });
+        size_t taken = 0;
+        while (taken < max && !items_.empty()) {
+            out.push_back(std::move(items_.front()));
+            items_.pop_front();
+            ++taken;
+        }
+        return taken;
+    }
+
+    /** Single-item convenience over popBatch(). */
+    bool pop(T &out)
+    {
+        std::vector<T> batch;
+        if (popBatch(batch, 1) == 0)
+            return false;
+        out = std::move(batch.front());
+        return true;
+    }
+
+    /**
+     * Refuse new items and wake all consumers.  Already-queued items
+     * remain poppable (the drain contract above).
+     */
+    void close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            closed_ = true;
+        }
+        not_empty_.notify_all();
+    }
+
+    /** Current occupancy (racy by nature; for admission decisions). */
+    size_t depth() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return items_.size();
+    }
+
+    /** The fixed capacity. */
+    size_t capacity() const { return capacity_; }
+
+    /** Has close() been called? */
+    bool closed() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return closed_;
+    }
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable not_empty_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace snapea::serve
+
+#endif // SNAPEA_SERVE_QUEUE_HH

@@ -1,0 +1,356 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+
+#include "serve/timebase.hh"
+#include "util/fault.hh"
+
+namespace snapea::serve {
+
+namespace {
+
+/** Poll granularity of the accept/reader loops, ms. */
+constexpr int kPollMs = 50;
+
+/** Backoff never exceeds this multiple of the configured base. */
+constexpr int kBackoffCapFactor = 8;
+
+} // namespace
+
+Server::Server(const ServerConfig &cfg)
+    : cfg_(cfg), queue_(cfg.queue_capacity),
+      ladder_(LadderConfig::forCapacity(cfg.queue_capacity))
+{
+}
+
+StatusOr<std::unique_ptr<Server>>
+Server::start(const ServerConfig &cfg)
+{
+    if (cfg.queue_capacity < 4) {
+        return statusf(StatusCode::InvalidArgument,
+                       "queue capacity %zu below the minimum of 4",
+                       cfg.queue_capacity);
+    }
+    if (cfg.batch_max < 1 || cfg.workers < 1
+        || cfg.retry_attempts < 1 || cfg.retry_backoff_ms < 0) {
+        return Status(StatusCode::InvalidArgument,
+                      "batch size, workers, and retries must be "
+                      "positive (backoff non-negative)");
+    }
+
+    auto server = std::unique_ptr<Server>(new Server(cfg));
+    if (!server->ladder_.config().valid()) {
+        return statusf(StatusCode::InvalidArgument,
+                       "no valid hysteresis bands for capacity %zu",
+                       cfg.queue_capacity);
+    }
+
+    StatusOr<std::unique_ptr<ParamsCache>> cache =
+        ParamsCache::build(cfg.model);
+    if (!cache.ok())
+        return cache.status();
+    server->cache_ = std::move(cache).value();
+
+    if (!cfg.lock_path.empty()) {
+        StatusOr<FileLock> lock = FileLock::tryAcquire(cfg.lock_path);
+        if (!lock.ok()) {
+            if (lock.status().code() == StatusCode::Unavailable) {
+                return statusf(StatusCode::Unavailable,
+                               "another daemon holds %s",
+                               cfg.lock_path.c_str());
+            }
+            return lock.status();
+        }
+        server->lock_.emplace(std::move(lock).value());
+    }
+
+    StatusOr<Fd> listen_fd = listenTcp(cfg.port);
+    if (!listen_fd.ok())
+        return listen_fd.status();
+    server->listen_ = std::move(listen_fd).value();
+    StatusOr<uint16_t> port = boundPort(server->listen_);
+    if (!port.ok())
+        return port.status();
+    server->port_ = port.value();
+
+    for (int i = 0; i < cfg.workers; ++i)
+        server->workers_.emplace_back(&Server::workerLoop,
+                                      server.get());
+    {
+        // Engine construction happens on the worker threads; hold
+        // start() until it is done everywhere so callers arming fault
+        // injection "after boot" cannot race a half-built worker.
+        std::unique_lock<std::mutex> lk(server->ready_mu_);
+        server->ready_cv_.wait(lk, [&] {
+            return server->workers_ready_ == cfg.workers;
+        });
+    }
+    server->accept_thread_ =
+        std::thread(&Server::acceptLoop, server.get());
+    return server;
+}
+
+Server::~Server()
+{
+    drainAndJoin();
+}
+
+void
+Server::drainAndJoin()
+{
+    if (drained_.exchange(true))
+        return;
+
+    stop_accept_.store(true);
+    if (accept_thread_.joinable())
+        accept_thread_.join();
+
+    // Stop consuming frames.  Shutting down each connection's read
+    // side pops readers out of partial-frame reads without touching
+    // the write side, so replies still drain.
+    stop_read_.store(true);
+    {
+        std::lock_guard<std::mutex> lock(readers_mu_);
+        for (const auto &weak : conns_) {
+            if (auto conn = weak.lock())
+                shutdownRead(conn->fd.get());
+        }
+    }
+    std::vector<std::thread> readers;
+    {
+        std::lock_guard<std::mutex> lock(readers_mu_);
+        readers.swap(readers_);
+    }
+    for (std::thread &t : readers)
+        t.join();
+
+    // Everything admitted before the close is completed by the
+    // workers; popBatch() returns 0 only once the backlog is gone.
+    queue_.close();
+    for (std::thread &t : workers_)
+        t.join();
+    workers_.clear();
+
+    lock_.reset();
+}
+
+std::string
+Server::statsJson() const
+{
+    return stats_.toJson(queue_.depth(), queue_.capacity(),
+                         ladder_.level(),
+                         cache_->calib(ServeLevel::Exact),
+                         cache_->calib(ServeLevel::Predictive));
+}
+
+void
+Server::acceptLoop()
+{
+    while (!stop_accept_.load()) {
+        StatusOr<Fd> fd = acceptWithTimeout(listen_, kPollMs);
+        if (!fd.ok()) {
+            if (fd.status().code() == StatusCode::Unavailable)
+                continue; // idle tick
+            break;        // listening socket is gone; drain follows
+        }
+        auto conn = std::make_shared<Connection>();
+        conn->fd = std::move(fd).value();
+        std::lock_guard<std::mutex> lock(readers_mu_);
+        conns_.push_back(conn);
+        readers_.emplace_back(&Server::readerLoop, this, conn);
+    }
+}
+
+void
+Server::readerLoop(std::shared_ptr<Connection> conn)
+{
+    std::string body;
+    while (!stop_read_.load()) {
+        StatusOr<bool> readable =
+            waitReadable(conn->fd.get(), kPollMs);
+        if (!readable.ok())
+            break;
+        if (!readable.value())
+            continue;
+        StatusOr<FrameHeader> h = readFrame(conn->fd.get(), body);
+        if (!h.ok())
+            break; // EOF, truncation, or corrupt framing: done
+        switch (h.value().type) {
+          case MsgType::Infer:
+            admit(conn, h.value(), std::move(body));
+            body.clear();
+            break;
+          case MsgType::Stats:
+            sendReply(*conn, MsgType::StatsReply, h.value().req_id,
+                      WireStatus::Ok, ladder_.level(), statsJson());
+            break;
+          default:
+            // Reply types from a client are a protocol violation.
+            return;
+        }
+    }
+}
+
+void
+Server::admit(const std::shared_ptr<Connection> &conn,
+              const FrameHeader &h, std::string &&body)
+{
+    if (body.size() != cache_->inputElems() * sizeof(float)) {
+        sendReply(*conn, MsgType::InferReply, h.req_id,
+                  WireStatus::InvalidArgument, ladder_.level(), {});
+        return;
+    }
+
+    const ServeLevel level = cfg_.ladder_enabled
+        ? ladder_.update(queue_.depth())
+        : ServeLevel::Exact;
+    if (level == ServeLevel::Reject) {
+        stats_.recordRejected();
+        sendReply(*conn, MsgType::InferReply, h.req_id,
+                  WireStatus::Overloaded, level, {});
+        return;
+    }
+
+    Request req;
+    req.conn = conn;
+    req.req_id = h.req_id;
+    req.body = std::move(body);
+    req.admit_ns = nowNs();
+    // aux carries the client deadline in ms; the config default
+    // applies when the client sent none.
+    double deadline_s = h.aux > 0 ? h.aux / 1000.0
+                                  : cfg_.default_deadline_s;
+    req.token = session_token_.childToken(deadline_s);
+
+    switch (queue_.tryPush(std::move(req))) {
+      case Push::Ok:
+        stats_.recordAdmitted();
+        break;
+      case Push::Overloaded:
+        stats_.recordRejected();
+        sendReply(*conn, MsgType::InferReply, h.req_id,
+                  WireStatus::Overloaded, level, {});
+        break;
+      case Push::Closed:
+        sendReply(*conn, MsgType::InferReply, h.req_id,
+                  WireStatus::Unavailable, level, {});
+        break;
+    }
+}
+
+void
+Server::workerLoop()
+{
+    // Serving-mode engines carry per-engine scratch, so each worker
+    // owns its pair (over the cache's shared plans) and is the only
+    // thread ever driving them.
+    SnapeaEngine exact(cache_->net(),
+                       cache_->plan(ServeLevel::Exact));
+    exact.setMode(ExecMode::Serving);
+    SnapeaEngine predictive(cache_->net(),
+                            cache_->plan(ServeLevel::Predictive));
+    predictive.setMode(ExecMode::Serving);
+    {
+        std::lock_guard<std::mutex> lk(ready_mu_);
+        ++workers_ready_;
+    }
+    ready_cv_.notify_all();
+
+    std::vector<Request> batch;
+    while (true) {
+        batch.clear();
+        if (queue_.popBatch(batch, cfg_.batch_max) == 0)
+            return; // closed and drained
+        // One level decision and one engine lookup per batch: the
+        // (model, mode) amortization.  A ladder at Reject gates
+        // admission only; already-admitted work runs at the most
+        // degraded compute level.
+        ServeLevel level = cfg_.ladder_enabled
+            ? ladder_.update(queue_.depth())
+            : ServeLevel::Exact;
+        if (level == ServeLevel::Reject)
+            level = ServeLevel::Predictive;
+        SnapeaEngine &engine =
+            level == ServeLevel::Predictive ? predictive : exact;
+        stats_.recordBatch(batch.size());
+        for (Request &req : batch)
+            runRequest(req, level, engine);
+    }
+}
+
+void
+Server::runRequest(Request &req, ServeLevel level,
+                   SnapeaEngine &engine)
+{
+    Status admit_check = req.token->check();
+    if (!admit_check.ok()) {
+        stats_.recordShed();
+        sendReply(*req.conn, MsgType::InferReply, req.req_id,
+                  statusCodeToWire(admit_check.code()), level, {});
+        return;
+    }
+
+    Tensor input(cache_->net().inputShape());
+    std::memcpy(input.data(), req.body.data(), req.body.size());
+
+    int backoff_ms = cfg_.retry_backoff_ms;
+    const int backoff_cap_ms =
+        cfg_.retry_backoff_ms * kBackoffCapFactor;
+    for (int attempt = 1;; ++attempt) {
+        bool transient = false;
+        try {
+            const Tensor out = cache_->net().forward(input, &engine);
+            std::string reply(
+                reinterpret_cast<const char *>(out.data()),
+                out.size() * sizeof(float));
+            sendReply(*req.conn, MsgType::InferReply, req.req_id,
+                      WireStatus::Ok, level, reply);
+            stats_.recordCompleted(level, nowNs() - req.admit_ns);
+            return;
+        } catch (const TransientError &) {
+            transient = true; // injected fault or watchdog-cut stall
+        } catch (const std::bad_alloc &) {
+            transient = true; // alloc pressure: worth one more try
+        }
+        if (!transient || attempt >= cfg_.retry_attempts) {
+            stats_.recordFailed();
+            sendReply(*req.conn, MsgType::InferReply, req.req_id,
+                      WireStatus::Unavailable, level, {});
+            return;
+        }
+        stats_.recordRetry();
+        Status retry_check = req.token->check();
+        if (!retry_check.ok()) {
+            stats_.recordShed();
+            sendReply(*req.conn, MsgType::InferReply, req.req_id,
+                      statusCodeToWire(retry_check.code()), level,
+                      {});
+            return;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(backoff_ms));
+        backoff_ms = std::min(backoff_ms * 2, backoff_cap_ms);
+    }
+}
+
+void
+Server::sendReply(Connection &conn, MsgType type, uint64_t req_id,
+                  WireStatus ws, ServeLevel level,
+                  std::string_view body)
+{
+    FrameHeader h;
+    h.type = type;
+    h.req_id = req_id;
+    h.aux = packReplyAux(ws, static_cast<int>(level));
+    std::lock_guard<std::mutex> lock(conn.write_mu);
+    Status st = writeFrame(conn.fd.get(), h, body);
+    if (!st.ok()) {
+        // The peer is gone; unblock its reader so the connection
+        // winds down instead of half-living until drain.
+        shutdownBoth(conn.fd.get());
+    }
+}
+
+} // namespace snapea::serve

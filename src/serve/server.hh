@@ -1,0 +1,205 @@
+/**
+ * @file
+ * The snapea_serve server: a long-lived TCP inference daemon around
+ * the shared plans of ParamsCache.
+ *
+ * Thread structure:
+ *
+ *   accept thread  -- accepts connections, spawns one reader each;
+ *   reader threads -- parse frames, answer Stats inline, run
+ *                     admission control for Infer (degradation
+ *                     ladder + bounded-queue tryPush) and enqueue
+ *                     admitted requests;
+ *   worker threads -- pop batches, resolve (model, level) to one of
+ *                     the worker's two Serving-mode engines per
+ *                     batch, execute each request with deadline
+ *                     shedding and capped-backoff retry of transient
+ *                     faults, and write replies.  Engines are
+ *                     per-worker (Serving mode is thread-confined);
+ *                     the network and plans behind them are shared
+ *                     and read-only.
+ *
+ * Replies may be written by readers (rejections, stats) and workers
+ * (results) concurrently, so each connection carries a write mutex;
+ * a request holds a shared_ptr to its connection, which keeps the
+ * socket open until the last pending reply is out even after the
+ * client half-closes its sending side.
+ *
+ * Shutdown (drainAndJoin) is graceful by construction: the accept
+ * loop stops, readers stop consuming frames (their read side is shut
+ * down to unblock partial reads), the queue closes, and workers run
+ * every already-admitted request to completion before exiting.  The
+ * daemon lock (when configured) is released by RAII at the end of the
+ * drain, never before the last reply.
+ *
+ * Per-request deadlines are CancelToken children of a server session
+ * token (see util/cancel.hh): a request that outlives its deadline is
+ * shed at the next dequeue or retry boundary with a DeadlineExceeded
+ * reply, and a stalled attempt (SNAPEA_FAULT=slow:task) is cut by the
+ * SNAPEA_WATCHDOG path and surfaces as a retryable transient fault.
+ */
+
+#ifndef SNAPEA_SERVE_SERVER_HH
+#define SNAPEA_SERVE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/ladder.hh"
+#include "serve/net.hh"
+#include "serve/params_cache.hh"
+#include "serve/protocol.hh"
+#include "serve/queue.hh"
+#include "serve/stats.hh"
+#include "util/cancel.hh"
+#include "util/io.hh"
+#include "util/status.hh"
+
+namespace snapea::serve {
+
+/** Everything a serving instance is configured by. */
+struct ServerConfig
+{
+    ServeModelConfig model;
+
+    uint16_t port = 0;          ///< 0 = kernel-assigned (see port()).
+    size_t queue_capacity = 64; ///< Bounded-queue size (hard cap).
+    size_t batch_max = 4;       ///< Requests per worker batch.
+    int workers = 2;            ///< Batch-executing worker threads.
+
+    int retry_attempts = 3;     ///< Tries per request (>= 1).
+    int retry_backoff_ms = 10;  ///< First backoff; doubles, capped.
+
+    double default_deadline_s = 0.0; ///< Per-request default; 0 = none.
+
+    /** Daemon lock file; empty disables locking. */
+    std::string lock_path;
+
+    /**
+     * false freezes the ladder at Exact (the no-shed baseline the
+     * serving bench compares against); admission is then bounded only
+     * by the queue capacity.
+     */
+    bool ladder_enabled = true;
+};
+
+/** A running serving instance. */
+class Server
+{
+  public:
+    /**
+     * Build the model state, bind the port, take the daemon lock,
+     * and spawn the thread structure.  Unavailable if another daemon
+     * holds the lock.
+     */
+    static StatusOr<std::unique_ptr<Server>>
+    start(const ServerConfig &cfg);
+
+    /** Drains (if not already drained) and joins everything. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** The TCP port actually bound (resolves a configured port 0). */
+    uint16_t port() const { return port_; }
+
+    /**
+     * Graceful shutdown: stop accepting and reading, complete every
+     * admitted request, join all threads, release the lock.
+     * Idempotent; callable from a signal-observing main loop.
+     */
+    void drainAndJoin();
+
+    /** The current stats snapshot (same JSON the Stats message gets). */
+    std::string statsJson() const;
+
+    /** Counters, for in-process harnesses (bench, tests). */
+    const ServeStats &stats() const { return stats_; }
+
+    /** The shared model state (read-only use). */
+    const ParamsCache &cache() const { return *cache_; }
+
+  private:
+    /** One client connection; write_mu serializes frame writes. */
+    struct Connection
+    {
+        Fd fd;
+        std::mutex write_mu;
+    };
+
+    /** One admitted inference request. */
+    struct Request
+    {
+        std::shared_ptr<Connection> conn;
+        uint64_t req_id = 0;
+        std::string body;   ///< Raw float32 input, already validated.
+        int64_t admit_ns = 0;
+        std::unique_ptr<CancelToken> token; ///< Deadline child token.
+    };
+
+    explicit Server(const ServerConfig &cfg);
+
+    void acceptLoop();
+    void readerLoop(std::shared_ptr<Connection> conn);
+    void workerLoop();
+
+    /** Admission control for one Infer frame (reader thread). */
+    void admit(const std::shared_ptr<Connection> &conn,
+               const FrameHeader &h, std::string &&body);
+
+    /** Execute one request at @p level on @p engine (worker thread). */
+    void runRequest(Request &req, ServeLevel level,
+                    SnapeaEngine &engine);
+
+    void sendReply(Connection &conn, MsgType type, uint64_t req_id,
+                   WireStatus ws, ServeLevel level,
+                   std::string_view body);
+
+    const ServerConfig cfg_;
+    std::unique_ptr<ParamsCache> cache_;
+    std::optional<FileLock> lock_;
+    Fd listen_;
+    uint16_t port_ = 0;
+
+    BoundedQueue<Request> queue_;
+    DegradationLadder ladder_;
+    ServeStats stats_;
+
+    /** Parent of every per-request deadline token. */
+    CancelToken session_token_;
+
+    std::atomic<bool> stop_accept_{false};
+    std::atomic<bool> stop_read_{false};
+    std::atomic<bool> drained_{false};
+
+    /**
+     * Boot barrier: workers signal once their per-thread engines are
+     * constructed, and start() waits for all of them.  Engine
+     * construction runs parallel_for (kernel prep) on the worker
+     * thread with no fault handler around it, so anything armed
+     * "after boot" — the daemon's --fault flag, a test's
+     * setFaultSpec() — must not be able to land there.
+     */
+    std::mutex ready_mu_;
+    std::condition_variable ready_cv_;
+    int workers_ready_ = 0;
+
+    std::thread accept_thread_;
+    std::vector<std::thread> workers_;
+
+    std::mutex readers_mu_;
+    std::vector<std::thread> readers_;
+    std::vector<std::weak_ptr<Connection>> conns_;
+};
+
+} // namespace snapea::serve
+
+#endif // SNAPEA_SERVE_SERVER_HH

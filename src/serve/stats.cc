@@ -1,0 +1,91 @@
+#include "serve/stats.hh"
+
+#include <cstdio>
+
+#include "util/stats.hh"
+
+namespace snapea::serve {
+
+void
+ServeStats::recordCompleted(ServeLevel level, int64_t latency_ns)
+{
+    const auto idx = static_cast<size_t>(level);
+    if (idx < 3)
+        completed_by_level_[idx].fetch_add(1,
+                                           std::memory_order_relaxed);
+    const double ms = static_cast<double>(latency_ns) / 1e6;
+    std::lock_guard<std::mutex> lock(lat_mu_);
+    if (lat_ring_.size() < kLatencyRingCap) {
+        lat_ring_.push_back(ms);
+    } else {
+        lat_ring_[lat_next_] = ms;
+        lat_next_ = (lat_next_ + 1) % kLatencyRingCap;
+    }
+}
+
+uint64_t
+ServeStats::completedTotal() const
+{
+    uint64_t total = 0;
+    for (const auto &c : completed_by_level_)
+        total += c.load(std::memory_order_relaxed);
+    return total;
+}
+
+std::string
+ServeStats::toJson(size_t queue_depth, size_t queue_capacity,
+                   ServeLevel level, const LevelCalib &exact,
+                   const LevelCalib &predictive) const
+{
+    std::vector<double> lats;
+    {
+        std::lock_guard<std::mutex> lock(lat_mu_);
+        lats = lat_ring_;
+    }
+    const double p50 = lats.empty() ? 0.0 : quantile(lats, 0.50);
+    const double p99 = lats.empty() ? 0.0 : quantile(lats, 0.99);
+    const double avg = mean(lats);
+
+    const uint64_t batches = batches_.load(std::memory_order_relaxed);
+    const uint64_t batched =
+        batched_requests_.load(std::memory_order_relaxed);
+    const double batch_avg =
+        batches ? static_cast<double>(batched) / batches : 0.0;
+
+    char buf[1536];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"admitted\": %llu, \"rejected\": %llu, \"shed\": %llu, "
+        "\"failed\": %llu, \"retries\": %llu, "
+        "\"completed\": {\"exact\": %llu, \"predictive\": %llu}, "
+        "\"batches\": %llu, \"batch_size_avg\": %.3f, "
+        "\"latency_ms\": {\"p50\": %.3f, \"p99\": %.3f, "
+        "\"mean\": %.3f, \"samples\": %zu}, "
+        "\"queue\": {\"depth\": %zu, \"capacity\": %zu}, "
+        "\"level\": \"%s\", "
+        "\"calib\": {"
+        "\"exact\": {\"early_term_rate\": %.4f, \"mac_ratio\": %.4f}, "
+        "\"predictive\": {\"early_term_rate\": %.4f, "
+        "\"mac_ratio\": %.4f}}}",
+        static_cast<unsigned long long>(
+            admitted_.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            rejected_.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            shed_.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            failed_.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            retries_.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            completed_by_level_[0].load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            completed_by_level_[1].load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(batches), batch_avg, p50, p99,
+        avg, lats.size(), queue_depth, queue_capacity,
+        serveLevelName(level), exact.early_term_rate, exact.mac_ratio,
+        predictive.early_term_rate, predictive.mac_ratio);
+    return buf;
+}
+
+} // namespace snapea::serve

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Serving-side metrics: request counters per outcome and degradation
+ * level, batching figures, and a bounded latency reservoir feeding
+ * p50/p99.
+ *
+ * Everything is cheap enough to record on the request path: counters
+ * are relaxed atomics, and the latency reservoir is a fixed-size ring
+ * (the last kLatencyRingCap completions) behind a small mutex, so
+ * memory stays bounded no matter how long the daemon runs.  The JSON
+ * snapshot is served by the Stats protocol message and printed by the
+ * daemon on shutdown.
+ */
+
+#ifndef SNAPEA_SERVE_STATS_HH
+#define SNAPEA_SERVE_STATS_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/ladder.hh"
+
+namespace snapea::serve {
+
+/**
+ * Startup-measured execution profile of one serving level: what one
+ * instrumented calibration image said about early termination.  The
+ * Serving-mode engines answering traffic collect no statistics, so
+ * these are the (deterministic) constants the stats endpoint reports
+ * as the level's early-termination behavior.
+ */
+struct LevelCalib
+{
+    double early_term_rate = 0.0; ///< Terminated windows / windows.
+    double mac_ratio = 1.0;       ///< MACs performed / MACs full.
+};
+
+/** Counter + reservoir state shared by the server's threads. */
+class ServeStats
+{
+  public:
+    static constexpr size_t kLatencyRingCap = 4096;
+
+    void recordAdmitted()
+    {
+        admitted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    void recordRejected()
+    {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+    }
+    void recordShed()
+    {
+        shed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    void recordFailed()
+    {
+        failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    void recordRetry()
+    {
+        retries_.fetch_add(1, std::memory_order_relaxed);
+    }
+    void recordBatch(size_t n)
+    {
+        batches_.fetch_add(1, std::memory_order_relaxed);
+        batched_requests_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /** One successful reply at @p level, @p latency_ns after admit. */
+    void recordCompleted(ServeLevel level, int64_t latency_ns);
+
+    /** Sum of all terminal outcomes (completed + rejected + ...). */
+    uint64_t completedTotal() const;
+
+    uint64_t admittedTotal() const
+    {
+        return admitted_.load(std::memory_order_relaxed);
+    }
+    uint64_t rejectedTotal() const
+    {
+        return rejected_.load(std::memory_order_relaxed);
+    }
+    uint64_t shedTotal() const
+    {
+        return shed_.load(std::memory_order_relaxed);
+    }
+    uint64_t failedTotal() const
+    {
+        return failed_.load(std::memory_order_relaxed);
+    }
+    uint64_t retriesTotal() const
+    {
+        return retries_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * JSON object with every counter, latency quantiles over the
+     * reservoir, and the caller-supplied instantaneous state (queue
+     * depth/capacity, current level, per-level calibration).
+     */
+    std::string toJson(size_t queue_depth, size_t queue_capacity,
+                       ServeLevel level, const LevelCalib &exact,
+                       const LevelCalib &predictive) const;
+
+  private:
+    std::atomic<uint64_t> admitted_{0};
+    std::atomic<uint64_t> rejected_{0};
+    std::atomic<uint64_t> shed_{0};
+    std::atomic<uint64_t> failed_{0};
+    std::atomic<uint64_t> retries_{0};
+    std::atomic<uint64_t> batches_{0};
+    std::atomic<uint64_t> batched_requests_{0};
+    std::atomic<uint64_t> completed_by_level_[3] = {};
+
+    mutable std::mutex lat_mu_;
+    std::vector<double> lat_ring_; ///< Latency samples, milliseconds.
+    size_t lat_next_ = 0;          ///< Ring write cursor.
+};
+
+} // namespace snapea::serve
+
+#endif // SNAPEA_SERVE_STATS_HH

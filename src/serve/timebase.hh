@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The serving layer's one sanctioned clock.
+ *
+ * Everything under src/ is covered by the determinism rule (SL003):
+ * computed tensors must not depend on the machine or the moment.  A
+ * server, however, must read a clock — latencies, deadlines, and
+ * backoff are wall-time by definition.  The compromise is the same as
+ * thread_pool.cc's: one annotated call site, here, and everything
+ * else in src/serve/ expresses time as the int64 nanosecond counts
+ * this function returns.  Clock readings steer *scheduling* only
+ * (queueing, shedding, retry pacing); the numeric contents of a reply
+ * are produced by the deterministic engine and never depend on them.
+ */
+
+#ifndef SNAPEA_SERVE_TIMEBASE_HH
+#define SNAPEA_SERVE_TIMEBASE_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace snapea::serve {
+
+/** Monotonic nanoseconds since an arbitrary process-local epoch. */
+inline int64_t
+nowNs()
+{
+    using Clock = std::chrono::steady_clock;  // snapea-lint: allow(SL003) -- scheduling-only clock; replies stay deterministic
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace snapea::serve
+
+#endif // SNAPEA_SERVE_TIMEBASE_HH

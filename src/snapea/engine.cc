@@ -352,6 +352,8 @@ SnapeaEngine::runConv(int layer_idx, const Conv2D &conv, const Tensor &in,
         if (!it->second.any_predictive)
             return false;
         runFast(layer_idx, conv, in, out);
+    } else if (mode_ == ExecMode::Serving) {
+        runServing(layer_idx, conv, in, out);
     } else {
         runInstrumented(layer_idx, conv, in, out);
     }
@@ -413,6 +415,67 @@ SnapeaEngine::runFast(int layer_idx, const Conv2D &conv, const Tensor &in,
                 }
             }
         });
+}
+
+void
+SnapeaEngine::runServing(int layer_idx, const Conv2D &conv,
+                         const Tensor &in, Tensor &out)
+{
+    const PreparedLayer &pl = prepared_.at(layer_idx);
+    const int oh = out.dim(1), ow = out.dim(2);
+    const int ih = in.dim(1), iw = in.dim(2);
+    const int stride = conv.spec().stride, pad = conv.spec().pad;
+    const int kw = conv.spec().kernel;
+    const kernels::KernelOps &kops = kernels::kernelOps();
+    int xlo, xhi;
+    kernels::interiorXSpan(iw, kw, stride, pad, ow, &xlo, &xhi);
+
+    EngineScratch &sc = *scratch_;
+    const std::int64_t n_ch =
+        static_cast<std::int64_t>(pl.kernels.size());
+    sc.prepare(n_ch, std::max(util::threadCount(), 1), ow);
+
+    // The same honest walk as instrumented mode, reduced to what a
+    // deployed PE does: need_full=false, so a terminated window stops
+    // paying MACs right there, and no counters or samples — wall
+    // clock tracks Eq. (1) instead of the full convolution.  Kernels
+    // write disjoint output planes, so outputs are bitwise identical
+    // for any thread count, same as the other modes.
+    util::parallel_for(0, n_ch, 1, [&](std::int64_t o) {
+        const PreparedKernel &pk = pl.kernels[o];
+        const kernels::PackedKernel &pp = pl.packed[o];
+        EngineScratch::WalkRow &wr = sc.rows[util::workerIndex()];
+        const kernels::WalkSoa soa = wr.soa();
+        float *plane = out.data() + static_cast<size_t>(o) * oh * ow;
+        for (int y = 0; y < oh; ++y) {
+            const int iy0 = y * stride - pad;
+            const auto scalarWalkSpan = [&](int x0, int x1) {
+                for (int x = x0; x < x1; ++x) {
+                    const int ix0 = x * stride - pad;
+                    const WindowWalk ww = walkWindow(
+                        pk, in, iy0, ix0, /*need_full=*/false);
+                    soa.out[x] = ww.out;
+                }
+            };
+            if (iy0 >= 0 && iy0 + kw <= ih && xhi > xlo) {
+                scalarWalkSpan(0, xlo);
+                const float *win0 = in.data()
+                    + static_cast<size_t>(iy0) * iw
+                    + (xlo * stride - pad);
+                const kernels::WalkSoa span = {
+                    soa.out + xlo, soa.full + xlo, soa.ops + xlo,
+                    soa.flags + xlo};
+                kops.walk_row(pp, win0, stride, xhi - xlo,
+                              /*need_full=*/false, span);
+                scalarWalkSpan(xhi, ow);
+            } else {
+                scalarWalkSpan(0, ow);
+            }
+            float *orow = plane + static_cast<size_t>(y) * ow;
+            for (int x = 0; x < ow; ++x)
+                orow[x] = soa.out[x];
+        }
+    });
 }
 
 void

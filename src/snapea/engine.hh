@@ -26,9 +26,11 @@
  * kernels.hh for the SNAPEA_RELAXED_ACCUM contract).
  *
  * Thread-safety: Fast mode is re-entrant (the evaluator drives one
- * engine from its parallel image loop); Instrumented mode mutates
- * shared statistics and per-engine scratch, so instrumented images
- * must be run one at a time, as every driver in-tree does.
+ * engine from its parallel image loop); Instrumented and Serving
+ * modes use per-engine scratch (Instrumented also mutates shared
+ * statistics), so each such engine must be driven by one thread at a
+ * time — snapea_serve gives every worker thread its own Serving
+ * engines over the shared plans.
  */
 
 #ifndef SNAPEA_SNAPEA_ENGINE_HH
@@ -166,6 +168,17 @@ struct ImageTrace
 enum class ExecMode {
     Fast,          ///< Outputs only; no op counts, no stats.
     Instrumented,  ///< Honest walk: op traces + Table V statistics.
+    /**
+     * Outputs via the honest early-terminating walk, nothing else:
+     * no statistics, no continuation past termination, so the MACs a
+     * window saves are saved in wall clock too.  This is what a
+     * deployed PE does per request, and what snapea_serve runs —
+     * service time under the Serving mode scales with Eq. (1) op
+     * counts, making the predictive accuracy knob a genuine latency
+     * lever.  Thread-confined like Instrumented (per-engine
+     * scratch); distinct engines may run concurrently.
+     */
+    Serving,
 };
 
 struct EngineScratch;
@@ -227,6 +240,8 @@ class SnapeaEngine : public ConvOverride
 
     void runFast(int layer_idx, const Conv2D &conv, const Tensor &in,
                  Tensor &out);
+    void runServing(int layer_idx, const Conv2D &conv,
+                    const Tensor &in, Tensor &out);
     void runInstrumented(int layer_idx, const Conv2D &conv,
                          const Tensor &in, Tensor &out);
 

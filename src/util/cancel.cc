@@ -55,7 +55,7 @@ CancelToken::cancelled() const
         state_.compare_exchange_strong(expected, kDeadline);
         return true;
     }
-    return false;
+    return parent_ && parent_->cancelled();
 }
 
 Status
@@ -67,8 +67,22 @@ CancelToken::check() const
         return Status(StatusCode::DeadlineExceeded,
                       "deadline elapsed before the work finished");
     }
+    // Own explicit cancellation, or inherited from the parent: the
+    // parent's reason (signal cancellation, a wider deadline) is the
+    // authoritative one when this token's own state is clear.
+    if (state_.load(std::memory_order_relaxed) == kClear && parent_)
+        return parent_->check();
     return Status(StatusCode::Cancelled,
                   "cancellation requested before the work finished");
+}
+
+std::unique_ptr<CancelToken>
+CancelToken::childToken(double deadline_seconds) const
+{
+    auto child = std::make_unique<CancelToken>(this);
+    if (deadline_seconds > 0.0)
+        child->setDeadline(deadline_seconds);
+    return child;
 }
 
 void

@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 
 #include "util/status.hh"
 
@@ -31,13 +32,40 @@ namespace snapea {
  * A cancellation flag plus an optional deadline.  Thread-safe;
  * borrowed by reference/pointer into the pipeline (the owner outlives
  * the work, which every entry point taking one documents).
+ *
+ * Tokens compose: childToken() scopes a tighter deadline (or an
+ * independently cancellable sub-operation) under a parent without the
+ * caller re-implementing the min-deadline merge — the child trips
+ * when either its own state or the parent trips, and check() reports
+ * the parent's reason when the parent tripped first.  A per-request
+ * deadline in snapea_serve, or snapea_cli's --deadline, is a child of
+ * the process-wide SIGINT/SIGTERM token.
  */
 class CancelToken
 {
   public:
     CancelToken() = default;
+
+    /**
+     * A token scoped under @p parent: cancelled() also reports true
+     * once the parent trips.  requestCancel()/setDeadline() on the
+     * child never affect the parent.  @p parent (may be nullptr for
+     * a free-standing token) must outlive the child.
+     */
+    explicit CancelToken(const CancelToken *parent) : parent_(parent) {}
+
     CancelToken(const CancelToken &) = delete;
     CancelToken &operator=(const CancelToken &) = delete;
+
+    /**
+     * Convenience factory for the scoped-deadline pattern: a child of
+     * this token, with a deadline already armed when
+     * @p deadline_seconds > 0.  Heap-allocated because tokens are
+     * pinned (workers poll them by pointer); this token must outlive
+     * the child.
+     */
+    std::unique_ptr<CancelToken>
+    childToken(double deadline_seconds = 0.0) const;
 
     /** Trip the token.  Idempotent; async-signal-safe. */
     void requestCancel();
@@ -71,6 +99,8 @@ class CancelToken
     mutable std::atomic<int> state_{kClear};
     /** Monotonic-clock deadline in ns; 0 = none armed. */
     std::atomic<std::int64_t> deadline_ns_{0};
+    /** Parent token a child also observes (borrowed; may be null). */
+    const CancelToken *parent_ = nullptr;
 };
 
 /** The process-wide token tripped by the signal handlers. */

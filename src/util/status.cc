@@ -16,6 +16,7 @@ statusCodeName(StatusCode code)
       case StatusCode::Corrupt: return "corrupt";
       case StatusCode::VersionMismatch: return "version mismatch";
       case StatusCode::Unavailable: return "unavailable";
+      case StatusCode::Overloaded: return "overloaded";
       case StatusCode::Cancelled: return "cancelled";
       case StatusCode::DeadlineExceeded: return "deadline exceeded";
     }

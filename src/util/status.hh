@@ -36,6 +36,8 @@ enum class StatusCode {
     VersionMismatch,
     /** A resource is temporarily unusable (lock contention). */
     Unavailable,
+    /** Admission control refused new work (queue past high water). */
+    Overloaded,
     /** The caller (signal, CancelToken) asked the work to stop. */
     Cancelled,
     /** The work's deadline elapsed before it finished. */

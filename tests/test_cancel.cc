@@ -100,6 +100,66 @@ TEST_F(CancelTest, ExplicitCancelWinsOverDeadline)
     EXPECT_EQ(tok.check().code(), StatusCode::Cancelled);
 }
 
+TEST_F(CancelTest, ChildObservesParentCancel)
+{
+    CancelToken parent;
+    std::unique_ptr<CancelToken> child = parent.childToken();
+    EXPECT_FALSE(child->cancelled());
+    parent.requestCancel();
+    EXPECT_TRUE(child->cancelled());
+    // The child tripped because of the parent, and says so.
+    EXPECT_EQ(child->check().code(), StatusCode::Cancelled);
+}
+
+TEST_F(CancelTest, ChildCancelDoesNotTouchParent)
+{
+    CancelToken parent;
+    std::unique_ptr<CancelToken> child = parent.childToken();
+    child->requestCancel();
+    EXPECT_TRUE(child->cancelled());
+    EXPECT_FALSE(parent.cancelled());
+    EXPECT_TRUE(parent.check().ok());
+}
+
+TEST_F(CancelTest, ChildDeadlineIsScopedToTheChild)
+{
+    // childToken(0) arms no deadline (0 = none, the serving default).
+    CancelToken parent;
+    std::unique_ptr<CancelToken> unarmed = parent.childToken(0.0);
+    EXPECT_FALSE(unarmed->cancelled());
+
+    // An armed child deadline trips the child, never the parent.
+    std::unique_ptr<CancelToken> child = parent.childToken(3600.0);
+    child->setDeadline(0.0);
+    EXPECT_TRUE(child->cancelled());
+    EXPECT_EQ(child->check().code(), StatusCode::DeadlineExceeded);
+    EXPECT_FALSE(parent.cancelled());
+
+    // A generous child deadline leaves both clear.
+    std::unique_ptr<CancelToken> slow = parent.childToken(3600.0);
+    EXPECT_FALSE(slow->cancelled());
+    EXPECT_TRUE(slow->check().ok());
+}
+
+TEST_F(CancelTest, ParentReasonWinsWhenParentTrippedFirst)
+{
+    // A request whose deadline lapses after the process got SIGTERM
+    // should report Cancelled (shutdown), not DeadlineExceeded.
+    CancelToken parent;
+    std::unique_ptr<CancelToken> child = parent.childToken(3600.0);
+    parent.requestCancel();
+    EXPECT_EQ(child->check().code(), StatusCode::Cancelled);
+
+    // And the converse: the child's own deadline tripped while the
+    // parent stayed clear, so the child reports the deadline.
+    CancelToken parent2;
+    std::unique_ptr<CancelToken> timed = parent2.childToken(3600.0);
+    timed->setDeadline(0.0);
+    ASSERT_TRUE(timed->cancelled());
+    EXPECT_EQ(timed->check().code(), StatusCode::DeadlineExceeded);
+    EXPECT_TRUE(parent2.check().ok());
+}
+
 TEST_F(CancelTest, FaultSpecParsing)
 {
     EXPECT_TRUE(setFaultSpec("").ok());

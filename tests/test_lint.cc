@@ -272,6 +272,69 @@ TEST(Lint, IntrinsicsAllowedInKernelsModule)
     EXPECT_EQ(run.exit_code, 0) << run.output;
 }
 
+TEST(Lint, FiresUnboundedQueueGrowthInServe)
+{
+    expectSingleViolation(
+        "qgrow", "src/serve/bad_queue.cc",
+        "void f(Req r) {\n"
+        "    pending_queue_.push_back(std::move(r));\n"
+        "}\n",
+        "SL010");
+}
+
+TEST(Lint, QueueGrowthSatisfiedByNearbyGuard)
+{
+    FixtureTree tree("qguard");
+    tree.write("src/serve/ok_queue.cc",
+               "bool f(Req r) {\n"
+               "    if (pending_queue_.size() >= capacity_)\n"
+               "        return false;\n"
+               "    pending_queue_.push_back(std::move(r));\n"
+               "    return true;\n"
+               "}\n");
+    const LintRun run = runLint(tree.rootArg());
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(Lint, QueueGrowthIgnoresNonQueueReceivers)
+{
+    // Plain vectors and out-params are not admission queues.
+    FixtureTree tree("qother");
+    tree.write("src/serve/ok_vec.cc",
+               "void f(std::vector<int> &out) {\n"
+               "    out.push_back(1);\n"
+               "    results_.emplace_back(2);\n"
+               "}\n");
+    const LintRun run = runLint(tree.rootArg());
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(Lint, QueueGrowthScopedToServe)
+{
+    // The same unguarded push outside src/serve/ is not this rule's
+    // business (those containers do not face client traffic).
+    FixtureTree tree("qscope");
+    tree.write("src/harness/ok_elsewhere.cc",
+               "void f(Req r) {\n"
+               "    pending_queue_.push_back(std::move(r));\n"
+               "}\n");
+    const LintRun run = runLint(tree.rootArg());
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(Lint, QueueGrowthAllowSuppresses)
+{
+    FixtureTree tree("qallow");
+    tree.write("src/serve/allowed_queue.cc",
+               "void f(Req r) {\n"
+               "    // drained synchronously below\n"
+               "    // snapea-lint: allow(SL010)\n"
+               "    pending_queue_.push_back(std::move(r));\n"
+               "}\n");
+    const LintRun run = runLint(tree.rootArg());
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
 TEST(Lint, CleanFilePasses)
 {
     FixtureTree tree("clean");
@@ -338,7 +401,8 @@ TEST(Lint, ListRulesShowsAllIds)
     const LintRun run = runLint("--list-rules");
     EXPECT_EQ(run.exit_code, 0);
     for (const char *id : {"SL001", "SL002", "SL003", "SL004", "SL005",
-                           "SL006", "SL007", "SL008", "SL009"}) {
+                           "SL006", "SL007", "SL008", "SL009",
+                           "SL010"}) {
         EXPECT_NE(run.output.find(id), std::string::npos) << id;
     }
 }

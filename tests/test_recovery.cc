@@ -24,6 +24,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -395,6 +396,90 @@ TEST(Recovery, TryAcquireReportsContention)
     ASSERT_TRUE(WIFEXITED(st));
     EXPECT_EQ(WEXITSTATUS(st), 0)
         << "child saw exit " << WEXITSTATUS(st);
+}
+
+TEST(Recovery, BlockingAcquireWaitsOutAHolder)
+{
+    const std::string dir = scratchDir("block");
+    const std::string path = dir + "/.snapea.lock";
+    std::optional<FileLock> held;
+    {
+        StatusOr<FileLock> lock = FileLock::acquire(path);
+        ASSERT_TRUE(lock.ok()) << lock.status().toString();
+        held.emplace(std::move(lock).value());
+    }
+
+    // The child announces itself on a pipe, then blocks in acquire().
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    const pid_t pid = fork();
+    ASSERT_NE(pid, -1);
+    if (pid == 0) {
+        close(fds[0]);
+        char b = 'b';
+        (void)!write(fds[1], &b, 1);
+        close(fds[1]);
+        StatusOr<FileLock> lock = FileLock::acquire(path);
+        _exit(lock.ok() ? 0 : 2);
+    }
+    close(fds[1]);
+    char b = 0;
+    ASSERT_EQ(read(fds[0], &b, 1), 1);
+    close(fds[0]);
+
+    // While we hold the lock the child must not get through.  (It
+    // announced before calling acquire; give it time to block.)
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    int st = 0;
+    ASSERT_EQ(waitpid(pid, &st, WNOHANG), 0)
+        << "child acquired a held lock";
+
+    held.reset();  // release: the blocked child proceeds
+    ASSERT_EQ(waitpid(pid, &st, 0), pid);
+    ASSERT_TRUE(WIFEXITED(st));
+    EXPECT_EQ(WEXITSTATUS(st), 0);
+}
+
+TEST(Recovery, LockDiesWithItsProcess)
+{
+    // A SIGKILLed holder must not leave the lock stuck: flock state
+    // lives in the kernel, so a crash is as good as a release.  This
+    // is what lets a daemon restart after a crash without manual
+    // cleanup of the lock file.
+    const std::string dir = scratchDir("crashlock");
+    const std::string path = dir + "/.snapea.lock";
+
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    const pid_t pid = fork();
+    ASSERT_NE(pid, -1);
+    if (pid == 0) {
+        close(fds[0]);
+        StatusOr<FileLock> lock = FileLock::acquire(path);
+        char b = lock.ok() ? 'k' : 'e';
+        (void)!write(fds[1], &b, 1);
+        close(fds[1]);
+        // Hold the lock until killed.
+        for (;;)
+            pause();
+    }
+    close(fds[1]);
+    char b = 0;
+    ASSERT_EQ(read(fds[0], &b, 1), 1);
+    close(fds[0]);
+    ASSERT_EQ(b, 'k') << "child failed to take the lock";
+
+    StatusOr<FileLock> while_held = FileLock::tryAcquire(path);
+    ASSERT_FALSE(while_held.ok());
+    EXPECT_EQ(while_held.status().code(), StatusCode::Unavailable);
+
+    ASSERT_EQ(kill(pid, SIGKILL), 0);
+    int st = 0;
+    ASSERT_EQ(waitpid(pid, &st, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(st));
+
+    StatusOr<FileLock> after = FileLock::tryAcquire(path);
+    EXPECT_TRUE(after.ok()) << after.status().toString();
 }
 
 TEST(Recovery, CliDeadlineExitsThree)

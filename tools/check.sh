@@ -18,6 +18,11 @@
 #      once under the default CPUID dispatch and once with
 #      SNAPEA_SIMD=scalar forced, proving the dispatch override and
 #      the bitwise-equivalence contract both hold on this machine.
+#   5. A serving smoke: snapea_serve boots with an injected sporadic
+#      stall (slow:task under a tight watchdog), bench_serving drives
+#      closed-loop traffic at it for a couple of seconds asserting
+#      every reply is well-formed, and SIGTERM must produce a clean
+#      drain (exit 0, lock released).
 #
 # Usage: tools/check.sh [--sanitize thread|address] [--labels REGEX]
 #                       [build-dir-prefix]
@@ -126,29 +131,29 @@ run_ctest() {
     fi
 }
 
-step "[1/6] configure + build, hardened warnings as errors"
+step "[1/7] configure + build, hardened warnings as errors"
 cmake -B "$ROOT/$PREFIX" -S "$ROOT" \
       -DSNAPEA_WERROR=ON -DSNAPEA_LINT=ON \
     || fail "configure ($PREFIX)"
 cmake --build "$ROOT/$PREFIX" -j "$JOBS" \
     || fail "-Werror build (warnings present or compile error)"
 
-step "[2/6] snapea_lint over src/ tools/ bench/ tests/"
+step "[2/7] snapea_lint over src/ tools/ bench/ tests/"
 "$ROOT/$PREFIX/tools/snapea_lint" --root "$ROOT" \
     || fail "snapea_lint found violations"
 
 if [ -n "$LABELS" ]; then
-    step "[3/6] test suite, labels matching '$LABELS'"
+    step "[3/7] test suite, labels matching '$LABELS'"
     run_ctest --test-dir "$ROOT/$PREFIX" -L "$LABELS" -j "$JOBS" \
               --output-on-failure \
         || fail "labeled test suite ($LABELS)"
 else
-    step "[3/6] default test suite"
+    step "[3/7] default test suite"
     run_ctest --test-dir "$ROOT/$PREFIX" -j "$JOBS" --output-on-failure \
         || fail "default test suite"
 fi
 
-step "[4/6] scalar-vs-SIMD kernel equality (ctest -L simd, both dispatch modes)"
+step "[4/7] scalar-vs-SIMD kernel equality (ctest -L simd, both dispatch modes)"
 run_ctest --test-dir "$ROOT/$PREFIX" -L simd --output-on-failure \
     || fail "simd equality suite (dispatched kernels diverge from scalar)"
 (
@@ -157,7 +162,37 @@ run_ctest --test-dir "$ROOT/$PREFIX" -L simd --output-on-failure \
     run_ctest --test-dir "$ROOT/$PREFIX" -L simd --output-on-failure
 ) || fail "simd equality suite under forced SNAPEA_SIMD=scalar"
 
-step "[5/6] configure + build with SNAPEA_CHECK_INVARIANTS=ON${SANITIZE:+ + SNAPEA_SANITIZE=$SANITIZE}"
+step "[5/7] serving smoke: daemon boot under injected stalls, loaded client, clean SIGTERM drain"
+SERVE_DIR=$(mktemp -d) || fail "mktemp for the serving smoke"
+# A sporadic injected stall plus a tight watchdog exercises the whole
+# degradation path (stall -> watchdog cut -> retry) while the smoke
+# client is pounding the daemon; the drain at the end must still be
+# clean (exit 0) with every reply well-formed.
+SNAPEA_WATCHDOG_MS=100 "$ROOT/$PREFIX/tools/snapea_serve" \
+    --port 0 --port-file "$SERVE_DIR/port" \
+    --lock "$SERVE_DIR/lock" --workers 1 --threads 1 \
+    --fault "slow:task:5" --retries 3 \
+    > "$SERVE_DIR/daemon.log" 2>&1 &
+SERVE_PID=$!
+i=0
+while [ ! -s "$SERVE_DIR/port" ] && [ "$i" -lt 600 ]; do
+    kill -0 "$SERVE_PID" 2>/dev/null \
+        || fail "snapea_serve died at boot (see $SERVE_DIR/daemon.log)"
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -s "$SERVE_DIR/port" ] || fail "snapea_serve never published its port"
+"$ROOT/$PREFIX/bench/bench_serving" \
+    --connect "$(cat "$SERVE_DIR/port")" --smoke --duration 2 \
+    || fail "serving smoke client (malformed or missing replies)"
+kill -TERM "$SERVE_PID" || fail "signalling snapea_serve"
+wait "$SERVE_PID"
+SERVE_STATUS=$?
+[ "$SERVE_STATUS" -eq 0 ] \
+    || fail "snapea_serve exited $SERVE_STATUS on SIGTERM (expected a clean drain; see $SERVE_DIR/daemon.log)"
+rm -rf "$SERVE_DIR"
+
+step "[6/7] configure + build with SNAPEA_CHECK_INVARIANTS=ON${SANITIZE:+ + SNAPEA_SANITIZE=$SANITIZE}"
 cmake -B "$ROOT/$PREFIX-checked" -S "$ROOT" \
       -DSNAPEA_WERROR=ON -DSNAPEA_CHECK_INVARIANTS=ON \
       -DSNAPEA_SANITIZE="$SANITIZE" \
@@ -165,7 +200,7 @@ cmake -B "$ROOT/$PREFIX-checked" -S "$ROOT" \
 cmake --build "$ROOT/$PREFIX-checked" -j "$JOBS" \
     || fail "checked build"
 
-step "[6/6] full test suite under runtime invariant checks (ctest -L checked)"
+step "[7/7] full test suite under runtime invariant checks (ctest -L checked)"
 run_ctest --test-dir "$ROOT/$PREFIX-checked" -L checked -j "$JOBS" \
           --output-on-failure \
     || fail "checked test suite (an invariant fired or a test broke)"

@@ -209,10 +209,17 @@ runMain(int argc, char **argv)
         usageError("missing command or model");
 
     // SIGINT/SIGTERM trip the global token; long computations unwind
-    // at the next poll instead of dying mid-write.
+    // at the next poll instead of dying mid-write.  --deadline scopes
+    // a child token under it (see CancelToken::childToken) so the
+    // per-run deadline and the signal path compose without re-arming
+    // the process-wide token.
     installSignalCancelHandlers();
-    if (deadline_sec > 0.0)
-        globalCancelToken().setDeadline(deadline_sec);
+    std::unique_ptr<CancelToken> scoped_token;
+    const CancelToken *token = &globalCancelToken();
+    if (deadline_sec > 0.0) {
+        scoped_token = globalCancelToken().childToken(deadline_sec);
+        token = scoped_token.get();
+    }
 
     const std::string &cmd = args[0];
     const ModelId id = parseModel(args[1]);
@@ -229,9 +236,8 @@ runMain(int argc, char **argv)
     }
 
     Experiment exp(id, cfg);
-    const CancelToken &token = globalCancelToken();
     if (cmd == "exact") {
-        StatusOr<ModeResult> r = exp.tryRunExact(&token);
+        StatusOr<ModeResult> r = exp.tryRunExact(token);
         if (!r.ok())
             return failureExit(r.status());
         printMode("exact:", r.value());
@@ -241,12 +247,12 @@ runMain(int argc, char **argv)
         const double eps = parseDouble("epsilon", args[2]);
         char label[32];
         std::snprintf(label, sizeof(label), "eps=%.3f:", eps);
-        StatusOr<ModeResult> r = exp.tryRunPredictive(eps, &token);
+        StatusOr<ModeResult> r = exp.tryRunPredictive(eps, token);
         if (!r.ok())
             return failureExit(r.status());
         printMode(label, r.value());
     } else if (cmd == "sweep") {
-        StatusOr<ModeResult> ex = exp.tryRunExact(&token);
+        StatusOr<ModeResult> ex = exp.tryRunExact(token);
         if (!ex.ok())
             return failureExit(ex.status());
         printMode("exact (0%):", ex.value());
@@ -254,7 +260,7 @@ runMain(int argc, char **argv)
             char label[32];
             std::snprintf(label, sizeof(label), "eps=%.0f%%:",
                           eps * 100);
-            StatusOr<ModeResult> r = exp.tryRunPredictive(eps, &token);
+            StatusOr<ModeResult> r = exp.tryRunPredictive(eps, token);
             if (!r.ok())
                 return failureExit(r.status());
             printMode(label, r.value());

@@ -94,6 +94,11 @@ const RuleInfo kRules[] = {
      "src/snapea/kernels/ behind the dispatched KernelOps tables; "
      "anywhere else they bypass the runtime ISA dispatch and the "
      "scalar-equivalence contract"},
+    {"SL010", "bounded-queue-growth",
+     "a producer-side push onto a queue-like container in src/serve/ "
+     "needs a capacity/high-water guard in the surrounding lines; an "
+     "unguarded push is unbounded memory growth under overload, the "
+     "exact failure admission control exists to prevent"},
 };
 
 const RuleInfo *
@@ -659,6 +664,89 @@ checkCancellableLoops(const ScannedFile &f, std::vector<Violation> &out)
     }
 }
 
+/**
+ * SL010: serving code must never grow a queue without a bound.  A
+ * push/emplace whose receiver identifier looks queue-like (queue,
+ * deque, fifo, pending, items, backlog) must have a guard token — a
+ * capacity, limit, bound, high-water, or size() comparison — on the
+ * same line or within a few lines above.  Scoped to src/serve/: that
+ * is where producers face unbounded client traffic, and where the
+ * admission-control contract makes an unguarded push a policy bug
+ * rather than a style nit.
+ */
+void
+checkBoundedQueueGrowth(const ScannedFile &f,
+                        std::vector<Violation> &out)
+{
+    if (f.path.generic_string().rfind("src/serve/", 0) != 0)
+        return;
+    const RuleInfo &rule = *findRule("bounded-queue-growth");
+
+    static const char *const kPushes[] = {
+        ".push",    ".push_back",    ".push_front",
+        ".emplace", ".emplace_back", ".emplace_front",
+    };
+    static const char *const kQueueish[] = {
+        "queue", "deque", "fifo", "pending", "items", "backlog",
+    };
+    static const char *const kGuards[] = {
+        "cap", "limit", "bound", "high_water", "highwater", "kmax",
+        "full", "size()",
+    };
+    constexpr size_t kWindow = 6;
+
+    auto lower = [](std::string s) {
+        for (char &c : s)
+            c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        return s;
+    };
+
+    for (size_t ln = 0; ln < f.code.size(); ++ln) {
+        const std::string &line = f.code[ln];
+        std::string receiver;
+        for (const char *method : kPushes) {
+            size_t pos = line.find(method);
+            while (pos != std::string::npos) {
+                const size_t after = pos + std::strlen(method);
+                // The '(' right after the name disambiguates .push(
+                // from .push_back( and rejects member declarations.
+                if (after < line.size() && line[after] == '(') {
+                    size_t b = pos;
+                    while (b > 0 && isIdentChar(line[b - 1]))
+                        --b;
+                    receiver = lower(line.substr(b, pos - b));
+                    break;
+                }
+                pos = line.find(method, pos + 1);
+            }
+            if (!receiver.empty())
+                break;
+        }
+        if (receiver.empty())
+            continue;
+        bool queueish = false;
+        for (const char *q : kQueueish)
+            queueish |= receiver.find(q) != std::string::npos;
+        if (!queueish)
+            continue;
+
+        bool guarded = false;
+        const size_t first = ln > kWindow ? ln - kWindow : 0;
+        for (size_t k = first; k <= ln && !guarded; ++k) {
+            const std::string hay = lower(f.code[k]);
+            for (const char *g : kGuards)
+                guarded |= hay.find(g) != std::string::npos;
+        }
+        if (!guarded && !lineAllowed(f, ln, rule)) {
+            out.push_back({f.path, ln + 1, &rule,
+                           "unguarded push onto '" + receiver
+                           + "' (no capacity check within "
+                           + std::to_string(kWindow) + " lines)"});
+        }
+    }
+}
+
 int
 usage(const char *argv0, int code)
 {
@@ -756,6 +844,7 @@ main(int argc, char **argv)
         checkHeaderGuard(f, violations);
         checkOwnHeaderFirst(f, abs_path, violations);
         checkCancellableLoops(f, violations);
+        checkBoundedQueueGrowth(f, violations);
     }
 
     for (const auto &v : violations) {

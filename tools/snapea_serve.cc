@@ -1,0 +1,257 @@
+/**
+ * @file
+ * snapea_serve: the long-lived TCP inference daemon.
+ *
+ * Boots one serving instance of serve::Server around a model built
+ * from a seed (same derivation chain as the benches, so any reply can
+ * be reproduced offline with snapea_cli at the same seed), prints the
+ * bound port, then parks until SIGINT/SIGTERM trips the global cancel
+ * token.  The first signal starts a graceful drain: no new
+ * connections or frames, every admitted request completed and
+ * answered, the daemon lock released, final stats printed.  A second
+ * signal force-exits (see util/cancel.hh).
+ *
+ * Options:
+ *   --model <name>      model to serve (default AlexNet)
+ *   --input <px>        input resolution (default 48)
+ *   --mu <th>           predictive-level threshold Th (default 0)
+ *   --groups <n>        speculation prefix length N (default 8)
+ *   --seed <n>          weight/calibration seed (default 42)
+ *   --port <p>          TCP port; 0 = kernel-assigned (default)
+ *   --port-file <path>  write the bound port to a file (atomic)
+ *   --queue <n>         bounded-queue capacity (default 64)
+ *   --batch <n>         max requests per worker batch (default 4)
+ *   --workers <n>       worker threads (default 2)
+ *   --retries <n>       attempts per request (default 3)
+ *   --backoff-ms <n>    first retry backoff, doubles capped (default 10)
+ *   --deadline-ms <n>   default per-request deadline; 0 = none
+ *   --lock <path>       daemon lock file; empty disables locking
+ *   --no-ladder         freeze degradation at Exact (bench baseline)
+ *   --threads <n>       engine threads per forward pass
+ *   --fault <spec>      arm SNAPEA_FAULT-style injection once serving
+ *                       starts (chaos testing: boot stays clean, the
+ *                       request path sees the faults)
+ *
+ * Exit status: 0 on a clean signal-initiated drain; 1 when the server
+ * fails to start (port in use, lock held, model build failure); 2 on
+ * usage errors.
+ */
+
+#include <cerrno>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <thread>
+
+#include "serve/server.hh"
+#include "util/cancel.hh"
+#include "util/fault.hh"
+#include "util/io.hh"
+#include "util/thread_pool.hh"
+
+using namespace snapea;
+using namespace snapea::serve;
+
+namespace {
+
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+
+void
+printUsage(FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: snapea_serve [options]\n"
+        "  --model <name>     model to serve (default AlexNet)\n"
+        "  --input <px>       input resolution (default 48)\n"
+        "  --mu <th>          predictive threshold Th (default 0)\n"
+        "  --groups <n>       speculation prefix length (default 8)\n"
+        "  --seed <n>         weight/calibration seed (default 42)\n"
+        "  --port <p>         TCP port; 0 = kernel-assigned\n"
+        "  --port-file <path> write the bound port to a file\n"
+        "  --queue <n>        queue capacity (default 64)\n"
+        "  --batch <n>        max batch size (default 4)\n"
+        "  --workers <n>      worker threads (default 2)\n"
+        "  --retries <n>      attempts per request (default 3)\n"
+        "  --backoff-ms <n>   first retry backoff (default 10)\n"
+        "  --deadline-ms <n>  default request deadline; 0 = none\n"
+        "  --lock <path>      daemon lock file\n"
+        "  --no-ladder        freeze degradation at Exact\n"
+        "  --threads <n>      engine threads per forward\n"
+        "  --fault <spec>     arm fault injection after boot\n");
+}
+
+[[noreturn]] void
+usageError(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void
+usageError(const char *fmt, ...)
+{
+    std::fprintf(stderr, "snapea_serve: ");
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+    printUsage(stderr);
+    std::exit(kExitUsage);
+}
+
+/** Full-string parse of a decimal integer in [min, max]. */
+long
+parseInt(const char *flag, const std::string &text, long min, long max)
+{
+    char *end = nullptr;
+    errno = 0;
+    const long v = std::strtol(text.c_str(), &end, 10);
+    if (text.empty() || *end != '\0' || errno != 0 || v < min ||
+        v > max) {
+        usageError("%s: '%s' is not an integer in [%ld, %ld]", flag,
+                   text.c_str(), min, max);
+    }
+    return v;
+}
+
+/** Full-string parse of a finite decimal number. */
+double
+parseDouble(const char *flag, const std::string &text)
+{
+    char *end = nullptr;
+    errno = 0;
+    const double v = std::strtod(text.c_str(), &end);
+    if (text.empty() || *end != '\0' || errno != 0) {
+        usageError("%s: '%s' is not a number", flag, text.c_str());
+    }
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServerConfig cfg;
+    std::string port_file;
+    std::string fault_spec;
+
+    std::vector<std::string> args(argv + 1, argv + argc);
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        auto flagValue = [&](const char *flag) -> const std::string & {
+            if (i + 1 >= args.size())
+                usageError("%s requires a value", flag);
+            return args[++i];
+        };
+        if (arg == "--model") {
+            cfg.model.model = flagValue("--model");
+        } else if (arg == "--input") {
+            cfg.model.input_px = static_cast<int>(
+                parseInt("--input", flagValue("--input"), 16, 512));
+        } else if (arg == "--mu") {
+            cfg.model.mu = static_cast<float>(
+                parseDouble("--mu", flagValue("--mu")));
+        } else if (arg == "--groups") {
+            cfg.model.spec_groups = static_cast<int>(
+                parseInt("--groups", flagValue("--groups"), 1, 4096));
+        } else if (arg == "--seed") {
+            cfg.model.seed = static_cast<uint32_t>(
+                parseInt("--seed", flagValue("--seed"), 0,
+                         std::numeric_limits<uint32_t>::max()));
+        } else if (arg == "--port") {
+            cfg.port = static_cast<uint16_t>(
+                parseInt("--port", flagValue("--port"), 0, 65535));
+        } else if (arg == "--port-file") {
+            port_file = flagValue("--port-file");
+        } else if (arg == "--queue") {
+            cfg.queue_capacity = static_cast<size_t>(
+                parseInt("--queue", flagValue("--queue"), 4, 1 << 20));
+        } else if (arg == "--batch") {
+            cfg.batch_max = static_cast<size_t>(
+                parseInt("--batch", flagValue("--batch"), 1, 4096));
+        } else if (arg == "--workers") {
+            cfg.workers = static_cast<int>(
+                parseInt("--workers", flagValue("--workers"), 1, 256));
+        } else if (arg == "--retries") {
+            cfg.retry_attempts = static_cast<int>(
+                parseInt("--retries", flagValue("--retries"), 1, 100));
+        } else if (arg == "--backoff-ms") {
+            cfg.retry_backoff_ms = static_cast<int>(parseInt(
+                "--backoff-ms", flagValue("--backoff-ms"), 0, 60000));
+        } else if (arg == "--deadline-ms") {
+            cfg.default_deadline_s =
+                parseInt("--deadline-ms", flagValue("--deadline-ms"),
+                         0, 86400000) /
+                1000.0;
+        } else if (arg == "--lock") {
+            cfg.lock_path = flagValue("--lock");
+        } else if (arg == "--no-ladder") {
+            cfg.ladder_enabled = false;
+        } else if (arg == "--fault") {
+            fault_spec = flagValue("--fault");
+        } else if (arg == "--threads") {
+            util::setThreadCount(static_cast<int>(parseInt(
+                "--threads", flagValue("--threads"), 1, 1024)));
+        } else {
+            usageError("unknown option '%s'", arg.c_str());
+        }
+    }
+
+    installSignalCancelHandlers();
+
+    StatusOr<std::unique_ptr<Server>> server = Server::start(cfg);
+    if (!server.ok()) {
+        std::fprintf(stderr, "snapea_serve: %s\n",
+                     server.status().toString().c_str());
+        return server.status().code() == StatusCode::InvalidArgument
+            ? kExitUsage
+            : kExitRuntime;
+    }
+
+    std::fprintf(stdout, "listening on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(server.value()->port()));
+    std::fflush(stdout);
+    if (!port_file.empty()) {
+        Status st = atomicWriteFile(
+            port_file, std::to_string(server.value()->port()));
+        if (!st.ok()) {
+            std::fprintf(stderr, "snapea_serve: %s\n",
+                         st.toString().c_str());
+            return kExitRuntime;
+        }
+    }
+
+    // Chaos hook: arm fault injection only now, so model build and
+    // calibration ran clean and the injected faults land on the
+    // request path (where the retry/shed machinery is the thing under
+    // test).
+    if (!fault_spec.empty()) {
+        Status st = setFaultSpec(fault_spec);
+        if (st.ok()) {
+            std::fprintf(stdout, "fault injection armed: %s\n",
+                         fault_spec.c_str());
+            std::fflush(stdout);
+        } else {
+            std::fprintf(stderr, "snapea_serve: --fault: %s\n",
+                         st.toString().c_str());
+            return kExitUsage;
+        }
+    }
+
+    // Park until the first SIGINT/SIGTERM.  Replies never depend on
+    // this loop; it only observes the signal flag.
+    while (!globalCancelToken().cancelled()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    server.value()->drainAndJoin();
+    std::fprintf(stdout, "%s\n",
+                 server.value()->statsJson().c_str());
+    std::fflush(stdout);
+    return 0;
+}
