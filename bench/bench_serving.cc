@@ -64,14 +64,16 @@ seconds(SteadyClock::time_point a, SteadyClock::time_point b)
     return std::chrono::duration<double>(b - a).count();
 }
 
-/** Deterministic request payload (valid activations in [-1, 1)). */
+/** Deterministic request payload (non-negative activations in
+ *  [0, 1) — the image/ReLU domain SnaPEA's sign-check exactness
+ *  argument assumes; checked builds assert it per tap). */
 std::vector<float>
 makeInput(uint64_t seed, size_t elems)
 {
     Rng rng(seed);
     std::vector<float> v(elems);
     for (float &x : v)
-        x = static_cast<float>(rng.uniform(-1.0, 1.0));
+        x = static_cast<float>(rng.uniform(0.0, 1.0));
     return v;
 }
 

@@ -46,7 +46,7 @@ LadderConfig::valid() const
 ServeLevel
 DegradationLadder::update(size_t depth)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard lock(mu_);
     auto level = static_cast<ServeLevel>(
         level_.load(std::memory_order_relaxed));
     switch (level) {

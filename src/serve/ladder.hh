@@ -29,6 +29,8 @@
 #include <cstddef>
 #include <mutex>
 
+#include "util/debug_mutex.hh"
+
 namespace snapea::serve {
 
 /** Serving level, ordered by increasing degradation. */
@@ -87,7 +89,7 @@ class DegradationLadder
   private:
     const LadderConfig cfg_;
     /** Serializes transitions so hysteresis state cannot be torn. */
-    std::mutex mu_;
+    DebugMutex mu_{"DegradationLadder::mu_"};
     std::atomic<int> level_{static_cast<int>(ServeLevel::Exact)};
 };
 

@@ -22,12 +22,13 @@
 #ifndef SNAPEA_SERVE_QUEUE_HH
 #define SNAPEA_SERVE_QUEUE_HH
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <mutex>
 #include <utility>
 #include <vector>
+
+#include "util/debug_mutex.hh"
 
 namespace snapea::serve {
 
@@ -52,7 +53,7 @@ class BoundedQueue
     Push tryPush(T item)
     {
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            std::lock_guard lock(mu_);
             if (closed_)
                 return Push::Closed;
             if (items_.size() >= capacity_)
@@ -70,7 +71,7 @@ class BoundedQueue
      */
     size_t popBatch(std::vector<T> &out, size_t max)
     {
-        std::unique_lock<std::mutex> lock(mu_);
+        std::unique_lock lock(mu_);
         not_empty_.wait(lock,
                         [this] { return closed_ || !items_.empty(); });
         size_t taken = 0;
@@ -99,7 +100,7 @@ class BoundedQueue
     void close()
     {
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            std::lock_guard lock(mu_);
             closed_ = true;
         }
         not_empty_.notify_all();
@@ -108,7 +109,7 @@ class BoundedQueue
     /** Current occupancy (racy by nature; for admission decisions). */
     size_t depth() const
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        std::lock_guard lock(mu_);
         return items_.size();
     }
 
@@ -118,16 +119,16 @@ class BoundedQueue
     /** Has close() been called? */
     bool closed() const
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        std::lock_guard lock(mu_);
         return closed_;
     }
 
   private:
     const size_t capacity_;
-    mutable std::mutex mu_;
-    std::condition_variable not_empty_;
-    std::deque<T> items_;
-    bool closed_ = false;
+    mutable DebugMutex mu_{"BoundedQueue::mu_"};
+    DebugCondVar not_empty_;
+    std::deque<T> items_ SNAPEA_GUARDED_BY(mu_);
+    bool closed_ SNAPEA_GUARDED_BY(mu_) = false;
 };
 
 } // namespace snapea::serve

@@ -82,7 +82,7 @@ Server::start(const ServerConfig &cfg)
         // Engine construction happens on the worker threads; hold
         // start() until it is done everywhere so callers arming fault
         // injection "after boot" cannot race a half-built worker.
-        std::unique_lock<std::mutex> lk(server->ready_mu_);
+        std::unique_lock lk(server->ready_mu_);
         server->ready_cv_.wait(lk, [&] {
             return server->workers_ready_ == cfg.workers;
         });
@@ -112,7 +112,7 @@ Server::drainAndJoin()
     // the write side, so replies still drain.
     stop_read_.store(true);
     {
-        std::lock_guard<std::mutex> lock(readers_mu_);
+        std::lock_guard lock(readers_mu_);
         for (const auto &weak : conns_) {
             if (auto conn = weak.lock())
                 shutdownRead(conn->fd.get());
@@ -120,7 +120,7 @@ Server::drainAndJoin()
     }
     std::vector<std::thread> readers;
     {
-        std::lock_guard<std::mutex> lock(readers_mu_);
+        std::lock_guard lock(readers_mu_);
         readers.swap(readers_);
     }
     for (std::thread &t : readers)
@@ -157,7 +157,7 @@ Server::acceptLoop()
         }
         auto conn = std::make_shared<Connection>();
         conn->fd = std::move(fd).value();
-        std::lock_guard<std::mutex> lock(readers_mu_);
+        std::lock_guard lock(readers_mu_);
         conns_.push_back(conn);
         readers_.emplace_back(&Server::readerLoop, this, conn);
     }
@@ -253,7 +253,7 @@ Server::workerLoop()
                             cache_->plan(ServeLevel::Predictive));
     predictive.setMode(ExecMode::Serving);
     {
-        std::lock_guard<std::mutex> lk(ready_mu_);
+        std::lock_guard lk(ready_mu_);
         ++workers_ready_;
     }
     ready_cv_.notify_all();
@@ -344,7 +344,7 @@ Server::sendReply(Connection &conn, MsgType type, uint64_t req_id,
     h.type = type;
     h.req_id = req_id;
     h.aux = packReplyAux(ws, static_cast<int>(level));
-    std::lock_guard<std::mutex> lock(conn.write_mu);
+    std::lock_guard lock(conn.write_mu);
     Status st = writeFrame(conn.fd.get(), h, body);
     if (!st.ok()) {
         // The peer is gone; unblock its reader so the connection

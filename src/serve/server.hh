@@ -43,7 +43,6 @@
 #define SNAPEA_SERVE_SERVER_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -59,6 +58,7 @@
 #include "serve/queue.hh"
 #include "serve/stats.hh"
 #include "util/cancel.hh"
+#include "util/debug_mutex.hh"
 #include "util/io.hh"
 #include "util/status.hh"
 
@@ -132,7 +132,7 @@ class Server
     struct Connection
     {
         Fd fd;
-        std::mutex write_mu;
+        DebugMutex write_mu{"Connection::write_mu"};
     };
 
     /** One admitted inference request. */
@@ -188,16 +188,17 @@ class Server
      * "after boot" — the daemon's --fault flag, a test's
      * setFaultSpec() — must not be able to land there.
      */
-    std::mutex ready_mu_;
-    std::condition_variable ready_cv_;
-    int workers_ready_ = 0;
+    DebugMutex ready_mu_{"Server::ready_mu_"};
+    DebugCondVar ready_cv_;
+    int workers_ready_ SNAPEA_GUARDED_BY(ready_mu_) = 0;
 
     std::thread accept_thread_;
     std::vector<std::thread> workers_;
 
-    std::mutex readers_mu_;
-    std::vector<std::thread> readers_;
-    std::vector<std::weak_ptr<Connection>> conns_;
+    DebugMutex readers_mu_{"Server::readers_mu_"};
+    std::vector<std::thread> readers_ SNAPEA_GUARDED_BY(readers_mu_);
+    std::vector<std::weak_ptr<Connection>> conns_
+        SNAPEA_GUARDED_BY(readers_mu_);
 };
 
 } // namespace snapea::serve

@@ -14,7 +14,7 @@ ServeStats::recordCompleted(ServeLevel level, int64_t latency_ns)
         completed_by_level_[idx].fetch_add(1,
                                            std::memory_order_relaxed);
     const double ms = static_cast<double>(latency_ns) / 1e6;
-    std::lock_guard<std::mutex> lock(lat_mu_);
+    std::lock_guard lock(lat_mu_);
     if (lat_ring_.size() < kLatencyRingCap) {
         lat_ring_.push_back(ms);
     } else {
@@ -39,7 +39,7 @@ ServeStats::toJson(size_t queue_depth, size_t queue_capacity,
 {
     std::vector<double> lats;
     {
-        std::lock_guard<std::mutex> lock(lat_mu_);
+        std::lock_guard lock(lat_mu_);
         lats = lat_ring_;
     }
     const double p50 = lats.empty() ? 0.0 : quantile(lats, 0.50);

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "serve/ladder.hh"
+#include "util/debug_mutex.hh"
 
 namespace snapea::serve {
 
@@ -117,9 +118,11 @@ class ServeStats
     std::atomic<uint64_t> batched_requests_{0};
     std::atomic<uint64_t> completed_by_level_[3] = {};
 
-    mutable std::mutex lat_mu_;
-    std::vector<double> lat_ring_; ///< Latency samples, milliseconds.
-    size_t lat_next_ = 0;          ///< Ring write cursor.
+    mutable DebugMutex lat_mu_{"ServeStats::lat_mu_"};
+    /** Latency samples, milliseconds. */
+    std::vector<double> lat_ring_ SNAPEA_GUARDED_BY(lat_mu_);
+    /** Ring write cursor. */
+    size_t lat_next_ SNAPEA_GUARDED_BY(lat_mu_) = 0;
 };
 
 } // namespace snapea::serve

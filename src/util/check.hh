@@ -67,4 +67,20 @@
 
 #endif // SNAPEA_CHECK_INVARIANTS
 
+/**
+ * Thread-safety annotation: declares that a field may only be
+ * accessed while holding @p mu.
+ *
+ *     std::deque<Request> items_ SNAPEA_GUARDED_BY(mu_);
+ *
+ * Compiles to nothing in every build mode; the contract is enforced
+ * statically by snapea_analyze rule SL013 (guarded-by), which
+ * verifies each access to the field sits lexically under a
+ * lock_guard/unique_lock/scoped_lock of the named mutex or inside
+ * the owning class's constructor/destructor.  Dynamically, the
+ * DebugMutex lock-order detector (debug_mutex.hh) and TSan cover
+ * what a lexical check cannot see.
+ */
+#define SNAPEA_GUARDED_BY(mu)
+
 #endif // SNAPEA_UTIL_CHECK_HH

@@ -1,0 +1,195 @@
+#include "util/debug_mutex.hh"
+
+#if SNAPEA_CHECKS_ENABLED
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace snapea {
+
+namespace {
+
+/**
+ * The global acquisition-order graph.  An edge A -> B means "some
+ * thread acquired B while holding A"; a cycle means two call paths
+ * disagree about the order and can deadlock under the right
+ * schedule.  Heap-allocated and never freed: static DebugMutexes may
+ * lock during static destruction, after a static graph would already
+ * be gone.
+ */
+struct Graph
+{
+    struct Edge
+    {
+        /** The holder's lock set when the edge was first recorded. */
+        std::string holder_set;
+    };
+
+    std::mutex mu;
+    std::map<const DebugMutex *, std::map<const DebugMutex *, Edge>>
+        out SNAPEA_GUARDED_BY(mu);
+};
+
+Graph &
+graph()
+{
+    static Graph *g = new Graph; // leaked by design, see above
+    return *g;
+}
+
+/**
+ * The calling thread's held-lock stack.  Deliberately a trivially
+ * destructible plain array, not a std::vector: glibc destroys the
+ * main thread's TLS objects *before* static destructors run, and a
+ * static object whose destructor locks a DebugMutex (the process
+ * thread pool does) would then push onto a dead vector.  TLS storage
+ * itself outlives static destruction, so a dtor-free array stays
+ * valid to the end.
+ */
+constexpr size_t kMaxHeld = 16;
+thread_local const DebugMutex *tl_held[kMaxHeld];
+thread_local size_t tl_held_count = 0;
+
+std::string
+lockSetString(const DebugMutex *const *set, size_t n)
+{
+    std::string s = "{";
+    for (size_t i = 0; i < n; ++i) {
+        if (i)
+            s += ", ";
+        s += set[i]->name();
+    }
+    return s + "}";
+}
+
+/**
+ * DFS path from @p from to @p to over the order graph, as a node
+ * list including both endpoints; empty if unreachable.  Caller holds
+ * graph().mu.
+ */
+std::vector<const DebugMutex *>
+findPath(const Graph &g, const DebugMutex *from, const DebugMutex *to,
+         std::vector<const DebugMutex *> &visited)
+{
+    for (const DebugMutex *v : visited)
+        if (v == from)
+            return {};
+    visited.push_back(from);
+    if (from == to)
+        return {from};
+    // Recursive helper: every caller already holds g.mu.
+    const auto it = g.out.find(from); // snapea-lint: allow(SL013)
+    if (it == g.out.end())            // (covered by the line above)
+        return {};
+    for (const auto &kv : it->second) {
+        auto tail = findPath(g, kv.first, to, visited);
+        if (!tail.empty()) {
+            tail.insert(tail.begin(), from);
+            return tail;
+        }
+    }
+    return {};
+}
+
+} // namespace
+
+DebugMutex::DebugMutex(const char *name) : name_(name) {}
+
+DebugMutex::~DebugMutex()
+{
+    Graph &g = graph();
+    std::lock_guard<std::mutex> lk(g.mu);
+    g.out.erase(this);
+    for (auto &kv : g.out)
+        kv.second.erase(this);
+}
+
+void
+DebugMutex::lock()
+{
+    {
+        Graph &g = graph();
+        std::lock_guard<std::mutex> lk(g.mu);
+        for (size_t i = 0; i < tl_held_count; ++i) {
+            const DebugMutex *h = tl_held[i];
+            if (h == this) {
+                panic("DebugMutex '%s': recursive lock() on the same "
+                      "thread (held set %s)",
+                      name_,
+                      lockSetString(tl_held, tl_held_count).c_str());
+            }
+            // Would the new edge h -> this close a cycle?  Check for
+            // an existing path this ~> h before recording anything.
+            std::vector<const DebugMutex *> visited;
+            const auto path = findPath(g, this, h, visited);
+            if (!path.empty()) {
+                const Graph::Edge &prior =
+                    g.out.at(path[0]).at(path[1]);
+                std::string chain;
+                for (const DebugMutex *n : path) {
+                    chain += n->name();
+                    chain += " -> ";
+                }
+                chain += name_;
+                panic("lock-order cycle: this thread acquires '%s' "
+                      "while holding %s, but the reverse order %s "
+                      "was recorded earlier by a thread holding %s",
+                      name_,
+                      lockSetString(tl_held, tl_held_count).c_str(),
+                      chain.c_str(), prior.holder_set.c_str());
+            }
+            auto &edges = g.out[h];
+            if (edges.find(this) == edges.end())
+                edges[this] = {lockSetString(tl_held, tl_held_count)};
+        }
+    }
+    if (tl_held_count == kMaxHeld) {
+        panic("DebugMutex '%s': more than %zu locks held by one "
+              "thread (held set %s)",
+              name_, kMaxHeld,
+              lockSetString(tl_held, tl_held_count).c_str());
+    }
+    // Block only after the graph says the order is consistent, so a
+    // schedule that would deadlock right here still reports first.
+    m_.lock();
+    tl_held[tl_held_count++] = this;
+}
+
+bool
+DebugMutex::try_lock()
+{
+    // A successful try_lock cannot deadlock and implies no ordering
+    // commitment, so it joins the held stack without adding edges.
+    if (!m_.try_lock())
+        return false;
+    if (tl_held_count == kMaxHeld) {
+        m_.unlock();
+        panic("DebugMutex '%s': more than %zu locks held by one "
+              "thread (held set %s)",
+              name_, kMaxHeld,
+              lockSetString(tl_held, tl_held_count).c_str());
+    }
+    tl_held[tl_held_count++] = this;
+    return true;
+}
+
+void
+DebugMutex::unlock()
+{
+    for (size_t i = tl_held_count; i-- > 0;) {
+        if (tl_held[i] == this) {
+            for (size_t j = i + 1; j < tl_held_count; ++j)
+                tl_held[j - 1] = tl_held[j];
+            --tl_held_count;
+            break;
+        }
+    }
+    m_.unlock();
+}
+
+} // namespace snapea
+
+#endif // SNAPEA_CHECKS_ENABLED

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * DebugMutex: a std::mutex that catches lock-order inversions.
+ *
+ * Deadlocks are the one concurrency bug the test suite cannot find
+ * by running harder: an ABBA inversion deadlocks only when two
+ * threads interleave exactly wrong, so a test run that takes A then
+ * B on one thread and B then A on another usually passes.  The
+ * classic fix is to detect the *potential*: maintain the global
+ * "acquired X while holding Y" order graph and flag the first cycle,
+ * whether or not the schedule ever actually deadlocks.  That is what
+ * checked builds (SNAPEA_CHECK_INVARIANTS=ON) get here — every
+ * serve/chaos/recovery test doubles as a deadlock regression test.
+ *
+ * In normal builds DebugMutex is a zero-cost alias-like wrapper over
+ * std::mutex (the name argument is ignored), so the substitution in
+ * src/serve/ and src/util/ costs release binaries nothing.
+ *
+ * Checked-build semantics:
+ *  - lock(): before blocking, insert order edges held -> this into
+ *    the global graph; if an edge closes a cycle, panic() with both
+ *    lock sets — the current thread's, and the one snapshotted when
+ *    the reverse edge was first recorded.  Panicking *before*
+ *    blocking matters: the report fires even on schedules that would
+ *    have deadlocked silently.
+ *  - try_lock(): on success, pushes the mutex onto the held stack
+ *    but records no edges — a successful try_lock cannot deadlock,
+ *    and trylock-while-holding is a legitimate ordering-free idiom.
+ *  - ~DebugMutex(): unregisters the node so a recycled address
+ *    (Connection mutexes come and go per client) cannot inherit
+ *    stale edges.
+ *
+ * Condition variables: std::condition_variable requires a literal
+ * std::mutex, so code holding a DebugMutex waits on DebugCondVar
+ * (std::condition_variable_any) in both build modes.  The graph
+ * state lives behind a leaked singleton guarded by a raw std::mutex;
+ * the detector cannot instrument itself, and leaking sidesteps
+ * static-destruction-order races with static mutexes.
+ */
+
+#ifndef SNAPEA_UTIL_DEBUG_MUTEX_HH
+#define SNAPEA_UTIL_DEBUG_MUTEX_HH
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/check.hh"
+
+namespace snapea {
+
+/** Waitable with any lockable, so it works in both build modes. */
+using DebugCondVar = std::condition_variable_any;
+
+#if SNAPEA_CHECKS_ENABLED
+
+class DebugMutex
+{
+  public:
+    /** @p name appears in cycle reports; keep it unique-ish. */
+    explicit DebugMutex(const char *name);
+    ~DebugMutex();
+
+    DebugMutex(const DebugMutex &) = delete;
+    DebugMutex &operator=(const DebugMutex &) = delete;
+
+    void lock();
+    bool try_lock();
+    void unlock();
+
+    const char *name() const { return name_; }
+
+  private:
+    std::mutex m_;
+    const char *name_;
+};
+
+#else // !SNAPEA_CHECKS_ENABLED
+
+class DebugMutex
+{
+  public:
+    explicit DebugMutex(const char *) {}
+
+    DebugMutex(const DebugMutex &) = delete;
+    DebugMutex &operator=(const DebugMutex &) = delete;
+
+    void lock() { m_.lock(); }
+    bool try_lock() { return m_.try_lock(); }
+    void unlock() { m_.unlock(); }
+
+  private:
+    std::mutex m_;
+};
+
+#endif // SNAPEA_CHECKS_ENABLED
+
+} // namespace snapea
+
+#endif // SNAPEA_UTIL_DEBUG_MUTEX_HH

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/debug_mutex.hh"
 #include "util/logging.hh"
 
 namespace snapea {
@@ -61,13 +62,13 @@ struct FaultRule
 
 struct FaultState
 {
-    std::mutex mu;
+    DebugMutex mu{"FaultState::mu"};
     /** False only once the env has been read and no rules resulted,
      *  letting the hot path (every pool task) skip the lock. */
     std::atomic<bool> maybe_active{true};
-    bool env_checked = false;
-    std::vector<FaultRule> rules;
-    uint64_t counts[kNumOps] = {};
+    bool env_checked SNAPEA_GUARDED_BY(mu) = false;
+    std::vector<FaultRule> rules SNAPEA_GUARDED_BY(mu);
+    uint64_t counts[kNumOps] SNAPEA_GUARDED_BY(mu) = {};
 };
 
 FaultState &
@@ -140,21 +141,27 @@ parseFaultSpec(const std::string &spec, std::vector<FaultRule> &out)
     return Status();
 }
 
-/** Read SNAPEA_FAULT once; @p state.mu must be held. */
+/**
+ * Read SNAPEA_FAULT once; @p state.mu must be held.  The SL013
+ * checker is lexical and cannot see a lock taken by the caller, so
+ * the guarded accesses below carry allow() with this contract as the
+ * justification.
+ */
 void
 lazyEnvLocked(FaultState &state)
 {
-    if (state.env_checked)
+    if (state.env_checked) // snapea-lint: allow(SL013)
         return;
-    state.env_checked = true;
+    state.env_checked = true; // snapea-lint: allow(SL013)
     if (const char *env = std::getenv("SNAPEA_FAULT")) {
-        const Status st = parseFaultSpec(env, state.rules);
+        const Status st =
+            parseFaultSpec(env, state.rules); // snapea-lint: allow(SL013)
         if (!st.ok()) {
             warn("ignoring SNAPEA_FAULT: %s", st.toString().c_str());
-            state.rules.clear();
+            state.rules.clear(); // snapea-lint: allow(SL013)
         }
     }
-    state.maybe_active.store(!state.rules.empty(),
+    state.maybe_active.store(!state.rules.empty(), // snapea-lint: allow(SL013)
                              std::memory_order_relaxed);
 }
 
@@ -164,7 +171,7 @@ Status
 setFaultSpec(const std::string &spec)
 {
     FaultState &state = faultState();
-    std::lock_guard<std::mutex> lock(state.mu);
+    std::lock_guard lock(state.mu);
     state.env_checked = true;  // explicit spec overrides SNAPEA_FAULT
     for (uint64_t &c : state.counts)
         c = 0;
@@ -180,7 +187,7 @@ faultShouldFail(FaultDomain domain, const char *op)
     FaultState &state = faultState();
     if (!state.maybe_active.load(std::memory_order_relaxed))
         return false;
-    std::lock_guard<std::mutex> lock(state.mu);
+    std::lock_guard lock(state.mu);
     lazyEnvLocked(state);
     if (state.rules.empty())
         return false;

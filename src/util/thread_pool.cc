@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "util/cancel.hh"
+#include "util/debug_mutex.hh"
 #include "util/fault.hh"
 
 namespace snapea::util {
@@ -57,7 +58,7 @@ class Pool
     ~Pool()
     {
         {
-            std::lock_guard<std::mutex> lk(m_);
+            std::lock_guard lk(m_);
             stop_ = true;
             ++generation_;
         }
@@ -74,9 +75,9 @@ class Pool
     {
         // Serialize concurrent top-level dispatchers (nested calls
         // never get here; see parallel_for).
-        std::lock_guard<std::mutex> dispatch_lk(dispatch_m_);
+        std::lock_guard dispatch_lk(dispatch_m_);
         {
-            std::lock_guard<std::mutex> lk(m_);
+            std::lock_guard lk(m_);
             job_ = &job;
             width_ = width;
             pending_ = width - 1;
@@ -89,7 +90,7 @@ class Pool
         job(0);
         tl_in_parallel = false;
 
-        std::unique_lock<std::mutex> lk(m_);
+        std::unique_lock lk(m_);
         cv_done_.wait(lk, [this] { return pending_ == 0; });
         job_ = nullptr;
     }
@@ -102,7 +103,7 @@ class Pool
         for (;;) {
             const std::function<void(int)> *job = nullptr;
             {
-                std::unique_lock<std::mutex> lk(m_);
+                std::unique_lock lk(m_);
                 cv_start_.wait(lk, [&] { return generation_ != seen; });
                 seen = generation_;
                 if (stop_)
@@ -116,7 +117,7 @@ class Pool
             (*job)(id + 1);
             tl_in_parallel = false;
             {
-                std::lock_guard<std::mutex> lk(m_);
+                std::lock_guard lk(m_);
                 --pending_;
             }
             cv_done_.notify_one();
@@ -124,14 +125,15 @@ class Pool
     }
 
     std::vector<std::thread> threads_;
-    std::mutex dispatch_m_;
-    std::mutex m_;
-    std::condition_variable cv_start_, cv_done_;
-    const std::function<void(int)> *job_ = nullptr;
-    std::uint64_t generation_ = 0;
-    int width_ = 0;
-    int pending_ = 0;
-    bool stop_ = false;
+    DebugMutex dispatch_m_{"Pool::dispatch_m_"};
+    DebugMutex m_{"Pool::m_"};
+    DebugCondVar cv_start_, cv_done_;
+    const std::function<void(int)> *job_ SNAPEA_GUARDED_BY(m_) =
+        nullptr;
+    std::uint64_t generation_ SNAPEA_GUARDED_BY(m_) = 0;
+    int width_ SNAPEA_GUARDED_BY(m_) = 0;
+    int pending_ SNAPEA_GUARDED_BY(m_) = 0;
+    bool stop_ SNAPEA_GUARDED_BY(m_) = false;
 };
 
 /**
@@ -143,9 +145,9 @@ class Pool
 Pool &
 poolFor(int spawned)
 {
-    static std::mutex m;
+    static DebugMutex m{"poolFor::m"};
     static std::unique_ptr<Pool> pool;
-    std::lock_guard<std::mutex> lk(m);
+    std::lock_guard lk(m);
     if (!pool || pool->spawned() < spawned)
         pool = std::make_unique<Pool>(spawned);
     return *pool;

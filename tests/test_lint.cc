@@ -1,12 +1,15 @@
 /**
  * @file
- * Tests for tools/snapea_lint.cc: every rule demonstrated by a
- * fixture that fires it (and only it), the escape hatch, the exit
- * code contract, and a self-scan proving the shipped tree is clean.
+ * Tests for the token rules of tools/snapea_analyze (SL001–SL010,
+ * originally snapea_lint's): every rule demonstrated by a fixture
+ * that fires it (and only it), the escape hatch, the exit code
+ * contract, and a self-scan proving the shipped tree is clean.
+ * The analyzer-specific passes (lexer edge cases, include graph,
+ * guarded-by) are covered by test_analyzer.cc.
  *
- * The lint binary is driven as a subprocess (its real interface);
- * the build passes its location via SNAPEA_LINT_BIN and the repo
- * root via SNAPEA_SOURCE_ROOT.
+ * The binary is driven as a subprocess (its real interface); the
+ * build passes its location via SNAPEA_LINT_BIN and the repo root
+ * via SNAPEA_SOURCE_ROOT.
  */
 
 #include <sys/wait.h>

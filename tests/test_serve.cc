@@ -248,14 +248,20 @@ TEST(Protocol, StatusCodesRoundtripTheWire)
 // ---------------------------------------------------------------------
 // In-process integration.
 
-/** Deterministic request payload (valid activations in [-1, 1)). */
+/**
+ * Deterministic request payload.  Activations are non-negative
+ * ([0, 1), the image/ReLU domain): SnaPEA's sign-check exactness
+ * argument (engine.cc phase 3) relies on negative-weight terms being
+ * non-positive, and checked builds assert that per tap — a signed
+ * input here would (rightly) trip the invariant.
+ */
 std::vector<float>
 makeInput(uint64_t seed, size_t elems)
 {
     Rng rng(seed);
     std::vector<float> v(elems);
     for (float &x : v)
-        x = static_cast<float>(rng.uniform(-1.0, 1.0));
+        x = static_cast<float>(rng.uniform(0.0, 1.0));
     return v;
 }
 

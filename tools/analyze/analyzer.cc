@@ -1,0 +1,187 @@
+#include "analyzer.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+
+#include "include_graph.hh"
+#include "thread_safety.hh"
+#include "token_rules.hh"
+
+namespace snapea::analyze {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kExitClean = 0;
+constexpr int kExitViolations = 1;
+constexpr int kExitUsage = 2;
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+printHuman(const std::vector<Violation> &violations,
+           size_t files_scanned)
+{
+    for (const auto &v : violations) {
+        std::printf("%s:%zu: [%s %s] %s\n",
+                    v.path.generic_string().c_str(), v.line,
+                    v.rule->id, v.rule->name, v.detail.c_str());
+        std::printf("    rule: %s\n", v.rule->rationale);
+    }
+    if (!violations.empty()) {
+        std::printf("snapea_analyze: %zu violation(s) in %zu file(s) "
+                    "scanned\n",
+                    violations.size(), files_scanned);
+    } else {
+        std::printf("snapea_analyze: clean (%zu files scanned)\n",
+                    files_scanned);
+    }
+}
+
+void
+printJson(const std::vector<Violation> &violations,
+          size_t files_scanned)
+{
+    std::printf("{\n  \"files_scanned\": %zu,\n  \"violations\": [",
+                files_scanned);
+    for (size_t i = 0; i < violations.size(); ++i) {
+        const auto &v = violations[i];
+        std::printf(
+            "%s\n    {\"file\": \"%s\", \"line\": %zu, "
+            "\"rule\": \"%s\", \"name\": \"%s\", "
+            "\"message\": \"%s\"}",
+            i ? "," : "",
+            jsonEscape(v.path.generic_string()).c_str(), v.line,
+            v.rule->id, v.rule->name,
+            jsonEscape(v.detail).c_str());
+    }
+    std::printf("%s]\n}\n", violations.empty() ? "" : "\n  ");
+}
+
+} // namespace
+
+int
+runAnalyzer(const Options &opts)
+{
+    std::error_code ec;
+    std::vector<std::string> subdirs = opts.subdirs;
+    if (!opts.explicit_subdirs)
+        subdirs = {"src", "tools", "bench", "tests"};
+
+    std::vector<fs::path> abs_paths;
+    for (const auto &sub : subdirs) {
+        const fs::path dir = opts.root / sub;
+        if (!fs::is_directory(dir, ec)) {
+            if (opts.explicit_subdirs) {
+                std::fprintf(stderr,
+                             "snapea_analyze: no such directory: %s\n",
+                             dir.string().c_str());
+                return kExitUsage;
+            }
+            continue; // default set: absent tier is fine
+        }
+        for (auto it = fs::recursive_directory_iterator(dir);
+             it != fs::recursive_directory_iterator(); ++it) {
+            if (!it->is_regular_file())
+                continue;
+            const std::string ext = it->path().extension().string();
+            if (ext == ".cc" || ext == ".hh")
+                abs_paths.push_back(it->path());
+        }
+    }
+    std::sort(abs_paths.begin(), abs_paths.end());
+
+    std::vector<LexedFile> files;
+    files.reserve(abs_paths.size());
+    for (const auto &abs_path : abs_paths) {
+        std::ifstream in(abs_path, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "snapea_analyze: cannot read %s\n",
+                         abs_path.string().c_str());
+            return kExitUsage;
+        }
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        LexedFile f;
+        f.path = fs::relative(abs_path, opts.root, ec);
+        if (ec)
+            f.path = abs_path;
+        f.tier = f.path.begin() != f.path.end()
+            ? f.path.begin()->string()
+            : std::string();
+        f.stem = abs_path.stem().string();
+        f.is_header = abs_path.extension() == ".hh";
+        lex(text, f);
+        files.push_back(std::move(f));
+    }
+
+    if (opts.list_allows) {
+        std::vector<AllowSite> sites;
+        for (const auto &f : files)
+            collectAllowSites(f, sites);
+        // Stable baseline key: file + rule (line numbers churn with
+        // every edit and would make the baseline noisy).
+        std::vector<std::string> keys;
+        keys.reserve(sites.size());
+        for (const auto &s : sites)
+            keys.push_back(s.path.generic_string() + "\t" + s.rule);
+        std::sort(keys.begin(), keys.end());
+        for (const auto &k : keys)
+            std::printf("%s\n", k.c_str());
+        std::fprintf(stderr,
+                     "snapea_analyze: %zu allow() site(s) in %zu "
+                     "file(s) scanned\n",
+                     keys.size(), files.size());
+        return kExitClean;
+    }
+
+    std::vector<Violation> violations;
+    for (size_t i = 0; i < files.size(); ++i)
+        checkTokenRules(files[i], abs_paths[i], violations);
+    checkIncludeGraph(files, abs_paths, opts.root, violations);
+    checkThreadSafety(files, violations);
+
+    std::sort(violations.begin(), violations.end(),
+              [](const Violation &a, const Violation &b) {
+                  const std::string ap = a.path.generic_string();
+                  const std::string bp = b.path.generic_string();
+                  if (ap != bp)
+                      return ap < bp;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return std::string(a.rule->id) < b.rule->id;
+              });
+
+    if (opts.format == Format::Json)
+        printJson(violations, files.size());
+    else
+        printHuman(violations, files.size());
+    return violations.empty() ? kExitClean : kExitViolations;
+}
+
+} // namespace snapea::analyze

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * File discovery, pass orchestration, and output formatting for
+ * snapea_analyze.
+ */
+
+#ifndef SNAPEA_ANALYZE_ANALYZER_HH
+#define SNAPEA_ANALYZE_ANALYZER_HH
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "rules.hh"
+
+namespace snapea::analyze {
+
+enum class Format { Human, Json };
+
+struct Options
+{
+    std::filesystem::path root = ".";
+    std::vector<std::string> subdirs; ///< Empty: the default set.
+    bool explicit_subdirs = false;
+    Format format = Format::Human;
+    bool list_allows = false;
+};
+
+/**
+ * Run the whole analysis and print results to stdout.  Returns the
+ * process exit code: 0 clean, 1 violations, 2 usage/IO error.
+ */
+int runAnalyzer(const Options &opts);
+
+} // namespace snapea::analyze
+
+#endif // SNAPEA_ANALYZE_ANALYZER_HH

@@ -1,0 +1,180 @@
+#include "include_graph.hh"
+
+#include <map>
+#include <utility>
+
+namespace snapea::analyze {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Layer
+{
+    const char *prefix; ///< src-relative path prefix.
+    int rank;
+    const char *name;
+};
+
+// Longest-prefix-first so snapea/kernels/ wins over snapea/.
+const Layer kLayers[] = {
+    {"snapea/kernels/", 1, "snapea/kernels"},
+    {"util/", 0, "util"},
+    {"nn/", 2, "nn"},
+    {"workload/", 3, "workload"},
+    {"snapea/", 4, "snapea"},
+    {"sim/", 5, "sim"},
+    {"harness/", 6, "harness"},
+    {"serve/", 7, "serve"},
+};
+
+/** Canonical-ish key for "is this the same file". */
+std::string
+pathKey(const fs::path &p)
+{
+    std::error_code ec;
+    const fs::path canon = fs::weakly_canonical(p, ec);
+    return (ec ? p.lexically_normal() : canon).generic_string();
+}
+
+struct Edge
+{
+    size_t to;
+    const IncludeDirective *inc; ///< Where the edge is spelled.
+};
+
+} // namespace
+
+int
+layerRank(const std::string &src_relative)
+{
+    for (const auto &l : kLayers)
+        if (src_relative.rfind(l.prefix, 0) == 0)
+            return l.rank;
+    return -1;
+}
+
+const char *
+layerName(int rank)
+{
+    for (const auto &l : kLayers)
+        if (l.rank == rank)
+            return l.name;
+    return "?";
+}
+
+void
+checkIncludeGraph(const std::vector<LexedFile> &files,
+                  const std::vector<fs::path> &abs_paths,
+                  const fs::path &root,
+                  std::vector<Violation> &out)
+{
+    const RuleInfo &cycle_rule = *findRule("include-cycle");
+    const RuleInfo &layer_rule = *findRule("include-layering");
+
+    std::map<std::string, size_t> by_key;
+    for (size_t i = 0; i < files.size(); ++i)
+        by_key.emplace(pathKey(abs_paths[i]), i);
+
+    auto resolve = [&](size_t from,
+                       const IncludeDirective &inc) -> size_t {
+        const fs::path candidates[] = {
+            abs_paths[from].parent_path() / inc.target,
+            root / "src" / inc.target,
+            root / inc.target,
+        };
+        for (const auto &cand : candidates) {
+            const auto it = by_key.find(pathKey(cand));
+            if (it != by_key.end())
+                return it->second;
+        }
+        return files.size(); // not a scanned file
+    };
+
+    // The rank of a file: from its reported path if under src/, else
+    // unranked (tools/tests/bench and fixture files directly in src/).
+    auto fileRank = [&](size_t i) {
+        const std::string rel = files[i].path.generic_string();
+        return rel.rfind("src/", 0) == 0 ? layerRank(rel.substr(4))
+                                         : -1;
+    };
+
+    std::vector<std::vector<Edge>> edges(files.size());
+    for (size_t i = 0; i < files.size(); ++i) {
+        for (const auto &inc : files[i].includes) {
+            if (!inc.quoted)
+                continue; // system headers are outside both rules
+            const size_t j = resolve(i, inc);
+
+            // SL012: layering, judged on the target's rung whether or
+            // not the include resolves into the scanned set.
+            const int from_rank = fileRank(i);
+            const int to_rank = j < files.size()
+                ? fileRank(j)
+                : layerRank(inc.target);
+            if (from_rank >= 0 && to_rank > from_rank
+                && !lineAllowed(files[i], inc.line, layer_rule)) {
+                out.push_back(
+                    {files[i].path, inc.line, &layer_rule,
+                     "include of \"" + inc.target + "\" (layer "
+                         + layerName(to_rank) + ") from layer "
+                         + layerName(from_rank)
+                         + " points up the ladder"});
+            }
+
+            if (j < files.size())
+                edges[i].push_back({j, &inc});
+        }
+    }
+
+    // SL011: DFS over the quoted-include graph; each back edge is one
+    // cycle report, anchored at the #include that closes it.
+    enum class Color : unsigned char { White, Gray, Black };
+    std::vector<Color> color(files.size(), Color::White);
+    std::vector<size_t> stack; ///< Gray nodes, root-to-current.
+
+    // Iterative DFS: frames are (node, next edge index).
+    std::vector<std::pair<size_t, size_t>> frames;
+    for (size_t start = 0; start < files.size(); ++start) {
+        if (color[start] != Color::White)
+            continue;
+        frames.emplace_back(start, 0);
+        color[start] = Color::Gray;
+        stack.push_back(start);
+        while (!frames.empty()) {
+            auto &[node, next] = frames.back();
+            if (next >= edges[node].size()) {
+                color[node] = Color::Black;
+                stack.pop_back();
+                frames.pop_back();
+                continue;
+            }
+            const Edge e = edges[node][next++];
+            if (color[e.to] == Color::White) {
+                color[e.to] = Color::Gray;
+                stack.push_back(e.to);
+                frames.emplace_back(e.to, 0);
+            } else if (color[e.to] == Color::Gray) {
+                // Spell the loop out: target ... node -> target.
+                std::string loop;
+                bool in_loop = false;
+                for (size_t n : stack) {
+                    if (n == e.to)
+                        in_loop = true;
+                    if (in_loop)
+                        loop += files[n].path.filename().string()
+                            + " -> ";
+                }
+                loop += files[e.to].path.filename().string();
+                if (!lineAllowed(files[node], e.inc->line,
+                                 cycle_rule)) {
+                    out.push_back({files[node].path, e.inc->line,
+                                   &cycle_rule,
+                                   "include cycle: " + loop});
+                }
+            }
+        }
+    }
+}
+
+} // namespace snapea::analyze

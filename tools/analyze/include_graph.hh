@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Cross-translation-unit include-graph checks.
+ *
+ * SL011 (include-cycle): the quoted-include graph over the scanned
+ * tree must be acyclic — a cycle has no valid build order and always
+ * marks a layering break.
+ *
+ * SL012 (include-layering): src/ modules form a strict ladder
+ *
+ *     util -> snapea/kernels -> nn -> workload -> snapea
+ *          -> sim -> harness -> serve
+ *
+ * and a quoted include may only point at the same rung or a lower
+ * one.  tools/, tests/, bench/ (and files directly under src/) are
+ * unrestricted — they are leaves, free to depend on anything.
+ */
+
+#ifndef SNAPEA_ANALYZE_INCLUDE_GRAPH_HH
+#define SNAPEA_ANALYZE_INCLUDE_GRAPH_HH
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lexer.hh"
+#include "rules.hh"
+
+namespace snapea::analyze {
+
+/**
+ * The layer index of a src-relative path ("util/logging.hh"), or -1
+ * if it is not inside a ranked module.  Exposed for tests.
+ */
+int layerRank(const std::string &src_relative);
+
+/** The ladder name for a rank from layerRank(). */
+const char *layerName(int rank);
+
+/**
+ * Run SL011 + SL012 over the whole scanned set.  @p files and
+ * @p abs_paths are parallel; @p root is the scan root (quoted
+ * includes resolve against the includer's directory, then root/src,
+ * then root).
+ */
+void checkIncludeGraph(const std::vector<LexedFile> &files,
+                       const std::vector<std::filesystem::path> &abs_paths,
+                       const std::filesystem::path &root,
+                       std::vector<Violation> &out);
+
+} // namespace snapea::analyze
+
+#endif // SNAPEA_ANALYZE_INCLUDE_GRAPH_HH

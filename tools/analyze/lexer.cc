@@ -1,0 +1,391 @@
+#include "lexer.hh"
+
+#include <cctype>
+
+namespace snapea::analyze {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * Character cursor with translation-phase-2 semantics: a backslash
+ * immediately followed by a newline is spliced away in every state
+ * except raw string literals (which the caller reads directly from
+ * the underlying text).  Physical line/column positions survive the
+ * splice, so token positions and per-line comment text stay honest.
+ */
+class Cursor
+{
+  public:
+    explicit Cursor(std::string_view s) : s_(s) {}
+
+    bool
+    eof()
+    {
+        splice();
+        return i_ >= s_.size();
+    }
+
+    char
+    peek()
+    {
+        splice();
+        return i_ < s_.size() ? s_[i_] : '\0';
+    }
+
+    /** The character @p k logical positions ahead of peek(). */
+    char
+    peekAhead(size_t k)
+    {
+        Cursor probe = *this;
+        for (size_t j = 0; j < k; ++j) {
+            if (probe.eof())
+                return '\0';
+            probe.advance();
+        }
+        return probe.eof() ? '\0' : probe.peek();
+    }
+
+    /** Consume one logical character (post-splice). */
+    char
+    advance()
+    {
+        splice();
+        const char c = s_[i_++];
+        if (c == '\n') {
+            ++line_;
+            col_ = 0;
+        } else {
+            ++col_;
+        }
+        return c;
+    }
+
+    size_t line() const { return line_; }
+    size_t col() const { return col_; }
+
+    /** Raw (unspliced) access for raw string literals. */
+    size_t rawIndex() const { return i_; }
+    std::string_view raw() const { return s_; }
+
+    void
+    rawSeek(size_t i, size_t line, size_t col)
+    {
+        i_ = i;
+        line_ = line;
+        col_ = col;
+    }
+
+  private:
+    void
+    splice()
+    {
+        while (i_ + 1 < s_.size() && s_[i_] == '\\') {
+            size_t skip = 0;
+            if (s_[i_ + 1] == '\n') {
+                skip = 2;
+            } else if (s_[i_ + 1] == '\r' && i_ + 2 < s_.size()
+                       && s_[i_ + 2] == '\n') {
+                skip = 3;
+            }
+            if (skip == 0)
+                break;
+            i_ += skip;
+            ++line_;
+            col_ = 0;
+        }
+    }
+
+    std::string_view s_;
+    size_t i_ = 0;
+    size_t line_ = 1;
+    size_t col_ = 0;
+};
+
+/** The string/char-literal encoding prefixes (R-forms are raw). */
+bool
+isLiteralPrefix(const std::string &id, bool &raw)
+{
+    raw = id == "R" || id == "u8R" || id == "uR" || id == "UR"
+        || id == "LR";
+    return raw || id == "u8" || id == "u" || id == "U" || id == "L";
+}
+
+} // namespace
+
+bool
+isFloatLiteral(const std::string &text)
+{
+    if (text.empty()
+        || !std::isdigit(static_cast<unsigned char>(text[0]))) {
+        // pp-numbers may start with '.'; ".5f" is a float.
+        if (text.size() < 2 || text[0] != '.'
+            || !std::isdigit(static_cast<unsigned char>(text[1])))
+            return false;
+        return true;
+    }
+    const bool hex = text.size() > 1 && text[0] == '0'
+        && (text[1] == 'x' || text[1] == 'X');
+    bool digits = false;
+    for (size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (std::isdigit(static_cast<unsigned char>(c)))
+            digits = true;
+        if (c == '.')
+            return true;
+        if (!hex && (c == 'e' || c == 'E') && digits
+            && i + 1 < text.size()
+            && (std::isdigit(static_cast<unsigned char>(text[i + 1]))
+                || text[i + 1] == '+' || text[i + 1] == '-')) {
+            return true;
+        }
+        if (hex && (c == 'p' || c == 'P'))
+            return true;
+    }
+    const char last = text.back();
+    return digits && !hex && (last == 'f' || last == 'F');
+}
+
+void
+lex(std::string_view text, LexedFile &out)
+{
+    Cursor cur(text);
+
+    auto comment_at = [&out](size_t line) -> std::string & {
+        if (out.comments.size() <= line)
+            out.comments.resize(line + 1);
+        return out.comments[line];
+    };
+
+    bool at_line_start = true;  ///< Only whitespace since the newline.
+    bool in_directive = false;  ///< Inside a # logical line.
+
+    auto push = [&](Tok kind, std::string text_, size_t line,
+                    size_t col) {
+        out.tokens.push_back(
+            {kind, std::move(text_), line, col, in_directive});
+    };
+
+    // Reads a quoted/bracketed literal body after the opening
+    // delimiter was consumed; escapes only matter in the quoted
+    // forms, so header-names reuse it with esc=false.
+    auto read_until = [&](char close, bool esc) {
+        std::string body;
+        while (!cur.eof()) {
+            const char c = cur.peek();
+            if (c == '\n')
+                break; // unterminated; resync at the newline
+            cur.advance();
+            if (esc && c == '\\' && !cur.eof()) {
+                body += c;
+                body += cur.advance();
+                continue;
+            }
+            if (c == close)
+                break;
+            body += c;
+        }
+        return body;
+    };
+
+    while (!cur.eof()) {
+        const char c = cur.peek();
+
+        // Whitespace.
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\v'
+            || c == '\f') {
+            cur.advance();
+            continue;
+        }
+        if (c == '\n') {
+            cur.advance();
+            at_line_start = true;
+            in_directive = false;
+            continue;
+        }
+
+        // Comments.
+        if (c == '/' && cur.peekAhead(1) == '/') {
+            cur.advance();
+            cur.advance();
+            while (!cur.eof() && cur.peek() != '\n')
+                comment_at(cur.line()) += cur.advance();
+            continue;
+        }
+        if (c == '/' && cur.peekAhead(1) == '*') {
+            cur.advance();
+            cur.advance();
+            while (!cur.eof()) {
+                if (cur.peek() == '*' && cur.peekAhead(1) == '/') {
+                    cur.advance();
+                    cur.advance();
+                    break;
+                }
+                const char cc = cur.advance();
+                if (cc != '\n')
+                    comment_at(cur.line()) += cc;
+            }
+            continue;
+        }
+
+        // Preprocessor directive start.
+        if (c == '#' && at_line_start) {
+            const size_t line = cur.line(), col = cur.col();
+            cur.advance();
+            in_directive = true;
+            at_line_start = false;
+            push(Tok::Punct, "#", line, col);
+            // Lookahead for `include` to capture the header-name,
+            // which is not lexable as ordinary tokens (<...> form).
+            Cursor probe = cur;
+            std::string word;
+            while (!probe.eof() && (probe.peek() == ' '
+                                    || probe.peek() == '\t'))
+                probe.advance();
+            while (!probe.eof() && isIdentChar(probe.peek()))
+                word += probe.advance();
+            if (word == "include") {
+                while (!probe.eof() && (probe.peek() == ' '
+                                        || probe.peek() == '\t'))
+                    probe.advance();
+                const char open = probe.peek();
+                if (open == '"' || open == '<') {
+                    const size_t inc_line = probe.line();
+                    probe.advance();
+                    cur = probe;
+                    const std::string target =
+                        read_until(open == '"' ? '"' : '>', false);
+                    out.includes.push_back(
+                        {target, open == '"', inc_line});
+                    push(Tok::Identifier, "include", inc_line, 0);
+                    continue;
+                }
+            }
+            continue;
+        }
+
+        at_line_start = false;
+        const size_t line = cur.line(), col = cur.col();
+
+        // Identifiers, keywords, and literal prefixes.
+        if (isIdentStart(c)) {
+            std::string id;
+            while (!cur.eof() && isIdentChar(cur.peek()))
+                id += cur.advance();
+            bool raw = false;
+            const char q = cur.eof() ? '\0' : cur.peek();
+            if ((q == '"' || q == '\'') && isLiteralPrefix(id, raw)
+                && !(raw && q == '\'')) {
+                if (raw) {
+                    // Raw string: no splicing, scan the raw bytes for
+                    // the )delim" terminator.
+                    cur.advance(); // the opening quote
+                    std::string delim;
+                    while (!cur.eof() && cur.peek() != '('
+                           && cur.peek() != '\n')
+                        delim += cur.advance();
+                    if (!cur.eof())
+                        cur.advance(); // '('
+                    const std::string close = ")" + delim + "\"";
+                    const std::string_view s = cur.raw();
+                    size_t i = cur.rawIndex();
+                    size_t rl = cur.line(), rc = cur.col();
+                    std::string body;
+                    while (i < s.size()
+                           && s.compare(i, close.size(), close) != 0) {
+                        if (s[i] == '\n') {
+                            ++rl;
+                            rc = 0;
+                        } else {
+                            ++rc;
+                        }
+                        body += s[i++];
+                    }
+                    if (i < s.size()) {
+                        i += close.size();
+                        rc += close.size();
+                    }
+                    cur.rawSeek(i, rl, rc);
+                    push(Tok::String, std::move(body), line, col);
+                } else {
+                    cur.advance();
+                    push(q == '"' ? Tok::String : Tok::CharLit,
+                         read_until(q, true), line, col);
+                }
+                continue;
+            }
+            push(Tok::Identifier, std::move(id), line, col);
+            continue;
+        }
+
+        // Plain string / char literals.
+        if (c == '"' || c == '\'') {
+            cur.advance();
+            push(c == '"' ? Tok::String : Tok::CharLit,
+                 read_until(c, true), line, col);
+            continue;
+        }
+
+        // Numbers (pp-number; '.' start included).
+        if (std::isdigit(static_cast<unsigned char>(c))
+            || (c == '.'
+                && std::isdigit(
+                    static_cast<unsigned char>(cur.peekAhead(1))))) {
+            std::string num;
+            num += cur.advance();
+            while (!cur.eof()) {
+                const char n = cur.peek();
+                if (isIdentChar(n) || n == '.' || n == '\'') {
+                    num += cur.advance();
+                    continue;
+                }
+                if ((n == '+' || n == '-') && !num.empty()
+                    && (num.back() == 'e' || num.back() == 'E'
+                        || num.back() == 'p' || num.back() == 'P')) {
+                    num += cur.advance();
+                    continue;
+                }
+                break;
+            }
+            push(Tok::Number, std::move(num), line, col);
+            continue;
+        }
+
+        // Punctuation; the multi-char operators the rules care about
+        // are fused, everything else is a single-char token.  `>>` is
+        // deliberately left as two tokens so template-argument
+        // scanning can track depth.
+        static const char *const kTwo[] = {
+            "->", "::", "==", "!=", "<=", ">=",
+            "&&", "||", "++", "--", "##",
+        };
+        std::string p(1, cur.advance());
+        if (!cur.eof()) {
+            const std::string two = p + cur.peek();
+            for (const char *t : kTwo) {
+                if (two == t) {
+                    p += cur.advance();
+                    break;
+                }
+            }
+        }
+        push(Tok::Punct, std::move(p), line, col);
+    }
+
+    out.line_count = cur.line();
+    if (out.comments.size() <= out.line_count)
+        out.comments.resize(out.line_count + 1);
+}
+
+} // namespace snapea::analyze

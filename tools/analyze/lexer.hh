@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A real (if small) C++ lexer for snapea_analyze.
+ *
+ * The predecessor tool, snapea_lint, classified characters line by
+ * line with a hand-rolled state machine and then pattern-matched the
+ * blanked lines.  That design could not see past a physical line:
+ * `x ==\n 1.5` escaped the float-compare rule, a backslash-continued
+ * line comment leaked its continuation back into "code", and rule
+ * text inside a string literal needed the blanking pass to be exactly
+ * right everywhere.  This lexer produces an explicit token stream —
+ * identifiers, numbers, string/char literals, punctuation — with the
+ * comment text and #include directives collected on the side, so
+ * every rule matches token patterns instead of substrings of a line.
+ *
+ * Handled: line (//) and block comments, string and char literals
+ * with escapes, encoding prefixes (u8"", L'', ...), raw string
+ * literals R"delim(...)delim", and backslash-newline continuations in
+ * any state (including inside // comments, where the continuation
+ * extends the comment — the classic lexer trap).  Block comments do
+ * not nest, exactly as in C++.
+ *
+ * Deliberately not handled (not needed for the rules): trigraphs,
+ * universal-character-names, and full preprocessing.  Directive
+ * tokens are lexed like ordinary code but flagged `in_directive` so
+ * rules can skip or target them.
+ */
+
+#ifndef SNAPEA_ANALYZE_LEXER_HH
+#define SNAPEA_ANALYZE_LEXER_HH
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace snapea::analyze {
+
+enum class Tok {
+    Identifier, ///< Identifier or keyword.
+    Number,     ///< pp-number (integer or floating literal).
+    String,     ///< String literal (text = contents, quotes stripped).
+    CharLit,    ///< Character literal (text = contents).
+    Punct,      ///< Operator / punctuator (multi-char ops are one token).
+};
+
+struct Token
+{
+    Tok kind;
+    std::string text;
+    size_t line;      ///< 1-based physical line where the token starts.
+    size_t col;       ///< 0-based column of the token start.
+    bool in_directive; ///< On a preprocessor-directive logical line.
+};
+
+/** One `#include` directive, target recovered verbatim. */
+struct IncludeDirective
+{
+    std::string target; ///< Between the quotes / angle brackets.
+    bool quoted;        ///< "..." (true) vs <...> (false).
+    size_t line;        ///< 1-based.
+};
+
+/** A lexed source file plus the metadata every pass wants. */
+struct LexedFile
+{
+    std::filesystem::path path; ///< As reported to the user (relative).
+    std::string tier;           ///< First path component under root.
+    std::string stem;           ///< Filename without extension.
+    bool is_header = false;
+
+    std::vector<Token> tokens;
+    std::vector<IncludeDirective> includes;
+
+    /**
+     * Comment text per physical line (1-based; index 0 unused).  A
+     * comment spanning lines contributes to each line it covers, so
+     * the allow() escape hatch works on any of them.
+     */
+    std::vector<std::string> comments;
+
+    size_t line_count = 0;
+};
+
+/** Lex @p text into @p out (path/tier/stem set by the caller). */
+void lex(std::string_view text, LexedFile &out);
+
+/** True for floating-point literal token text (1.5, 2e3, 1f, 0x1p1). */
+bool isFloatLiteral(const std::string &text);
+
+} // namespace snapea::analyze
+
+#endif // SNAPEA_ANALYZE_LEXER_HH

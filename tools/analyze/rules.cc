@@ -1,0 +1,163 @@
+#include "rules.hh"
+
+namespace snapea::analyze {
+
+// Order matters only for --list-rules output.
+const RuleInfo kRules[] = {
+    {"SL001", "no-fatal-in-lib",
+     "library code reports failures via Status/StatusOr; only the CLI "
+     "and bench top levels may terminate the process (panic() stays "
+     "available for internal-bug traps)"},
+    {"SL002", "no-discarded-status",
+     "a (void)-cast call discards its result; Status/StatusOr are "
+     "[[nodiscard]] so this is the only way to silently drop an "
+     "error path"},
+    {"SL003", "no-nondeterminism",
+     "library results must be bitwise reproducible; clocks, rand() "
+     "and hardware_concurrency() make output depend on the machine "
+     "or the moment (thread_pool.cc owns the one sanctioned use)"},
+    {"SL004", "no-using-namespace-in-header",
+     "a using-directive in a header injects names into every "
+     "translation unit that includes it"},
+    {"SL005", "no-float-compare",
+     "exact ==/!= against a floating-point literal is almost always "
+     "a bug near speculation thresholds; compare with an explicit "
+     "tolerance or annotate the sentinel"},
+    {"SL006", "header-guard",
+     "every header must open with #pragma once or a matching "
+     "#ifndef/#define include guard"},
+    {"SL007", "own-header-first",
+     "a module's .cc must include its own header first, proving the "
+     "header is self-contained"},
+    {"SL008", "cancellable-loop",
+     "a library loop that dispatches thread-pool work must poll a "
+     "CancelToken (or pass one to parallel_for) so long computations "
+     "unwind at signals and deadlines instead of running to "
+     "completion"},
+    {"SL009", "intrinsics-only-in-kernels",
+     "raw SIMD intrinsics and their headers belong in "
+     "src/snapea/kernels/ behind the dispatched KernelOps tables; "
+     "anywhere else they bypass the runtime ISA dispatch and the "
+     "scalar-equivalence contract"},
+    {"SL010", "bounded-queue-growth",
+     "a producer-side push onto a queue-like container in src/serve/ "
+     "needs a capacity/high-water guard in the surrounding lines; an "
+     "unguarded push is unbounded memory growth under overload, the "
+     "exact failure admission control exists to prevent"},
+    {"SL011", "include-cycle",
+     "a cycle in the quoted-include graph has no valid build order "
+     "and always marks a layering break; move the shared declarations "
+     "into a header both sides may include"},
+    {"SL012", "include-layering",
+     "src/ modules form a strict ladder util -> snapea/kernels -> nn "
+     "-> workload -> snapea -> sim -> harness -> serve; an include "
+     "pointing up the ladder couples a low layer to a high one and "
+     "blocks swapping the high layer out (tools/tests/bench are "
+     "unrestricted)"},
+    {"SL013", "guarded-by",
+     "a field annotated SNAPEA_GUARDED_BY(mu) may only be touched "
+     "under a lock_guard/unique_lock/scoped_lock of mu (or in the "
+     "owning class's constructor/destructor, before the object is "
+     "shared); an unlocked access is a data race on the serving "
+     "bookkeeping the paper's replay-equality argument relies on"},
+};
+
+const size_t kRuleCount = sizeof(kRules) / sizeof(kRules[0]);
+
+const RuleInfo *
+findRule(const std::string &name_or_id)
+{
+    for (const auto &r : kRules)
+        if (name_or_id == r.id || name_or_id == r.name)
+            return &r;
+    return nullptr;
+}
+
+namespace {
+
+/**
+ * Walk every `snapea-lint: ... allow(a, b, ...)` group in @p comment
+ * and invoke @p fn with each trimmed item.  Returns true if @p fn
+ * returned true for any item (and stops there).
+ */
+template <typename Fn>
+bool
+forEachAllowItem(const std::string &comment, Fn fn)
+{
+    size_t pos = comment.find("snapea-lint:");
+    while (pos != std::string::npos) {
+        const size_t open = comment.find("allow(", pos);
+        if (open == std::string::npos)
+            return false;
+        const size_t close = comment.find(')', open);
+        if (close == std::string::npos)
+            return false;
+        const std::string inner =
+            comment.substr(open + 6, close - open - 6);
+        size_t start = 0;
+        while (start <= inner.size()) {
+            const size_t comma = inner.find(',', start);
+            std::string item = inner.substr(
+                start, comma == std::string::npos ? std::string::npos
+                                                  : comma - start);
+            const size_t b = item.find_first_not_of(" \t");
+            const size_t e = item.find_last_not_of(" \t");
+            if (b != std::string::npos) {
+                item = item.substr(b, e - b + 1);
+                if (fn(item))
+                    return true;
+            }
+            if (comma == std::string::npos)
+                break;
+            start = comma + 1;
+        }
+        pos = comment.find("snapea-lint:", close);
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+commentAllows(const std::string &comment, const RuleInfo &rule)
+{
+    return forEachAllowItem(comment, [&rule](const std::string &item) {
+        return item == rule.id || item == rule.name;
+    });
+}
+
+bool
+lineAllowed(const LexedFile &f, size_t line, const RuleInfo &rule)
+{
+    if (line < f.comments.size() && commentAllows(f.comments[line], rule))
+        return true;
+    return line >= 2 && line - 1 < f.comments.size()
+        && commentAllows(f.comments[line - 1], rule);
+}
+
+bool
+fileAllowed(const LexedFile &f, const RuleInfo &rule)
+{
+    for (const auto &c : f.comments)
+        if (commentAllows(c, rule))
+            return true;
+    return false;
+}
+
+void
+collectAllowSites(const LexedFile &f, std::vector<AllowSite> &out)
+{
+    for (size_t line = 1; line < f.comments.size(); ++line) {
+        forEachAllowItem(
+            f.comments[line], [&](const std::string &item) {
+                // Only items naming a real rule are sites: anything
+                // else (docs showing the syntax, typos) suppresses
+                // nothing and must not pad the baseline.
+                if (const RuleInfo *rule = findRule(item))
+                    out.push_back({f.path, line, rule->id});
+                return false; // keep going: every item is a site
+            });
+    }
+}
+
+} // namespace snapea::analyze

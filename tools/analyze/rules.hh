@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The rule table and the allow() escape hatch for snapea_analyze.
+ *
+ * Every rule has a stable short ID (SL001...), a kebab-case name
+ * usable in `// snapea-lint: allow(<rule>)`, and a one-line rationale
+ * printed with each violation.  The marker spelling stays
+ * "snapea-lint:" for continuity with the tool this one replaces —
+ * every existing annotation in the tree keeps working.
+ */
+
+#ifndef SNAPEA_ANALYZE_RULES_HH
+#define SNAPEA_ANALYZE_RULES_HH
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lexer.hh"
+
+namespace snapea::analyze {
+
+struct RuleInfo
+{
+    const char *id;        ///< Stable short ID (SL001...).
+    const char *name;      ///< Kebab-case name used in allow(...).
+    const char *rationale; ///< One line printed on violation.
+};
+
+/** All rules, in --list-rules order. */
+extern const RuleInfo kRules[];
+extern const size_t kRuleCount;
+
+/** Lookup by ID or name; nullptr if unknown. */
+const RuleInfo *findRule(const std::string &name_or_id);
+
+struct Violation
+{
+    std::filesystem::path path;
+    size_t line; ///< 1-based.
+    const RuleInfo *rule;
+    std::string detail;
+};
+
+/** True if @p comment waives @p rule via snapea-lint: allow(...). */
+bool commentAllows(const std::string &comment, const RuleInfo &rule);
+
+/** Line-rule waiver: marker on the same line or the one above. */
+bool lineAllowed(const LexedFile &f, size_t line, const RuleInfo &rule);
+
+/** File-rule waiver: marker anywhere in the file. */
+bool fileAllowed(const LexedFile &f, const RuleInfo &rule);
+
+/** One allow() annotation site, for the --list-allows baseline. */
+struct AllowSite
+{
+    std::filesystem::path path;
+    size_t line;      ///< 1-based.
+    std::string rule; ///< Canonical rule ID, or the raw text if unknown.
+};
+
+/** Every allow() item in @p f, in line order. */
+void collectAllowSites(const LexedFile &f, std::vector<AllowSite> &out);
+
+} // namespace snapea::analyze
+
+#endif // SNAPEA_ANALYZE_RULES_HH

@@ -1,0 +1,347 @@
+#include "thread_safety.hh"
+
+#include <map>
+#include <utility>
+
+namespace snapea::analyze {
+
+namespace {
+
+bool
+isPunct(const Token &t, const char *text)
+{
+    return t.kind == Tok::Punct && t.text == text;
+}
+
+bool
+isIdent(const Token &t, const char *text)
+{
+    return t.kind == Tok::Identifier && t.text == text;
+}
+
+/**
+ * Tracks `class`/`struct` definition scopes during a linear token
+ * walk.  feed() must be called for every token, in order, *before*
+ * the caller processes it; the brace depth after the token is
+ * returned by depth().
+ */
+class ClassTracker
+{
+  public:
+    explicit ClassTracker(const std::vector<Token> &toks)
+        : toks_(toks)
+    {
+    }
+
+    void
+    feed(size_t i)
+    {
+        const Token &t = toks_[i];
+        if (t.kind == Tok::Identifier
+            && (t.text == "class" || t.text == "struct")
+            && !(i > 0 && isIdent(toks_[i - 1], "enum"))) {
+            // The tag name is the next identifier (skip none: the
+            // anonymous-struct case just records "").
+            pending_.clear();
+            if (i + 1 < toks_.size()
+                && toks_[i + 1].kind == Tok::Identifier)
+                pending_ = toks_[i + 1].text;
+            pending_active_ = true;
+        } else if (isPunct(t, ";") && pending_active_) {
+            pending_active_ = false; // forward declaration
+        } else if (isPunct(t, "{")) {
+            ++depth_;
+            if (pending_active_) {
+                stack_.emplace_back(pending_, depth_);
+                pending_active_ = false;
+            }
+        } else if (isPunct(t, "}")) {
+            if (!stack_.empty() && stack_.back().second == depth_)
+                stack_.pop_back();
+            if (depth_ > 0)
+                --depth_;
+        }
+    }
+
+    int depth() const { return depth_; }
+
+    /** Innermost class name, or "" outside any class body. */
+    const std::string &
+    currentClass() const
+    {
+        static const std::string kNone;
+        return stack_.empty() ? kNone : stack_.back().first;
+    }
+
+    /** True when directly at class-body depth (declaration context). */
+    bool
+    atClassBody() const
+    {
+        return !stack_.empty() && stack_.back().second == depth_;
+    }
+
+  private:
+    const std::vector<Token> &toks_;
+    std::string pending_;
+    bool pending_active_ = false;
+    int depth_ = 0;
+    std::vector<std::pair<std::string, int>> stack_;
+};
+
+/** Last identifier in the parenthesized group opening at @p open. */
+std::string
+lastIdentInParens(const std::vector<Token> &toks, size_t open,
+                  size_t *close_out)
+{
+    std::string last;
+    int pdepth = 0;
+    size_t i = open;
+    for (; i < toks.size(); ++i) {
+        if (isPunct(toks[i], "("))
+            ++pdepth;
+        else if (isPunct(toks[i], ")")) {
+            if (--pdepth == 0)
+                break;
+        } else if (toks[i].kind == Tok::Identifier) {
+            last = toks[i].text;
+        }
+    }
+    if (close_out)
+        *close_out = i;
+    return last;
+}
+
+/**
+ * If token @p i opens a lock declaration
+ * (`lock_guard`/`unique_lock`/`scoped_lock`, optional template args,
+ * variable name, parenthesized mutexes), append the last identifier
+ * of each top-level argument to @p held at @p depth and return true.
+ */
+bool
+parseLockDecl(const std::vector<Token> &toks, size_t i, int depth,
+              std::vector<std::pair<std::string, int>> &held)
+{
+    if (toks[i].kind != Tok::Identifier
+        || (toks[i].text != "lock_guard"
+            && toks[i].text != "unique_lock"
+            && toks[i].text != "scoped_lock"))
+        return false;
+    size_t j = i + 1;
+    if (j < toks.size() && isPunct(toks[j], "<")) {
+        int adepth = 1;
+        for (++j; j < toks.size() && adepth > 0; ++j) {
+            if (isPunct(toks[j], "<"))
+                ++adepth;
+            else if (isPunct(toks[j], ">"))
+                --adepth;
+        }
+    }
+    if (j >= toks.size() || toks[j].kind != Tok::Identifier)
+        return false; // a mention, not a declaration
+    ++j;
+    if (j >= toks.size() || !isPunct(toks[j], "("))
+        return false;
+    // Split the argument list on top-level commas; each argument
+    // contributes its last identifier (`server->ready_mu_` -> the
+    // member the annotation names).
+    int pdepth = 1;
+    std::string last;
+    for (++j; j < toks.size() && pdepth > 0; ++j) {
+        if (isPunct(toks[j], "(")) {
+            ++pdepth;
+        } else if (isPunct(toks[j], ")")) {
+            if (--pdepth == 0 && !last.empty())
+                held.emplace_back(last, depth);
+        } else if (pdepth == 1 && isPunct(toks[j], ",")) {
+            if (!last.empty())
+                held.emplace_back(last, depth);
+            last.clear();
+        } else if (toks[j].kind == Tok::Identifier) {
+            last = toks[j].text;
+        }
+    }
+    return true;
+}
+
+void
+checkFile(const LexedFile &f,
+          const std::vector<GuardAnnotation> &annotations,
+          std::vector<Violation> &out)
+{
+    if (annotations.empty())
+        return;
+    const RuleInfo &rule = *findRule("guarded-by");
+    const auto &toks = f.tokens;
+
+    ClassTracker cls(toks);
+    std::vector<std::pair<std::string, int>> held; ///< (mutex, depth)
+    bool pending_exempt = false;  ///< Ctor/dtor head seen, body not yet.
+    int exempt_depth = -1;        ///< Body depth of the active ctor/dtor.
+    std::string exempt_owner;
+
+    auto holds = [&held](const std::string &mutex) {
+        for (const auto &h : held)
+            if (h.first == mutex)
+                return true;
+        return false;
+    };
+
+    for (size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        const bool at_class_body_before = cls.atClassBody();
+        const std::string class_before = cls.currentClass();
+        cls.feed(i);
+
+        if (isPunct(t, "{")) {
+            if (pending_exempt) {
+                exempt_depth = cls.depth();
+                pending_exempt = false;
+            }
+            continue;
+        }
+        if (isPunct(t, "}")) {
+            // cls.feed already decremented; locks acquired inside the
+            // closed scope die with it.
+            while (!held.empty() && held.back().second > cls.depth())
+                held.pop_back();
+            if (exempt_depth > cls.depth())
+                exempt_depth = -1;
+            continue;
+        }
+        if (isPunct(t, ";") && pending_exempt && exempt_depth < 0) {
+            pending_exempt = false; // declaration without a body
+            continue;
+        }
+        if (t.kind != Tok::Identifier || t.in_directive)
+            continue;
+
+        // Constructor/destructor heads.
+        //   Out-of-class:  Name :: [~] Name (
+        if (i + 3 < toks.size() && isPunct(toks[i + 1], "::")) {
+            size_t n = i + 2;
+            if (isPunct(toks[n], "~"))
+                ++n;
+            if (n + 1 < toks.size()
+                && toks[n].kind == Tok::Identifier
+                && toks[n].text == t.text
+                && isPunct(toks[n + 1], "(")) {
+                pending_exempt = true;
+                exempt_owner = t.text;
+            }
+        }
+        //   In-class: the tag name (optionally after ~) followed by
+        //   `(` directly at class-body depth.
+        if (at_class_body_before && t.text == class_before
+            && i + 1 < toks.size() && isPunct(toks[i + 1], "(")) {
+            pending_exempt = true;
+            exempt_owner = class_before;
+        }
+
+        // Lock acquisitions.
+        if (parseLockDecl(toks, i, cls.depth(), held))
+            continue;
+        if (i + 3 < toks.size() && isPunct(toks[i + 1], ".")
+            && toks[i + 2].kind == Tok::Identifier
+            && isPunct(toks[i + 3], "(")) {
+            if (toks[i + 2].text == "lock") {
+                held.emplace_back(t.text, cls.depth());
+                continue;
+            }
+            if (toks[i + 2].text == "unlock") {
+                for (size_t k = held.size(); k-- > 0;) {
+                    if (held[k].first == t.text) {
+                        held.erase(held.begin()
+                                   + static_cast<long>(k));
+                        break;
+                    }
+                }
+                continue;
+            }
+        }
+
+        // Accesses to annotated fields.
+        const bool is_annotation_site = i + 1 < toks.size()
+            && isIdent(toks[i + 1], "SNAPEA_GUARDED_BY");
+        if (is_annotation_site || cls.atClassBody())
+            continue; // the declaration itself is not an access
+        bool annotated = false, satisfied = false;
+        const GuardAnnotation *first_match = nullptr;
+        for (const auto &a : annotations) {
+            if (a.field != t.text)
+                continue;
+            annotated = true;
+            if (!first_match)
+                first_match = &a;
+            const bool exempt =
+                (pending_exempt || exempt_depth >= 0)
+                && (a.owner.empty() || a.owner == exempt_owner);
+            if (exempt || holds(a.mutex)) {
+                satisfied = true;
+                break;
+            }
+        }
+        if (annotated && !satisfied
+            && !lineAllowed(f, t.line, rule)) {
+            out.push_back(
+                {f.path, t.line, &rule,
+                 "field '" + t.text + "' is SNAPEA_GUARDED_BY("
+                     + first_match->mutex
+                     + ") but no lock of it is held here (and this "
+                       "is not " + (first_match->owner.empty()
+                                        ? std::string("a")
+                                        : first_match->owner)
+                     + "'s ctor/dtor)"});
+        }
+    }
+}
+
+} // namespace
+
+std::vector<GuardAnnotation>
+collectAnnotations(const LexedFile &f)
+{
+    std::vector<GuardAnnotation> out;
+    const auto &toks = f.tokens;
+    ClassTracker cls(toks);
+    for (size_t i = 0; i < toks.size(); ++i) {
+        const std::string owner = cls.currentClass();
+        cls.feed(i);
+        if (!isIdent(toks[i], "SNAPEA_GUARDED_BY")
+            || toks[i].in_directive)
+            continue;
+        if (i + 1 >= toks.size() || !isPunct(toks[i + 1], "("))
+            continue;
+        if (i == 0 || toks[i - 1].kind != Tok::Identifier)
+            continue;
+        const std::string mutex =
+            lastIdentInParens(toks, i + 1, nullptr);
+        if (mutex.empty())
+            continue;
+        out.push_back({toks[i - 1].text, mutex, owner});
+    }
+    return out;
+}
+
+void
+checkThreadSafety(const std::vector<LexedFile> &files,
+                  std::vector<Violation> &out)
+{
+    // Pair header and source of the same stem in the same directory.
+    std::map<std::string, std::vector<size_t>> pairs;
+    for (size_t i = 0; i < files.size(); ++i) {
+        const auto &p = files[i].path;
+        pairs[(p.parent_path() / files[i].stem).generic_string()]
+            .push_back(i);
+    }
+    for (const auto &[stem, members] : pairs) {
+        std::vector<GuardAnnotation> annotations;
+        for (size_t i : members) {
+            auto a = collectAnnotations(files[i]);
+            annotations.insert(annotations.end(), a.begin(), a.end());
+        }
+        for (size_t i : members)
+            checkFile(files[i], annotations, out);
+    }
+}
+
+} // namespace snapea::analyze

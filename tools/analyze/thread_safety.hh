@@ -1,0 +1,56 @@
+/**
+ * @file
+ * SL013: annotation-driven lexical thread-safety checking.
+ *
+ * A field declared as
+ *
+ *     std::deque<T> items_ SNAPEA_GUARDED_BY(mu_);
+ *
+ * may only be accessed (a) lexically inside a scope that constructed
+ * a `lock_guard` / `unique_lock` / `scoped_lock` over `mu_` (or
+ * called `mu_.lock()`), or (b) inside the owning class's constructor
+ * or destructor, where no other thread can yet (still) hold a
+ * reference.  The macro itself compiles to nothing — the contract is
+ * enforced here, by scope-tracking over the token stream, the same
+ * discipline clang's -Wthread-safety checks semantically.
+ *
+ * Lexical means lexical: a lock released early via `lk.unlock()`
+ * still "covers" the rest of its scope, and locking a *different*
+ * object's mutex of the same name satisfies the checker.  Those are
+ * accepted trade-offs for a dependency-free tool; the runtime
+ * DebugMutex cycle detector and TSan cover the dynamic side.
+ *
+ * Annotations declared in a header apply to the sibling .cc of the
+ * same stem (and vice versa) so a class split across the pair is
+ * checked in both halves.
+ */
+
+#ifndef SNAPEA_ANALYZE_THREAD_SAFETY_HH
+#define SNAPEA_ANALYZE_THREAD_SAFETY_HH
+
+#include <string>
+#include <vector>
+
+#include "lexer.hh"
+#include "rules.hh"
+
+namespace snapea::analyze {
+
+/** One SNAPEA_GUARDED_BY(...) annotation site. */
+struct GuardAnnotation
+{
+    std::string field;
+    std::string mutex; ///< Last identifier inside the parens.
+    std::string owner; ///< Enclosing class/struct name ("" if none).
+};
+
+/** Collect the annotations declared in @p f (exposed for tests). */
+std::vector<GuardAnnotation> collectAnnotations(const LexedFile &f);
+
+/** Run SL013 over every file, pairing headers with same-stem .cc. */
+void checkThreadSafety(const std::vector<LexedFile> &files,
+                       std::vector<Violation> &out);
+
+} // namespace snapea::analyze
+
+#endif // SNAPEA_ANALYZE_THREAD_SAFETY_HH

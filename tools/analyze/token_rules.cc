@@ -1,0 +1,420 @@
+#include "token_rules.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstring>
+
+namespace snapea::analyze {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+lower(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+/** Is token @p i an Identifier followed immediately by `(`? */
+bool
+isCall(const std::vector<Token> &toks, size_t i)
+{
+    return i + 1 < toks.size() && toks[i].kind == Tok::Identifier
+        && toks[i + 1].kind == Tok::Punct && toks[i + 1].text == "(";
+}
+
+/**
+ * Emits at most one violation per (rule, line), mirroring the old
+ * scanner's per-line `break`: two fatal() calls on one line are one
+ * finding, and the fixture tests count findings.
+ */
+class Reporter
+{
+  public:
+    Reporter(const LexedFile &f, std::vector<Violation> &out)
+        : f_(f), out_(out)
+    {
+    }
+
+    void
+    fire(const RuleInfo &rule, size_t line, std::string detail)
+    {
+        for (const auto &seen : fired_)
+            if (seen.first == &rule && seen.second == line)
+                return;
+        fired_.emplace_back(&rule, line);
+        if (lineAllowed(f_, line, rule))
+            return;
+        out_.push_back({f_.path, line, &rule, std::move(detail)});
+    }
+
+  private:
+    const LexedFile &f_;
+    std::vector<Violation> &out_;
+    std::vector<std::pair<const RuleInfo *, size_t>> fired_;
+};
+
+void
+checkTerminatorsAndNondet(const LexedFile &f, Reporter &rep)
+{
+    if (f.tier != "src")
+        return;
+    const bool is_thread_pool = f.path.filename() == "thread_pool.cc"
+        || f.path.filename() == "thread_pool.hh";
+    const RuleInfo &r1 = *findRule("no-fatal-in-lib");
+    const RuleInfo &r3 = *findRule("no-nondeterminism");
+
+    static const char *const kTerminators[] = {
+        "fatal", "abort", "exit", "_exit", "_Exit", "quick_exit",
+    };
+    struct NondetToken
+    {
+        const char *token;
+        bool need_paren;
+    };
+    static const NondetToken kNondet[] = {
+        {"rand", true},        {"srand", true},
+        {"rand_r", true},      {"time", true},
+        {"clock", true},       {"gettimeofday", true},
+        {"random_device", false},
+        {"system_clock", false},
+        {"steady_clock", false},
+        {"high_resolution_clock", false},
+        {"hardware_concurrency", false},
+    };
+
+    const auto &toks = f.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != Tok::Identifier)
+            continue;
+        for (const char *tok : kTerminators) {
+            if (toks[i].text == tok && isCall(toks, i)) {
+                rep.fire(r1, toks[i].line,
+                         std::string(tok)
+                             + "() called in library code");
+            }
+        }
+        for (const auto &nd : kNondet) {
+            if (toks[i].text != nd.token)
+                continue;
+            if (is_thread_pool
+                && std::strcmp(nd.token, "hardware_concurrency") == 0)
+                continue;
+            if (!nd.need_paren || isCall(toks, i)) {
+                rep.fire(r3, toks[i].line,
+                         std::string(nd.token)
+                             + " introduces nondeterminism in "
+                               "library code");
+            }
+        }
+    }
+}
+
+void
+checkDiscardedStatus(const LexedFile &f, Reporter &rep)
+{
+    const RuleInfo &rule = *findRule("no-discarded-status");
+    const auto &toks = f.tokens;
+    for (size_t i = 0; i + 3 < toks.size(); ++i) {
+        if (!(toks[i].kind == Tok::Punct && toks[i].text == "("
+              && toks[i + 1].kind == Tok::Identifier
+              && toks[i + 1].text == "void"
+              && toks[i + 2].kind == Tok::Punct
+              && toks[i + 2].text == ")")) {
+            continue;
+        }
+        // Walk the callee chain: ident { :: | . | -> ident }* then `(`.
+        size_t j = i + 3;
+        if (toks[j].kind != Tok::Identifier)
+            continue;
+        std::string callee = toks[j].text;
+        ++j;
+        while (j + 1 < toks.size() && toks[j].kind == Tok::Punct
+               && (toks[j].text == "::" || toks[j].text == "."
+                   || toks[j].text == "->")
+               && toks[j + 1].kind == Tok::Identifier) {
+            callee += toks[j].text + toks[j + 1].text;
+            j += 2;
+        }
+        if (j < toks.size() && toks[j].kind == Tok::Punct
+            && toks[j].text == "(" && callee != "sizeof") {
+            rep.fire(rule, toks[i].line,
+                     "(void)-discarded result of " + callee + "()");
+        }
+    }
+}
+
+void
+checkUsingNamespaceInHeader(const LexedFile &f, Reporter &rep)
+{
+    if (!f.is_header)
+        return;
+    const RuleInfo &rule = *findRule("no-using-namespace-in-header");
+    const auto &toks = f.tokens;
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].kind == Tok::Identifier && toks[i].text == "using"
+            && toks[i + 1].kind == Tok::Identifier
+            && toks[i + 1].text == "namespace") {
+            rep.fire(rule, toks[i].line,
+                     "using-directive in a header");
+        }
+    }
+}
+
+void
+checkFloatCompare(const LexedFile &f, Reporter &rep)
+{
+    const RuleInfo &rule = *findRule("no-float-compare");
+    const auto &toks = f.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != Tok::Punct
+            || (toks[i].text != "==" && toks[i].text != "!="))
+            continue;
+        const bool rhs_lit = i + 1 < toks.size()
+            && toks[i + 1].kind == Tok::Number
+            && isFloatLiteral(toks[i + 1].text);
+        const bool lhs_lit = i >= 1 && toks[i - 1].kind == Tok::Number
+            && isFloatLiteral(toks[i - 1].text);
+        if (rhs_lit || lhs_lit) {
+            rep.fire(rule, toks[i].line,
+                     "exact floating-point comparison against a "
+                     "literal");
+        }
+    }
+}
+
+void
+checkHeaderGuard(const LexedFile &f, Reporter &rep)
+{
+    if (!f.is_header)
+        return;
+    const RuleInfo &rule = *findRule("header-guard");
+    if (fileAllowed(f, rule))
+        return;
+    const auto &toks = f.tokens;
+    auto is = [&](size_t i, const char *text) {
+        return i < toks.size() && toks[i].text == text;
+    };
+    if (is(0, "#") && is(1, "pragma") && is(2, "once"))
+        return;
+    if (is(0, "#") && is(1, "ifndef") && toks.size() > 5
+        && toks[2].kind == Tok::Identifier && is(3, "#")
+        && is(4, "define") && toks[5].kind == Tok::Identifier
+        && toks[5].text.rfind(toks[2].text, 0) == 0) {
+        return;
+    }
+    rep.fire(rule, toks.empty() ? 1 : toks[0].line,
+             "header lacks #pragma once or an #ifndef/#define guard");
+}
+
+void
+checkOwnHeaderFirst(const LexedFile &f, const fs::path &abs_path,
+                    Reporter &rep)
+{
+    if (f.is_header || f.includes.empty())
+        return;
+    fs::path sibling = abs_path;
+    sibling.replace_extension(".hh");
+    std::error_code ec;
+    if (!fs::exists(sibling, ec))
+        return;
+    const RuleInfo &rule = *findRule("own-header-first");
+    if (fileAllowed(f, rule))
+        return;
+    const IncludeDirective &first = f.includes.front();
+    const std::string want = f.stem + ".hh";
+    const size_t slash = first.target.find_last_of('/');
+    const std::string base = slash == std::string::npos
+        ? first.target
+        : first.target.substr(slash + 1);
+    if (!first.quoted || base != want) {
+        rep.fire(rule, first.line,
+                 "first #include is not the module's own header "
+                     + want);
+    }
+}
+
+/**
+ * SL008: a library loop whose body (a fixed forward window of lines)
+ * dispatches parallel_for must mention a cancel token in that window.
+ * The "ancel" substring in an identifier is the evidence of a poll.
+ */
+void
+checkCancellableLoops(const LexedFile &f, Reporter &rep)
+{
+    if (f.tier != "src")
+        return;
+    const RuleInfo &rule = *findRule("cancellable-loop");
+    constexpr size_t kWindow = 25;
+
+    const size_t nlines = f.line_count;
+    std::vector<uint8_t> loop(nlines + 2, 0), dispatch(nlines + 2, 0),
+        polls(nlines + 2, 0), closer(nlines + 2, 0);
+    const auto &toks = f.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.line > nlines)
+            continue;
+        if (t.kind == Tok::Identifier) {
+            if ((t.text == "for" || t.text == "while")
+                && isCall(toks, i))
+                loop[t.line] = 1;
+            if (t.text == "parallel_for" && isCall(toks, i))
+                dispatch[t.line] = 1;
+            if (t.text.find("ancel") != std::string::npos)
+                polls[t.line] = 1;
+        } else if (t.kind == Tok::Punct && t.text == "}"
+                   && t.col == 0) {
+            // A column-0 '}' closes the enclosing function; what
+            // follows belongs to someone else's body.
+            closer[t.line] = 1;
+        }
+    }
+
+    for (size_t ln = 1; ln <= nlines; ++ln) {
+        if (!loop[ln])
+            continue;
+        const size_t end = std::min(nlines, ln + kWindow);
+        bool dispatches = false, polled = false;
+        for (size_t k = ln; k <= end; ++k) {
+            if (k > ln && closer[k])
+                break;
+            dispatches |= dispatch[k] != 0;
+            polled |= polls[k] != 0;
+        }
+        if (dispatches && !polled) {
+            rep.fire(rule, ln,
+                     "loop dispatches parallel_for without a cancel "
+                     "token in sight");
+        }
+    }
+}
+
+void
+checkIntrinsics(const LexedFile &f, Reporter &rep)
+{
+    if (f.path.generic_string().rfind("src/snapea/kernels/", 0) == 0)
+        return;
+    const RuleInfo &rule = *findRule("intrinsics-only-in-kernels");
+    static const char *const kIntrinIdent[] = {
+        "_mm_", "_mm256_", "_mm512_", "__m128", "__m256", "__m512",
+    };
+    static const char *const kIntrinHeader[] = {
+        "immintrin.h", "emmintrin.h", "xmmintrin.h", "arm_neon.h",
+    };
+    for (const auto &t : f.tokens) {
+        if (t.kind != Tok::Identifier)
+            continue;
+        for (const char *pat : kIntrinIdent) {
+            if (t.text.find(pat) != std::string::npos) {
+                rep.fire(rule, t.line,
+                         std::string(pat)
+                             + " used outside src/snapea/kernels/");
+            }
+        }
+    }
+    for (const auto &inc : f.includes) {
+        for (const char *pat : kIntrinHeader) {
+            if (inc.target.find(pat) != std::string::npos) {
+                rep.fire(rule, inc.line,
+                         std::string(pat)
+                             + " used outside src/snapea/kernels/");
+            }
+        }
+    }
+}
+
+/**
+ * SL010: an unguarded push onto a queue-like receiver in src/serve/.
+ * The guard search runs over lowered per-line token text, same
+ * heuristics (and the same tolerance for false guards) as before.
+ */
+void
+checkBoundedQueueGrowth(const LexedFile &f, Reporter &rep)
+{
+    if (f.path.generic_string().rfind("src/serve/", 0) != 0)
+        return;
+    const RuleInfo &rule = *findRule("bounded-queue-growth");
+
+    static const char *const kPushes[] = {
+        "push",    "push_back",    "push_front",
+        "emplace", "emplace_back", "emplace_front",
+    };
+    static const char *const kQueueish[] = {
+        "queue", "deque", "fifo", "pending", "items", "backlog",
+    };
+    static const char *const kGuards[] = {
+        "cap", "limit", "bound", "high_water", "highwater", "kmax",
+        "full", "size()",
+    };
+    constexpr size_t kWindow = 6;
+
+    const size_t nlines = f.line_count;
+    std::vector<std::string> linetext(nlines + 2);
+    const auto &toks = f.tokens;
+    for (const auto &t : toks) {
+        if (t.line <= nlines
+            && (t.kind == Tok::Identifier || t.kind == Tok::Number
+                || t.kind == Tok::Punct))
+            linetext[t.line] += lower(t.text);
+    }
+
+    for (size_t i = 1; i + 2 < toks.size(); ++i) {
+        if (!(toks[i].kind == Tok::Punct && toks[i].text == "."
+              && toks[i + 1].kind == Tok::Identifier
+              && toks[i + 2].kind == Tok::Punct
+              && toks[i + 2].text == "("))
+            continue;
+        bool is_push = false;
+        for (const char *m : kPushes)
+            is_push |= toks[i + 1].text == m;
+        if (!is_push || toks[i - 1].kind != Tok::Identifier)
+            continue;
+        const std::string receiver = lower(toks[i - 1].text);
+        bool queueish = false;
+        for (const char *q : kQueueish)
+            queueish |= receiver.find(q) != std::string::npos;
+        if (!queueish)
+            continue;
+
+        const size_t ln = toks[i].line;
+        bool guarded = false;
+        const size_t first = ln > kWindow ? ln - kWindow : 1;
+        for (size_t k = first; k <= ln && k <= nlines && !guarded;
+             ++k) {
+            for (const char *g : kGuards)
+                guarded |= linetext[k].find(g) != std::string::npos;
+        }
+        if (!guarded) {
+            rep.fire(rule, ln,
+                     "unguarded push onto '" + receiver
+                         + "' (no capacity check within "
+                         + std::to_string(kWindow) + " lines)");
+        }
+    }
+}
+
+} // namespace
+
+void
+checkTokenRules(const LexedFile &f, const fs::path &abs_path,
+                std::vector<Violation> &out)
+{
+    Reporter rep(f, out);
+    checkTerminatorsAndNondet(f, rep);
+    checkDiscardedStatus(f, rep);
+    checkUsingNamespaceInHeader(f, rep);
+    checkFloatCompare(f, rep);
+    checkHeaderGuard(f, rep);
+    checkOwnHeaderFirst(f, abs_path, rep);
+    checkCancellableLoops(f, rep);
+    checkIntrinsics(f, rep);
+    checkBoundedQueueGrowth(f, rep);
+}
+
+} // namespace snapea::analyze

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The per-file rules SL001-SL010, re-hosted on the token stream.
+ *
+ * These are the rules the regex-era snapea_lint enforced line by
+ * line.  Matching on tokens removes both failure modes of the old
+ * scanner: rule text inside a string or comment can no longer fire a
+ * rule (the lexer never hands it to us), and a construct split
+ * across physical lines (`x ==\n 1.5f`) can no longer hide from one.
+ */
+
+#ifndef SNAPEA_ANALYZE_TOKEN_RULES_HH
+#define SNAPEA_ANALYZE_TOKEN_RULES_HH
+
+#include <filesystem>
+#include <vector>
+
+#include "lexer.hh"
+#include "rules.hh"
+
+namespace snapea::analyze {
+
+/**
+ * Run SL001-SL010 over @p f.  @p abs_path is the on-disk location
+ * (SL007 needs it to look for the sibling header).
+ */
+void checkTokenRules(const LexedFile &f,
+                     const std::filesystem::path &abs_path,
+                     std::vector<Violation> &out);
+
+} // namespace snapea::analyze
+
+#endif // SNAPEA_ANALYZE_TOKEN_RULES_HH

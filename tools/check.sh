@@ -8,9 +8,14 @@
 #      (SNAPEA_WERROR=ON; -Wshadow -Wnon-virtual-dtor -Wextra-semi
 #      -Wcast-qual on top of -Wall -Wextra), with clang-tidy attached
 #      to every compile when installed (SNAPEA_LINT=ON).
-#   2. snapea_lint over src/ tools/ bench/ tests/ — the repo's own
-#      rules (Status discipline, determinism, process-exit policy,
-#      header hygiene); see `snapea_lint --list-rules`.
+#   2. snapea_analyze over src/ tools/ bench/ tests/ — the repo's own
+#      token-level rules (Status discipline, determinism,
+#      process-exit policy, header hygiene, include cycles and
+#      layering, SNAPEA_GUARDED_BY thread-safety); see
+#      `snapea_analyze --list-rules`.  The allow() escape hatches in
+#      the tree are then compared against tools/allow_baseline.txt:
+#      any allow() site not in the checked-in baseline fails the
+#      gate, so suppressions cannot creep in unreviewed.
 #   3. The full test suite twice: the default build, then a
 #      SNAPEA_CHECK_INVARIANTS=ON build (`checked` ctest label)
 #      where the paper's math invariants are asserted at runtime.
@@ -25,8 +30,12 @@
 #      drain (exit 0, lock released).
 #
 # Usage: tools/check.sh [--sanitize thread|address] [--labels REGEX]
-#                       [build-dir-prefix]
+#                       [--list-allows] [build-dir-prefix]
 #
+#   --list-allows  build snapea_analyze, print the tree's current
+#                  allow() sites in baseline format, and exit.  To
+#                  accept a reviewed suppression, redirect this into
+#                  tools/allow_baseline.txt and commit both together.
 #   --sanitize V   additionally instrument the *checked* build with
 #                  SNAPEA_SANITIZE=V (composability gate: invariants
 #                  and sanitizers must coexist).  Unknown values are
@@ -53,12 +62,13 @@ set -u
 
 usage() {
     echo "usage: $0 [--sanitize thread|address] [--labels REGEX]" \
-         "[build-dir-prefix]" >&2
+         "[--list-allows] [build-dir-prefix]" >&2
     exit 2
 }
 
 SANITIZE=""
 LABELS=""
+LIST_ALLOWS=0
 PREFIX="build-gate"
 
 while [ $# -gt 0 ]; do
@@ -79,6 +89,10 @@ while [ $# -gt 0 ]; do
             ;;
         --labels=*)
             LABELS="${1#--labels=}"
+            shift
+            ;;
+        --list-allows)
+            LIST_ALLOWS=1
             shift
             ;;
         -h|--help)
@@ -131,6 +145,16 @@ run_ctest() {
     fi
 }
 
+if [ "$LIST_ALLOWS" -eq 1 ]; then
+    cmake -B "$ROOT/$PREFIX" -S "$ROOT" > /dev/null \
+        || fail "configure ($PREFIX)"
+    cmake --build "$ROOT/$PREFIX" --target snapea_analyze \
+          -j "$JOBS" > /dev/null \
+        || fail "building snapea_analyze"
+    exec "$ROOT/$PREFIX/tools/snapea_analyze" --root "$ROOT" \
+         --list-allows
+fi
+
 step "[1/7] configure + build, hardened warnings as errors"
 cmake -B "$ROOT/$PREFIX" -S "$ROOT" \
       -DSNAPEA_WERROR=ON -DSNAPEA_LINT=ON \
@@ -138,9 +162,30 @@ cmake -B "$ROOT/$PREFIX" -S "$ROOT" \
 cmake --build "$ROOT/$PREFIX" -j "$JOBS" \
     || fail "-Werror build (warnings present or compile error)"
 
-step "[2/7] snapea_lint over src/ tools/ bench/ tests/"
-"$ROOT/$PREFIX/tools/snapea_lint" --root "$ROOT" \
-    || fail "snapea_lint found violations"
+step "[2/7] snapea_analyze over src/ tools/ bench/ tests/ + allow() baseline"
+"$ROOT/$PREFIX/tools/snapea_analyze" --root "$ROOT" \
+    || fail "snapea_analyze found violations"
+# Gate the escape hatches: every allow() site must already be in the
+# reviewed baseline.  Sites disappearing is fine (just refresh the
+# baseline when convenient); a new one fails until it is reviewed
+# and committed via `tools/check.sh --list-allows`.
+ALLOWS_NOW=$(mktemp) || fail "mktemp for the allow baseline"
+"$ROOT/$PREFIX/tools/snapea_analyze" --root "$ROOT" --list-allows \
+    2>/dev/null > "$ALLOWS_NOW" \
+    || fail "snapea_analyze --list-allows"
+NEW_ALLOWS=$(comm -13 "$ROOT/tools/allow_baseline.txt" "$ALLOWS_NOW")
+if [ -n "$NEW_ALLOWS" ]; then
+    echo "new allow() sites not in tools/allow_baseline.txt:" >&2
+    echo "$NEW_ALLOWS" >&2
+    rm -f "$ALLOWS_NOW"
+    fail "unreviewed allow() suppressions (run tools/check.sh --list-allows and commit the refreshed baseline with your justification)"
+fi
+STALE_ALLOWS=$(comm -23 "$ROOT/tools/allow_baseline.txt" "$ALLOWS_NOW")
+if [ -n "$STALE_ALLOWS" ]; then
+    echo "note: baseline lists allow() sites no longer present:" >&2
+    echo "$STALE_ALLOWS" >&2
+fi
+rm -f "$ALLOWS_NOW"
 
 if [ -n "$LABELS" ]; then
     step "[3/7] test suite, labels matching '$LABELS'"
