@@ -35,10 +35,14 @@
  *                      [--duration s]
  */
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <mutex>
@@ -50,6 +54,7 @@
 #include "serve/server.hh"
 #include "util/random.hh"
 #include "util/stats.hh"
+#include "util/subprocess.hh"
 
 using namespace snapea;
 using namespace snapea::serve;
@@ -77,15 +82,21 @@ makeInput(uint64_t seed, size_t elems)
     return v;
 }
 
-/** Tallies of one load point. */
+/** Tallies of one load point.  The failure modes are kept apart so a
+ *  regression is attributable: rejected (admission said no), shed
+ *  (deadline/cancel), worker_lost (a request killed two workers),
+ *  failed (other server-reported errors), transport (sends that never
+ *  got any reply — the connection itself died). */
 struct PointResult
 {
     double offered_rps = 0.0;
     size_t sent = 0;
     size_t ok = 0;
     size_t rejected = 0;
-    size_t shed = 0;       ///< Cancelled / DeadlineExceeded replies.
-    size_t failed = 0;     ///< Unavailable / Internal replies.
+    size_t shed = 0;        ///< Cancelled / DeadlineExceeded replies.
+    size_t worker_lost = 0; ///< WorkerLost replies (poison requests).
+    size_t failed = 0;      ///< Unavailable / Internal replies.
+    size_t transport = 0;   ///< Sends with no reply at all.
     size_t ok_exact = 0;
     size_t ok_predictive = 0;
     double p50_ms = 0.0, p99_ms = 0.0, mean_ms = 0.0;
@@ -173,6 +184,9 @@ runPoint(uint16_t port, const std::vector<float> &input, double rate,
               case WireStatus::DeadlineExceeded:
                 ++res.shed;
                 break;
+              case WireStatus::WorkerLost:
+                ++res.worker_lost;
+                break;
               default:
                 ++res.failed;
                 break;
@@ -210,6 +224,9 @@ runPoint(uint16_t port, const std::vector<float> &input, double rate,
     recorder.join();
 
     res.sent = n_sent.load();
+    const size_t accounted = res.ok + res.rejected + res.shed +
+        res.worker_lost + res.failed;
+    res.transport = res.sent > accounted ? res.sent - accounted : 0;
     if (!lat_ms.empty()) {
         res.p50_ms = quantile(lat_ms, 0.50);
         res.p99_ms = quantile(lat_ms, 0.99);
@@ -227,6 +244,173 @@ struct Sweep
     double capacity_rps = 0.0;
     std::vector<PointResult> points;
 };
+
+/** Crash-storm arm: every worker dies at its own nth request. */
+constexpr const char *kStormFault = "crash:worker:10";
+constexpr size_t kStormRequests = 100;
+
+/** Tallies of one crash-storm arm. */
+struct StormResult
+{
+    size_t requests = 0;
+    size_t ok = 0;
+    size_t failed = 0;        ///< Any non-Ok reply.
+    size_t lost = 0;          ///< Requests after the daemon died.
+    bool daemon_died = false;
+    uint64_t restarts = 0;    ///< Worker respawns (supervised arm).
+    uint64_t redispatches = 0;
+    uint64_t worker_lost = 0;
+};
+
+/** First "key": <integer> in @p json (crude, but our JSON is ours). */
+uint64_t
+jsonCounter(const std::string &json, const char *key)
+{
+    const std::string needle = std::string("\"") + key + "\": ";
+    const size_t pos = json.find(needle);
+    if (pos == std::string::npos)
+        return 0;
+    return std::strtoull(json.c_str() + pos + needle.size(), nullptr,
+                         10);
+}
+
+/**
+ * Supervised arm: the serving stack of this process fronts a pool of
+ * real worker processes (the snapea_serve binary), each armed to
+ * crash at its own 10th request.  The claim under test: availability
+ * stays ~100% because each crash kills a child, the in-flight request
+ * is re-dispatched once, and the slot restarts with backoff.
+ */
+StormResult
+runStormSupervised(const ServeModelConfig &model, size_t n_requests)
+{
+    StormResult res;
+    res.requests = n_requests;
+
+    ServerConfig cfg;
+    cfg.model = model;
+    cfg.workers = 2;
+    cfg.worker_exe = SNAPEA_SERVE_BIN;
+    cfg.worker_extra_args = {"--fault", kStormFault, "--threads", "1"};
+    cfg.restart_backoff_ms = 1;
+    cfg.restart_backoff_cap_ms = 16;
+    cfg.storm_restarts = 1 << 20; // The storm is the point; no breaker.
+    StatusOr<std::unique_ptr<Server>> server = Server::start(cfg);
+    if (!server.ok()) {
+        std::fprintf(stderr, "bench_serving: storm start: %s\n",
+                     server.status().toString().c_str());
+        return res;
+    }
+    const std::vector<float> input =
+        makeInput(7, server.value()->cache().inputElems());
+    StatusOr<ServeClient> client =
+        ServeClient::connect("", server.value()->port());
+    if (!client.ok()) {
+        server.value()->drainAndJoin();
+        return res;
+    }
+    for (size_t i = 0; i < n_requests; ++i) {
+        StatusOr<Reply> r = client.value().infer(input);
+        if (!r.ok()) {
+            res.daemon_died = true;
+            res.lost = n_requests - i;
+            break;
+        }
+        if (r.value().status == WireStatus::Ok)
+            ++res.ok;
+        else
+            ++res.failed;
+    }
+    const std::string health = server.value()->healthJson();
+    res.restarts = jsonCounter(health, "restarts");
+    res.redispatches = jsonCounter(health, "redispatches");
+    res.worker_lost = jsonCounter(health, "worker_lost");
+    server.value()->drainAndJoin();
+    return res;
+}
+
+/**
+ * Baseline arm: the same fault in a daemon running inference
+ * in-process.  The first crash takes the whole daemon (and every
+ * request after it) with it — run as a subprocess so it does not take
+ * this bench along too.
+ */
+StormResult
+runStormBaseline(const ServeModelConfig &model, size_t n_requests)
+{
+    StormResult res;
+    res.requests = n_requests;
+
+    char port_file[128];
+    std::snprintf(port_file, sizeof(port_file),
+                  "/tmp/bench_serving_port.%d",
+                  static_cast<int>(::getpid()));
+    ::unlink(port_file);
+
+    char num[64];
+    SpawnSpec spec;
+    spec.exe = SNAPEA_SERVE_BIN;
+    spec.args = {"--in-process", "--fault", kStormFault,
+                 "--port-file", port_file, "--model", model.model,
+                 "--threads", "1", "--workers", "2"};
+    auto addArg = [&spec, &num](const char *flag, const char *fmt,
+                                auto value) {
+        std::snprintf(num, sizeof(num), fmt, value);
+        spec.args.push_back(flag);
+        spec.args.push_back(num);
+    };
+    addArg("--input", "%d", model.input_px);
+    addArg("--mu", "%.9g", static_cast<double>(model.mu));
+    addArg("--seed", "%u", model.seed);
+    StatusOr<pid_t> pid = spawnProcess(spec);
+    if (!pid.ok()) {
+        std::fprintf(stderr, "bench_serving: storm baseline: %s\n",
+                     pid.status().toString().c_str());
+        return res;
+    }
+
+    // The daemon writes the port file once it listens (model build
+    // first, so give it time).
+    int port = 0;
+    for (int i = 0; i < 1200 && port == 0; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        if (std::FILE *f = std::fopen(port_file, "r")) {
+            if (std::fscanf(f, "%d", &port) != 1)
+                port = 0;
+            std::fclose(f);
+        }
+    }
+    if (port > 0) {
+        const size_t elems = static_cast<size_t>(3) *
+            model.input_px * model.input_px;
+        const std::vector<float> input = makeInput(7, elems);
+        StatusOr<ServeClient> client =
+            ServeClient::connect("", static_cast<uint16_t>(port));
+        if (client.ok()) {
+            for (size_t i = 0; i < n_requests; ++i) {
+                StatusOr<Reply> r = client.value().infer(input);
+                if (!r.ok()) {
+                    res.daemon_died = true;
+                    res.lost = n_requests - i;
+                    break;
+                }
+                if (r.value().status == WireStatus::Ok)
+                    ++res.ok;
+                else
+                    ++res.failed;
+            }
+        }
+    }
+    // Best-effort teardown: the daemon may already be dead (that is
+    // the measurement); the reap deadline escalates to SIGKILL.
+    // snapea-lint: allow(SL002)
+    (void)signalProcess(pid.value(), SIGTERM);
+    int ws = 0;
+    // snapea-lint: allow(SL002)
+    (void)reapWithDeadline(pid.value(), &ws, 5000);
+    ::unlink(port_file);
+    return res;
+}
 
 int
 smokeMode(uint16_t port, size_t input_elems, double duration_s)
@@ -362,15 +546,42 @@ main(int argc, char **argv)
                                      rate, duration_s);
             std::printf(
                 "[%s] offered %.1f req/s (%.1fx): sent %zu ok %zu "
-                "rejected %zu shed %zu failed %zu  p50 %.1f ms "
-                "p99 %.1f ms  (exact %zu / predictive %zu)\n",
+                "rejected %zu shed %zu worker-lost %zu failed %zu "
+                "transport %zu  p50 %.1f ms p99 %.1f ms  "
+                "(exact %zu / predictive %zu)\n",
                 sweep.name.c_str(), rate, factor, p.sent, p.ok,
-                p.rejected, p.shed, p.failed, p.p50_ms, p.p99_ms,
-                p.ok_exact, p.ok_predictive);
+                p.rejected, p.shed, p.worker_lost, p.failed,
+                p.transport, p.p50_ms, p.p99_ms, p.ok_exact,
+                p.ok_predictive);
             sweep.points.push_back(p);
         }
         server.value()->drainAndJoin();
     }
+
+    // Crash-storm availability: the same deterministic worker-crash
+    // fault against the supervised pool and against an in-process
+    // daemon, to put a number on what the supervision buys.
+    std::printf("[crash_storm] fault %s, %zu closed-loop requests\n",
+                kStormFault, kStormRequests);
+    const StormResult storm_sup =
+        runStormSupervised(model, kStormRequests);
+    std::printf("[crash_storm] supervised: %zu/%zu ok, %zu failed, "
+                "%zu lost, %llu restarts, %llu redispatches, "
+                "%llu worker-lost\n",
+                storm_sup.ok, storm_sup.requests, storm_sup.failed,
+                storm_sup.lost,
+                static_cast<unsigned long long>(storm_sup.restarts),
+                static_cast<unsigned long long>(
+                    storm_sup.redispatches),
+                static_cast<unsigned long long>(
+                    storm_sup.worker_lost));
+    const StormResult storm_base =
+        runStormBaseline(model, kStormRequests);
+    std::printf("[crash_storm] in-process baseline: %zu/%zu ok, "
+                "daemon %s, %zu lost\n",
+                storm_base.ok, storm_base.requests,
+                storm_base.daemon_died ? "died" : "survived",
+                storm_base.lost);
 
     std::FILE *f = std::fopen(out_path.c_str(), "w");
     if (!f) {
@@ -402,18 +613,41 @@ main(int argc, char **argv)
                 f,
                 "      {\"offered_rps\": %.2f, \"sent\": %zu, "
                 "\"ok\": %zu, \"rejected\": %zu, \"shed\": %zu, "
-                "\"failed\": %zu, \"ok_exact\": %zu, "
+                "\"worker_lost\": %zu, \"failed\": %zu, "
+                "\"transport\": %zu, \"ok_exact\": %zu, "
                 "\"ok_predictive\": %zu, \"p50_ms\": %.3f, "
                 "\"p99_ms\": %.3f, \"mean_ms\": %.3f}%s\n",
                 p.offered_rps, p.sent, p.ok, p.rejected, p.shed,
-                p.failed, p.ok_exact, p.ok_predictive, p.p50_ms,
-                p.p99_ms, p.mean_ms,
+                p.worker_lost, p.failed, p.transport, p.ok_exact,
+                p.ok_predictive, p.p50_ms, p.p99_ms, p.mean_ms,
                 i + 1 < sweep.points.size() ? "," : "");
         }
         std::fprintf(f, "    ]}%s\n",
                      s + 1 < sweeps.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ],\n");
+    auto stormJson = [f](const char *name, const StormResult &st,
+                         bool last) {
+        std::fprintf(
+            f,
+            "    \"%s\": {\"requests\": %zu, \"ok\": %zu, "
+            "\"failed\": %zu, \"lost\": %zu, \"ok_rate\": %.4f, "
+            "\"daemon_died\": %s, \"restarts\": %llu, "
+            "\"redispatches\": %llu, \"worker_lost\": %llu}%s\n",
+            name, st.requests, st.ok, st.failed, st.lost,
+            st.requests ? static_cast<double>(st.ok) / st.requests
+                        : 0.0,
+            st.daemon_died ? "true" : "false",
+            static_cast<unsigned long long>(st.restarts),
+            static_cast<unsigned long long>(st.redispatches),
+            static_cast<unsigned long long>(st.worker_lost),
+            last ? "" : ",");
+    };
+    std::fprintf(f, "  \"crash_storm\": {\n    \"fault\": \"%s\",\n",
+                 kStormFault);
+    stormJson("supervised", storm_sup, false);
+    stormJson("in_process_baseline", storm_base, true);
+    std::fprintf(f, "  }\n}\n");
     std::fclose(f);
     std::printf("wrote %s\n", out_path.c_str());
     return 0;

@@ -97,6 +97,25 @@ ServeClient::statsJson()
     return body;
 }
 
+StatusOr<std::string>
+ServeClient::healthJson()
+{
+    FrameHeader h;
+    h.type = MsgType::Health;
+    h.req_id = next_req_id_++;
+    if (Status st = writeFrame(fd_.get(), h, {}); !st.ok())
+        return st;
+    std::string body;
+    StatusOr<FrameHeader> reply = readFrame(fd_.get(), body);
+    if (!reply.ok())
+        return reply.status();
+    if (reply.value().type != MsgType::HealthReply) {
+        return Status(StatusCode::Corrupt,
+                      "expected a health reply");
+    }
+    return body;
+}
+
 void
 ServeClient::finishSending()
 {

@@ -65,6 +65,9 @@ class ServeClient
     /** Request and return the server's stats JSON. */
     StatusOr<std::string> statsJson();
 
+    /** Request and return the supervision HEALTH JSON. */
+    StatusOr<std::string> healthJson();
+
     /**
      * Half-close the sending side: the server reader sees EOF and
      * stops consuming, while replies to requests already sent keep

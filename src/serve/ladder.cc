@@ -44,11 +44,22 @@ LadderConfig::valid() const
 }
 
 ServeLevel
+DegradationLadder::effectiveLocked(ServeLevel raw) const
+{
+    if (force_reject_.load(std::memory_order_relaxed))
+        return ServeLevel::Reject;
+    if (raw == ServeLevel::Predictive
+        && veto_predictive_.load(std::memory_order_relaxed)) {
+        return ServeLevel::Exact;
+    }
+    return raw;
+}
+
+ServeLevel
 DegradationLadder::update(size_t depth)
 {
     std::lock_guard lock(mu_);
-    auto level = static_cast<ServeLevel>(
-        level_.load(std::memory_order_relaxed));
+    ServeLevel level = raw_level_;
     switch (level) {
       case ServeLevel::Exact:
         if (depth >= cfg_.reject_enter)
@@ -69,8 +80,29 @@ DegradationLadder::update(size_t depth)
             level = ServeLevel::Predictive;
         break;
     }
-    level_.store(static_cast<int>(level), std::memory_order_relaxed);
-    return level;
+    raw_level_ = level;
+    const ServeLevel effective = effectiveLocked(level);
+    level_.store(static_cast<int>(effective),
+                 std::memory_order_relaxed);
+    return effective;
+}
+
+void
+DegradationLadder::forceReject(bool on)
+{
+    std::lock_guard lock(mu_);
+    force_reject_.store(on, std::memory_order_relaxed);
+    level_.store(static_cast<int>(effectiveLocked(raw_level_)),
+                 std::memory_order_relaxed);
+}
+
+void
+DegradationLadder::vetoPredictive(bool on)
+{
+    std::lock_guard lock(mu_);
+    veto_predictive_.store(on, std::memory_order_relaxed);
+    level_.store(static_cast<int>(effectiveLocked(raw_level_)),
+                 std::memory_order_relaxed);
 }
 
 } // namespace snapea::serve

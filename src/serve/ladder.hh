@@ -68,6 +68,20 @@ struct LadderConfig
  * The ladder itself.  update() is called with the current queue depth
  * at every admission and every batch dequeue; level() is a cheap
  * atomic read for stats snapshots.  Thread-safe.
+ *
+ * Two external overrides can pin the published level regardless of
+ * queue depth, without disturbing the hysteresis state underneath:
+ *
+ *   forceReject    -> the supervisor's crash-storm circuit breaker is
+ *                     open; publish Reject until it closes.
+ *   vetoPredictive -> the shadow-audit guardrail found too much
+ *                     divergence; publish Exact where depth alone
+ *                     would have said Predictive (accuracy beats
+ *                     latency until the veto cools down).
+ *
+ * The raw depth-driven level keeps evolving while an override is
+ * active, so clearing the override lands on whatever the hysteresis
+ * would have decided anyway — no transition replay needed.
  */
 class DegradationLadder
 {
@@ -84,13 +98,36 @@ class DegradationLadder
             level_.load(std::memory_order_relaxed));
     }
 
+    /** Pin the published level to Reject (circuit breaker open). */
+    void forceReject(bool on);
+
+    /** Downgrade published Predictive to Exact (audit guardrail). */
+    void vetoPredictive(bool on);
+
+    bool rejectForced() const
+    {
+        return force_reject_.load(std::memory_order_relaxed);
+    }
+    bool predictiveVetoed() const
+    {
+        return veto_predictive_.load(std::memory_order_relaxed);
+    }
+
     const LadderConfig &config() const { return cfg_; }
 
   private:
+    /** Apply the overrides to a raw level; mu_ must be held. */
+    ServeLevel effectiveLocked(ServeLevel raw) const;
+
     const LadderConfig cfg_;
     /** Serializes transitions so hysteresis state cannot be torn. */
     DebugMutex mu_{"DegradationLadder::mu_"};
+    /** Depth-driven hysteresis state, before overrides. */
+    ServeLevel raw_level_ SNAPEA_GUARDED_BY(mu_) = ServeLevel::Exact;
+    /** Published effective level (raw + overrides). */
     std::atomic<int> level_{static_cast<int>(ServeLevel::Exact)};
+    std::atomic<bool> force_reject_{false};
+    std::atomic<bool> veto_predictive_{false};
 };
 
 } // namespace snapea::serve

@@ -48,7 +48,7 @@ calibrate(const Network &net, const NetworkPlan &plan,
 } // namespace
 
 StatusOr<std::unique_ptr<ParamsCache>>
-ParamsCache::build(const ServeModelConfig &cfg)
+ParamsCache::build(const ServeModelConfig &cfg, bool calibrate_levels)
 {
     const ModelInfo *model = findModelByName(cfg.model);
     if (!model) {
@@ -104,10 +104,12 @@ ParamsCache::build(const ServeModelConfig &cfg)
     }
     cache->predictive_plan_ = makeNetworkPlan(*cache->net_, params);
 
-    cache->calib_[0] =
-        calibrate(*cache->net_, cache->exact_plan_, calib.images[0]);
-    cache->calib_[1] = calibrate(*cache->net_, cache->predictive_plan_,
-                                 calib.images[0]);
+    if (calibrate_levels) {
+        cache->calib_[0] = calibrate(*cache->net_, cache->exact_plan_,
+                                     calib.images[0]);
+        cache->calib_[1] = calibrate(
+            *cache->net_, cache->predictive_plan_, calib.images[0]);
+    }
 
     cache->input_elems_ =
         Tensor::elemCount(cache->net_->inputShape());

@@ -54,10 +54,14 @@ class ParamsCache
     /**
      * Build the network, weights, plans, and calibration profile for
      * @p cfg.  InvalidArgument on unknown models or out-of-range
-     * knobs.
+     * knobs.  @p calibrate_levels skips the two instrumented
+     * calibration forwards when false (the profile stays at its
+     * defaults); worker processes in a supervised pool pass false so
+     * a respawn after a crash reaches WorkerReady faster — the
+     * supervisor already owns the calibrated profile for stats.
      */
     static StatusOr<std::unique_ptr<ParamsCache>>
-    build(const ServeModelConfig &cfg);
+    build(const ServeModelConfig &cfg, bool calibrate_levels = true);
 
     const ServeModelConfig &config() const { return cfg_; }
     const Network &net() const { return *net_; }

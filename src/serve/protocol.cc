@@ -56,6 +56,7 @@ wireToStatusCode(WireStatus ws)
         return StatusCode::InvalidArgument;
       case WireStatus::Unavailable: return StatusCode::Unavailable;
       case WireStatus::Internal: return StatusCode::IoError;
+      case WireStatus::WorkerLost: return StatusCode::WorkerLost;
     }
     return StatusCode::IoError;
 }
@@ -72,6 +73,7 @@ statusCodeToWire(StatusCode code)
       case StatusCode::InvalidArgument:
         return WireStatus::InvalidArgument;
       case StatusCode::Unavailable: return WireStatus::Unavailable;
+      case StatusCode::WorkerLost: return WireStatus::WorkerLost;
       default: return WireStatus::Internal;
     }
 }
@@ -133,7 +135,7 @@ decodeHeader(const uint8_t *bytes)
     }
     const uint8_t ty = bytes[5];
     if (ty < static_cast<uint8_t>(MsgType::Infer)
-        || ty > static_cast<uint8_t>(MsgType::StatsReply)) {
+        || ty > static_cast<uint8_t>(MsgType::WorkerReady)) {
         return statusf(StatusCode::Corrupt, "unknown frame type %d",
                        ty);
     }

@@ -21,7 +21,10 @@
  * All integers are little-endian.  An Infer body is the input image
  * as raw IEEE-754 float32, CHW order, exactly the model's input
  * element count; an InferReply body is the network output the same
- * way.  Stats has an empty body; a StatsReply body is a JSON text.
+ * way.  Stats and Health have empty bodies; StatsReply and
+ * HealthReply bodies are JSON texts.  WorkerReady (empty body) is the
+ * boot handshake a spawned worker sends its supervisor over their
+ * socketpair; it reuses this framing but never crosses TCP.
  *
  * Replies may arrive out of order relative to pipelined requests
  * (rejections overtake computed replies); the request id is the
@@ -49,10 +52,14 @@ constexpr uint32_t kMaxBodyBytes = 64u << 20;
 
 /** Frame types. */
 enum class MsgType : uint8_t {
-    Infer = 1,      ///< Client -> server: one input image.
-    Stats = 2,      ///< Client -> server: stats snapshot request.
-    InferReply = 3, ///< Server -> client: output or a typed failure.
-    StatsReply = 4, ///< Server -> client: JSON stats body.
+    Infer = 1,       ///< Client -> server: one input image.
+    Stats = 2,       ///< Client -> server: stats snapshot request.
+    InferReply = 3,  ///< Server -> client: output or a typed failure.
+    StatsReply = 4,  ///< Server -> client: JSON stats body.
+    Health = 5,      ///< Client -> server: supervision health probe.
+    HealthReply = 6, ///< Server -> client: JSON health body.
+    WorkerReady = 7, ///< Worker -> supervisor: boot handshake
+                     ///< (internal; never crosses the TCP boundary).
 };
 
 /** Stable on-wire result codes (a subset of StatusCode). */
@@ -65,6 +72,8 @@ enum class WireStatus : uint8_t {
     Unavailable = 5,      ///< Execution failed past every retry, or
                           ///< the server is shutting down.
     Internal = 6,
+    WorkerLost = 7,       ///< The worker process handling the request
+                          ///< died, and so did its one re-dispatch.
 };
 
 /** Map a wire code to the in-process status code. */

@@ -17,7 +17,12 @@
  *                     faults, and write replies.  Engines are
  *                     per-worker (Serving mode is thread-confined);
  *                     the network and plans behind them are shared
- *                     and read-only.
+ *                     and read-only.  With crash isolation on
+ *                     (cfg.worker_exe), worker threads own no engines
+ *                     at all: each proxies its requests to one slot of
+ *                     a supervised worker-process pool (supervisor.hh)
+ *                     and inference crashes kill a child, not the
+ *                     daemon.
  *
  * Replies may be written by readers (rejections, stats) and workers
  * (results) concurrently, so each connection carries a write mutex;
@@ -57,6 +62,7 @@
 #include "serve/protocol.hh"
 #include "serve/queue.hh"
 #include "serve/stats.hh"
+#include "serve/supervisor.hh"
 #include "util/cancel.hh"
 #include "util/debug_mutex.hh"
 #include "util/io.hh"
@@ -88,6 +94,33 @@ struct ServerConfig
      * by the queue capacity.
      */
     bool ladder_enabled = true;
+
+    /**
+     * Crash isolation: non-empty spawns a supervised pool of worker
+     * *processes* (one per worker thread, executing this binary with
+     * --worker-fd) and the worker threads become dispatch proxies.
+     * Empty keeps inference in-process — the baseline where one crash
+     * kills the daemon — which is what unit tests and the
+     * no-supervisor bench arm use.
+     */
+    std::string worker_exe;
+    /** Extra argv for each worker (e.g. --threads, --worker-fault). */
+    std::vector<std::string> worker_extra_args;
+
+    int restart_backoff_ms = 50;       ///< Worker respawn backoff.
+    int restart_backoff_cap_ms = 2000; ///< Backoff ceiling.
+    int storm_restarts = 5;            ///< Breaker: events over ...
+    int storm_window_ms = 10000;       ///< ... this window open it.
+
+    /**
+     * Shadow-audit guardrail: every audit_rate-th predictive Ok reply
+     * is re-run in exact mode off the hot path; 0 disables.  A
+     * divergence rate above audit_budget over the sample window vetoes
+     * the Predictive level for audit_cooldown_ms.
+     */
+    int audit_rate = 0;
+    double audit_budget = 0.05;
+    int audit_cooldown_ms = 5000;
 };
 
 /** A running serving instance. */
@@ -121,6 +154,9 @@ class Server
     /** The current stats snapshot (same JSON the Stats message gets). */
     std::string statsJson() const;
 
+    /** The supervision health snapshot (the HEALTH reply body). */
+    std::string healthJson() const;
+
     /** Counters, for in-process harnesses (bench, tests). */
     const ServeStats &stats() const { return stats_; }
 
@@ -145,11 +181,18 @@ class Server
         std::unique_ptr<CancelToken> token; ///< Deadline child token.
     };
 
+    /** One sampled predictive reply queued for exact re-execution. */
+    struct AuditJob
+    {
+        std::string input;         ///< Raw float32 request body.
+        size_t predicted_top1 = 0; ///< Argmax of the shipped reply.
+    };
+
     explicit Server(const ServerConfig &cfg);
 
     void acceptLoop();
     void readerLoop(std::shared_ptr<Connection> conn);
-    void workerLoop();
+    void workerLoop(size_t idx);
 
     /** Admission control for one Infer frame (reader thread). */
     void admit(const std::shared_ptr<Connection> &conn,
@@ -158,6 +201,22 @@ class Server
     /** Execute one request at @p level on @p engine (worker thread). */
     void runRequest(Request &req, ServeLevel level,
                     SnapeaEngine &engine);
+
+    /** Dispatch one request to pool slot @p idx (worker thread). */
+    void runRequestPool(Request &req, ServeLevel level, size_t idx);
+
+    /**
+     * Sync the ladder overrides with reality: pin Reject while the
+     * pool's crash-storm breaker is open, clear an expired audit
+     * veto.  Called at admission and per worker batch — cheap.
+     */
+    void refreshControlState();
+
+    /** Sample a predictive Ok reply into the audit queue (maybe). */
+    void maybeAudit(const Request &req, std::string_view reply_body);
+
+    /** The audit thread: exact re-runs, divergence bookkeeping. */
+    void auditLoop();
 
     void sendReply(Connection &conn, MsgType type, uint64_t req_id,
                    WireStatus ws, ServeLevel level,
@@ -172,6 +231,16 @@ class Server
     BoundedQueue<Request> queue_;
     DegradationLadder ladder_;
     ServeStats stats_;
+
+    /** The supervised worker-process pool; null in in-process mode. */
+    std::unique_ptr<WorkerPool> pool_;
+
+    /** Shadow-audit state (cfg_.audit_rate > 0 only). */
+    std::unique_ptr<BoundedQueue<AuditJob>> audit_queue_;
+    std::thread audit_thread_;
+    std::atomic<uint64_t> predictive_ok_{0};
+    std::atomic<bool> audit_veto_{false};
+    std::atomic<int64_t> veto_until_ns_{0};
 
     /** Parent of every per-request deadline token. */
     CancelToken session_token_;

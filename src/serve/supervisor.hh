@@ -1,0 +1,271 @@
+/**
+ * @file
+ * The crash-isolation layer of snapea_serve: a supervised pool of
+ * worker *processes* (DESIGN.md §5g).
+ *
+ * In-process serving dies with its first wild pointer: one bad
+ * request takes out the daemon, every queued request, and every open
+ * connection.  The supervised pool moves inference into fork/exec'd
+ * worker processes so a crash is a contained event:
+ *
+ *   supervisor   -- owns the listening socket, the bounded queue, the
+ *                   degradation ladder, and the stats; never runs
+ *                   model code on the request path.
+ *   workers      -- each builds its own engine pair from the same
+ *                   deterministic ParamsCache recipe (same seed, same
+ *                   plans => bitwise-identical replies across
+ *                   processes and restarts) and answers one request
+ *                   at a time over a UNIX socketpair, speaking the
+ *                   same CRC32-framed protocol as the TCP boundary.
+ *
+ * Supervision contract:
+ *
+ *  - Worker death is detected two ways: the dispatching thread sees
+ *    EOF on the command stream mid-request, and a monitor thread
+ *    (woken by SIGCHLD through a self-pipe, with a timed fallback
+ *    tick) reaps workers that die idle.
+ *  - A dead worker is restarted with capped exponential backoff; a
+ *    successful request resets the slot's backoff.
+ *  - Re-dispatch is at-most-once: a request in flight on a dying
+ *    worker is re-sent to a fresh worker exactly one time.  If the
+ *    replacement dies on it too, the request is the likely murder
+ *    weapon (a poison input) and fails with WorkerLost instead of
+ *    crash-looping the pool.
+ *  - Restarts and failed spawns feed a crash-storm circuit breaker:
+ *    more than storm_restarts events inside storm_window_ms opens the
+ *    breaker, execute() refuses with Unavailable, the server pins the
+ *    ladder at Reject, and HEALTH reports unhealthy.  The breaker
+ *    closes by itself once the event window drains.
+ *
+ * Thread-safety: execute() is called concurrently, one slot per
+ * server worker thread; the monitor thread touches only slots that
+ * are neither busy (a dispatch owns them) nor mid-spawn.
+ */
+
+#ifndef SNAPEA_SERVE_SUPERVISOR_HH
+#define SNAPEA_SERVE_SUPERVISOR_HH
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "serve/ladder.hh"
+#include "serve/params_cache.hh"
+#include "serve/protocol.hh"
+#include "util/cancel.hh"
+#include "util/debug_mutex.hh"
+#include "util/status.hh"
+#include "util/subprocess.hh"
+
+namespace snapea::serve {
+
+/** Everything a worker pool is configured by. */
+struct WorkerPoolConfig
+{
+    std::string exe;                      ///< snapea_serve binary.
+    std::vector<std::string> worker_args; ///< After "--worker-fd 3".
+    int workers = 1;                      ///< Pool size (>= 1).
+
+    int restart_backoff_ms = 50;       ///< First respawn delay.
+    int restart_backoff_cap_ms = 2000; ///< Backoff ceiling.
+
+    /** Breaker opens when more than this many worker deaths / failed
+     *  spawns land inside one storm_window_ms. */
+    int storm_restarts = 5;
+    int storm_window_ms = 10000;
+
+    /** Budget for a spawned worker to reach WorkerReady (it builds a
+     *  full model first; generous by default). */
+    int spawn_timeout_ms = 120000;
+};
+
+/** Aggregate pool condition, reported by the HEALTH probe. */
+enum class PoolHealth {
+    Ready,     ///< Every worker is up.
+    Degraded,  ///< Some worker is down or mid-restart.
+    Unhealthy, ///< Crash-storm breaker open: serving is refused.
+};
+
+/** Stable lower-case name ("ready", "degraded", "unhealthy"). */
+const char *poolHealthName(PoolHealth health);
+
+/** Per-worker slice of a health snapshot. */
+struct WorkerHealth
+{
+    pid_t pid = -1;        ///< Current pid; -1 while down.
+    bool alive = false;
+    uint64_t restarts = 0; ///< Respawns after the initial boot.
+};
+
+/** One consistent observation of the pool, for the HEALTH reply. */
+struct HealthSnapshot
+{
+    PoolHealth state = PoolHealth::Ready;
+    bool breaker_open = false;
+    uint64_t restarts = 0;     ///< Sum of per-worker restarts.
+    uint64_t redispatches = 0; ///< Requests re-sent after a death.
+    uint64_t worker_lost = 0;  ///< Requests failed after re-dispatch.
+    std::vector<WorkerHealth> workers;
+
+    std::string toJson() const;
+};
+
+/** A worker's answer to one dispatched request. */
+struct PoolReply
+{
+    WireStatus status = WireStatus::Ok;
+    int level = 0;    ///< ServeLevel the worker actually ran at.
+    std::string body; ///< Raw float32 output when status == Ok.
+};
+
+/** The supervisor-side pool of worker processes. */
+class WorkerPool
+{
+  public:
+    /**
+     * Spawn cfg.workers workers and wait for every WorkerReady
+     * handshake.  Any boot failure fails the whole start (a daemon
+     * that cannot field one worker should not take traffic).
+     */
+    static StatusOr<std::unique_ptr<WorkerPool>>
+    start(const WorkerPoolConfig &cfg);
+
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /**
+     * Run one request on slot @p idx (each server worker thread owns
+     * one slot).  Ensures the slot has a live worker (respawning
+     * through backoff if needed; @p token aborts the wait), dispatches,
+     * and on a mid-request worker death re-dispatches exactly once.
+     * Errors: WorkerLost after the re-dispatch also died, Unavailable
+     * when the breaker is open / spawn failed / pool shut down,
+     * Cancelled or DeadlineExceeded when @p token tripped first.
+     */
+    StatusOr<PoolReply> execute(size_t idx, ServeLevel level,
+                                std::string_view input,
+                                const CancelToken *token);
+
+    /** Consistent snapshot for the HEALTH probe and shutdown logs
+     *  (non-const: taking one also prunes the breaker window). */
+    HealthSnapshot health();
+
+    /** Re-evaluate and report the crash-storm breaker (the window is
+     *  pruned on every call, so an open breaker closes by itself). */
+    bool breakerOpen();
+
+    /** Number of slots (== config workers).  The vector itself is
+     *  sized once at start() and never re-sized; only the Slot fields
+     *  need mu_. */
+    size_t size() const { return slots_.size(); } // snapea-lint: allow(SL013)
+
+    /**
+     * Stop the monitor, close every command stream (workers exit 0 on
+     * the EOF), and reap them, escalating to SIGKILL on a hang.  Call
+     * only once no execute() is in flight (the server joins its
+     * worker threads first).  Idempotent.
+     */
+    void shutdown();
+
+  private:
+    /** One worker process slot. */
+    struct Slot
+    {
+        OwnedFd fd;           ///< Parent end of the command stream.
+        pid_t pid = -1;
+        bool alive = false;
+        bool busy = false;     ///< A dispatch owns the slot.
+        bool spawning = false; ///< A (re)spawn owns the slot.
+        uint64_t restarts = 0;
+        int backoff_ms = 0;        ///< Next respawn delay; 0 = none.
+        int64_t next_spawn_ns = 0; ///< Earliest respawn time.
+    };
+
+    /** A freshly booted worker (spawn + WorkerReady handshake). */
+    struct SpawnedWorker
+    {
+        OwnedFd fd;
+        pid_t pid = -1;
+    };
+
+    explicit WorkerPool(const WorkerPoolConfig &cfg);
+
+    /** fork/exec one worker and wait for its WorkerReady. */
+    StatusOr<SpawnedWorker> spawnWorker();
+
+    /** Block until slot @p idx has a live worker and mark it busy. */
+    Status ensureWorker(size_t idx, const CancelToken *token);
+
+    /**
+     * One dispatch on a live, busy slot.  Sets @p *lost (and retires
+     * the dead worker) when the worker vanished mid-request.
+     */
+    StatusOr<PoolReply> dispatchOnce(size_t idx, ServeLevel level,
+                                     std::string_view input,
+                                     bool *lost);
+
+    /** Retire a worker observed dead: reap, backoff, breaker event.
+     *  @p kill_first SIGKILLs it before reaping (protocol desync). */
+    void retireWorker(size_t idx, bool kill_first = false);
+
+    /** These helpers require mu_ held by the caller. */
+    void recordBreakerEventLocked(int64_t now_ns);
+    void bumpBackoffLocked(Slot &slot, int64_t now_ns);
+    bool breakerOpenLocked(int64_t now_ns);
+
+    void monitorLoop();
+
+    const WorkerPoolConfig cfg_;
+
+    mutable DebugMutex mu_{"WorkerPool::mu_"};
+    DebugCondVar cv_;
+    std::vector<Slot> slots_ SNAPEA_GUARDED_BY(mu_);
+    /** Timestamps (ns) of recent deaths/failed spawns. */
+    std::deque<int64_t> breaker_events_ SNAPEA_GUARDED_BY(mu_);
+
+    std::atomic<bool> breaker_open_{false};
+    std::atomic<uint64_t> redispatches_{0};
+    std::atomic<uint64_t> worker_lost_{0};
+    std::atomic<uint64_t> req_counter_{0};
+    std::atomic<bool> stop_{false};
+    std::atomic<bool> shut_down_{false};
+
+    std::thread monitor_;
+};
+
+/** Configuration of one worker process's main loop. */
+struct WorkerMainConfig
+{
+    int fd = kWorkerCommandFd; ///< Command stream to the supervisor.
+    ServeModelConfig model;
+    int retry_attempts = 3;
+    int retry_backoff_ms = 10;
+    /** Fault spec armed *after* the engines are built (mirrors the
+     *  daemon's post-boot --fault arming), so injected faults land on
+     *  the request path, not on boot. */
+    std::string fault_spec;
+};
+
+/**
+ * The worker process body: build the engine pair (ParamsCache with
+ * calibration skipped — the supervisor owns the calibrated profile),
+ * send WorkerReady, then answer Infer frames one at a time until EOF.
+ * On the command stream, a request's aux field carries the ServeLevel
+ * (not a deadline — deadlines are enforced supervisor-side).  Returns
+ * the process exit code: 0 on a clean EOF drain, 1 on a protocol or
+ * boot error.
+ */
+int runWorkerMain(const WorkerMainConfig &cfg);
+
+} // namespace snapea::serve
+
+#endif // SNAPEA_SERVE_SUPERVISOR_HH

@@ -1,6 +1,9 @@
 #include "util/fault.hh"
 
+#include <unistd.h>
+
 #include <atomic>
+#include <csignal>
 #include <chrono>
 #include <cstdlib>
 #include <mutex>
@@ -21,6 +24,7 @@ faultDomainName(FaultDomain domain)
       case FaultDomain::Compute: return "compute";
       case FaultDomain::Alloc: return "alloc";
       case FaultDomain::Slow: return "slow";
+      case FaultDomain::Crash: return "crash";
     }
     return "?";
 }
@@ -39,7 +43,7 @@ constexpr OpInfo kOps[] = {
     {FaultDomain::Io, "write"},     {FaultDomain::Io, "fsync"},
     {FaultDomain::Io, "rename"},    {FaultDomain::Io, "lock"},
     {FaultDomain::Compute, "task"}, {FaultDomain::Alloc, "tensor"},
-    {FaultDomain::Slow, "task"},
+    {FaultDomain::Slow, "task"},    {FaultDomain::Crash, "worker"},
 };
 constexpr int kNumOps = sizeof(kOps) / sizeof(kOps[0]);
 
@@ -82,7 +86,8 @@ bool
 parseDomainName(const std::string &name, FaultDomain &domain)
 {
     for (FaultDomain d : {FaultDomain::Io, FaultDomain::Compute,
-                          FaultDomain::Alloc, FaultDomain::Slow}) {
+                          FaultDomain::Alloc, FaultDomain::Slow,
+                          FaultDomain::Crash}) {
         if (name == faultDomainName(d)) {
             domain = d;
             return true;
@@ -181,8 +186,14 @@ setFaultSpec(const std::string &spec)
     return st;
 }
 
+namespace {
+
+/** Shared core of the checkpoints: count the operation, report a
+ *  match, and expose the occurrence ordinal (the crash domain keys
+ *  its manner of death on it). */
 bool
-faultShouldFail(FaultDomain domain, const char *op)
+shouldFailCounted(FaultDomain domain, const char *op,
+                  uint64_t *count_out)
 {
     FaultState &state = faultState();
     if (!state.maybe_active.load(std::memory_order_relaxed))
@@ -195,11 +206,43 @@ faultShouldFail(FaultDomain domain, const char *op)
     if (idx < 0)
         return false;
     const uint64_t count = ++state.counts[idx];
+    if (count_out)
+        *count_out = count;
     for (const FaultRule &rule : state.rules) {
         if (rule.op == idx && (rule.every || rule.nth == count))
             return true;
     }
     return false;
+}
+
+} // namespace
+
+bool
+faultShouldFail(FaultDomain domain, const char *op)
+{
+    return shouldFailCounted(domain, op, nullptr);
+}
+
+void
+faultCrashPoint(const char *site)
+{
+    uint64_t hit = 0;
+    if (!shouldFailCounted(FaultDomain::Crash, site, &hit))
+        return;
+    // The manner of death cycles with the hit ordinal so one spec
+    // covers a wild pointer, a tripped assertion, and a silent exit.
+    // These are the whole point of the crash domain — the terminators
+    // below are injected deaths under test, not library error paths.
+    switch ((hit - 1) % 3) {
+      case 0:
+        raise(SIGSEGV);
+        break;
+      case 1:
+        abort(); // snapea-lint: allow(SL001)
+        break;
+      default:
+        _exit(42); // snapea-lint: allow(SL001)
+    }
 }
 
 namespace {

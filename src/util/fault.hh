@@ -19,6 +19,14 @@
  *       a thread-pool task stalls until the watchdog budget elapses,
  *       then throws TransientError — a hang surfaces as a transient
  *       failure the supervisor can retry.
+ *   crash:worker
+ *       the process dies at a faultCrashPoint() checkpoint (the
+ *       serving worker request loop).  The manner of death cycles
+ *       with the hit ordinal — 1st SIGSEGV, 2nd SIGABRT, 3rd
+ *       _exit(42), then around again — so one spec exercises every
+ *       way a worker can vanish.  Counters are per process: in a
+ *       supervised pool, crash:worker:<nth> makes each fresh worker
+ *       die at its own nth request.
  *
  * The occurrence counters are process-global and only advance while a
  * spec is active, so the same spec fires at the same operation every
@@ -43,6 +51,7 @@ enum class FaultDomain {
     Compute,
     Alloc,
     Slow,
+    Crash,
 };
 
 /** Stable lower-case name used in SNAPEA_FAULT specs. */
@@ -85,6 +94,17 @@ bool faultShouldFail(FaultDomain domain, const char *op);
  * does not count.
  */
 void faultTaskPoint();
+
+/**
+ * One process-death checkpoint for the crash: domain.  @p site names
+ * the checkpoint ("worker" in the serving request loops).  When the
+ * active spec matches, the process dies on the spot — SIGSEGV,
+ * SIGABRT, or _exit(42), cycling with the hit ordinal; otherwise this
+ * is a counted no-op.  Crash-containment plumbing (the serving
+ * supervisor's re-dispatch and restart paths) is testable exactly
+ * because the death is deterministic in the request ordinal.
+ */
+void faultCrashPoint(const char *site);
 
 /**
  * Watchdog budget in milliseconds for stalled tasks (slow: domain).

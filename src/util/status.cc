@@ -19,6 +19,7 @@ statusCodeName(StatusCode code)
       case StatusCode::Overloaded: return "overloaded";
       case StatusCode::Cancelled: return "cancelled";
       case StatusCode::DeadlineExceeded: return "deadline exceeded";
+      case StatusCode::WorkerLost: return "worker lost";
     }
     return "?";
 }

@@ -42,6 +42,8 @@ enum class StatusCode {
     Cancelled,
     /** The work's deadline elapsed before it finished. */
     DeadlineExceeded,
+    /** The worker process handling the request died (crash, kill). */
+    WorkerLost,
 };
 
 /** Stable lower-case name of a status code ("corrupt", ...). */

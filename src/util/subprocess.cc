@@ -1,0 +1,181 @@
+#include "util/subprocess.hh"
+
+#include <errno.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+
+#ifdef __linux__
+#include <sys/syscall.h>
+#endif
+
+namespace snapea {
+
+void
+OwnedFd::reset()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = -1;
+}
+
+StatusOr<SocketPair>
+makeSocketPair()
+{
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+        return statusf(StatusCode::IoError, "socketpair: %s",
+                       std::strerror(errno));
+    }
+    SocketPair sp;
+    sp.parent = OwnedFd(fds[0]);
+    sp.child = OwnedFd(fds[1]);
+    return sp;
+}
+
+namespace {
+
+/**
+ * Close every descriptor above @p keep_max in the child.  Uses the
+ * close_range syscall when the kernel has it; the fallback loop is a
+ * bounded sweep of plain close() calls.  Everything here is
+ * async-signal-safe.
+ */
+void
+closeDescriptorsAbove(int keep_max)
+{
+#if defined(__linux__) && defined(SYS_close_range)
+    if (::syscall(SYS_close_range,
+                  static_cast<unsigned>(keep_max + 1), ~0u, 0u) == 0)
+        return;
+#endif
+    const long limit = ::sysconf(_SC_OPEN_MAX);
+    const int max_fd =
+        limit > 0 && limit < 4096 ? static_cast<int>(limit) : 4096;
+    for (int fd = keep_max + 1; fd < max_fd; ++fd)
+        ::close(fd);
+}
+
+} // namespace
+
+StatusOr<pid_t>
+spawnProcess(const SpawnSpec &spec)
+{
+    // argv must be ready before fork: no allocation is allowed after.
+    std::vector<std::string> strings;
+    strings.reserve(spec.args.size() + 1);
+    strings.push_back(spec.exe);
+    for (const std::string &a : spec.args)
+        strings.push_back(a);
+    std::vector<char *> argv;
+    argv.reserve(strings.size() + 1);
+    for (std::string &s : strings)
+        argv.push_back(s.data());
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        return statusf(StatusCode::IoError, "fork: %s",
+                       std::strerror(errno));
+    }
+    if (pid == 0) {
+        // Child: async-signal-safe calls only until exec.
+        if (spec.child_fd >= 0) {
+            if (spec.child_fd != kWorkerCommandFd) {
+                if (::dup2(spec.child_fd, kWorkerCommandFd) < 0)
+                    _exit(127); // snapea-lint: allow(SL001)
+                ::close(spec.child_fd);
+            }
+            closeDescriptorsAbove(kWorkerCommandFd);
+        } else {
+            closeDescriptorsAbove(2);
+        }
+        ::execv(argv[0], argv.data());
+        _exit(127); // snapea-lint: allow(SL001)
+    }
+    return pid;
+}
+
+StatusOr<bool>
+reapProcess(pid_t pid, int *wait_status)
+{
+    int st = 0;
+    const pid_t got = ::waitpid(pid, &st, WNOHANG);
+    if (got == pid) {
+        if (wait_status)
+            *wait_status = st;
+        return true;
+    }
+    if (got == 0)
+        return false;
+    return statusf(StatusCode::IoError, "waitpid(%d): %s",
+                   static_cast<int>(pid), std::strerror(errno));
+}
+
+Status
+reapWithDeadline(pid_t pid, int *wait_status, int timeout_ms)
+{
+    // Poll in 10 ms steps; counting steps (instead of reading a
+    // clock) keeps this layer deterministic-tool friendly, and the
+    // granularity error is irrelevant for a kill escalation budget.
+    constexpr int kStepMs = 10;
+    const int steps = timeout_ms > 0 ? (timeout_ms + kStepMs - 1) / kStepMs : 0;
+    for (int i = 0; i <= steps; ++i) {
+        StatusOr<bool> done = reapProcess(pid, wait_status);
+        if (!done.ok())
+            return done.status();
+        if (done.value())
+            return Status();
+        if (i < steps) {
+            struct timespec ts = {0, kStepMs * 1000000L};
+            ::nanosleep(&ts, nullptr);
+        }
+    }
+    // Budget spent: escalate.  SIGKILL cannot be blocked, so the
+    // blocking waitpid below terminates promptly.
+    ::kill(pid, SIGKILL);
+    int st = 0;
+    if (::waitpid(pid, &st, 0) != pid) {
+        return statusf(StatusCode::IoError,
+                       "waitpid(%d) after SIGKILL: %s",
+                       static_cast<int>(pid), std::strerror(errno));
+    }
+    if (wait_status)
+        *wait_status = st;
+    return Status();
+}
+
+Status
+signalProcess(pid_t pid, int signo)
+{
+    if (::kill(pid, signo) != 0) {
+        return statusf(StatusCode::IoError, "kill(%d, %d): %s",
+                       static_cast<int>(pid), signo,
+                       std::strerror(errno));
+    }
+    return Status();
+}
+
+std::string
+describeWaitStatus(int wait_status)
+{
+    char buf[64];
+    if (WIFEXITED(wait_status)) {
+        std::snprintf(buf, sizeof(buf), "exited %d",
+                      WEXITSTATUS(wait_status));
+    } else if (WIFSIGNALED(wait_status)) {
+        std::snprintf(buf, sizeof(buf), "killed by signal %d",
+                      WTERMSIG(wait_status));
+    } else {
+        std::snprintf(buf, sizeof(buf), "wait status 0x%x",
+                      wait_status);
+    }
+    return buf;
+}
+
+} // namespace snapea

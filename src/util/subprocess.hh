@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Minimal process-supervision primitives: fork/exec spawning with a
+ * single inherited descriptor, UNIX socketpairs for command streams,
+ * and per-pid reaping.
+ *
+ * This is the util-layer substrate under the serving supervisor
+ * (serve/supervisor): the supervisor decides *when* to spawn,
+ * restart, or give up on a worker; this file only knows *how* to
+ * start a process with one bidirectional byte stream attached and
+ * how to collect its exit status without stealing other children.
+ *
+ * Design constraints:
+ *
+ *  - Between fork() and exec() only async-signal-safe calls run
+ *    (dup2/close/execv/_exit): the parent is multi-threaded, so the
+ *    child may hold arbitrary lock states in its copied memory.
+ *  - Every descriptor except std{in,out,err} and the one remapped
+ *    command fd is closed in the child before exec.  Workers must not
+ *    inherit the listening socket, client connections, the daemon
+ *    lock, or sibling workers' command streams: an orphaned worker
+ *    holding those would pin the port and keep peers from seeing EOF.
+ *  - Reaping is always by explicit pid (never waitpid(-1)), so this
+ *    layer composes with test harnesses and other subsystems that
+ *    fork their own children.
+ */
+
+#ifndef SNAPEA_UTIL_SUBPROCESS_HH
+#define SNAPEA_UTIL_SUBPROCESS_HH
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+#include "util/status.hh"
+
+namespace snapea {
+
+/** Owning file descriptor (close-on-destroy, move-only). */
+class OwnedFd
+{
+  public:
+    OwnedFd() = default;
+    explicit OwnedFd(int fd) : fd_(fd) {}
+    ~OwnedFd() { reset(); }
+
+    OwnedFd(OwnedFd &&other) noexcept : fd_(other.release()) {}
+    OwnedFd &operator=(OwnedFd &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = other.release();
+        }
+        return *this;
+    }
+    OwnedFd(const OwnedFd &) = delete;
+    OwnedFd &operator=(const OwnedFd &) = delete;
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    /** Give up ownership without closing. */
+    int release()
+    {
+        const int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+    /** Close (if open) and forget. */
+    void reset();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * The descriptor a spawned worker finds its command stream on: the
+ * child half of the socketpair is dup2()ed here before exec.
+ */
+constexpr int kWorkerCommandFd = 3;
+
+/** One connected AF_UNIX SOCK_STREAM pair. */
+struct SocketPair
+{
+    OwnedFd parent; ///< Kept by the spawning process (CLOEXEC).
+    OwnedFd child;  ///< Remapped to kWorkerCommandFd in the child.
+};
+
+/** Create a connected socketpair for a parent/worker command stream. */
+StatusOr<SocketPair> makeSocketPair();
+
+/** What to exec and which descriptor the child keeps. */
+struct SpawnSpec
+{
+    std::string exe;               ///< Absolute path to execv().
+    std::vector<std::string> args; ///< argv[1..]; argv[0] is exe.
+    int child_fd = -1; ///< dup2()ed to kWorkerCommandFd; -1 = none.
+};
+
+/**
+ * fork/exec @p spec.  In the child: remap child_fd, close every other
+ * descriptor above stderr, execv.  Exec failure surfaces to the
+ * parent as a child that exited 127 (there is no way to return an
+ * error across a completed fork without extra plumbing, and the
+ * supervisor's boot handshake catches it either way).
+ */
+StatusOr<pid_t> spawnProcess(const SpawnSpec &spec);
+
+/**
+ * Non-blocking reap of exactly @p pid.  Returns true (and fills
+ * @p wait_status) once the child has been collected, false while it
+ * is still running.  IoError when the pid is not a child of this
+ * process (already reaped elsewhere).
+ */
+StatusOr<bool> reapProcess(pid_t pid, int *wait_status);
+
+/**
+ * Reap @p pid, waiting up to @p timeout_ms; past the budget the child
+ * is SIGKILLed and collected for real.  Fills @p wait_status.
+ */
+Status reapWithDeadline(pid_t pid, int *wait_status, int timeout_ms);
+
+/** kill(2) wrapper with a Status result. */
+Status signalProcess(pid_t pid, int signo);
+
+/** "exited 42" / "killed by signal 11", for logs and statuses. */
+std::string describeWaitStatus(int wait_status);
+
+} // namespace snapea
+
+#endif // SNAPEA_UTIL_SUBPROCESS_HH

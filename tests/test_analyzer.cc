@@ -277,6 +277,44 @@ TEST(AnalyzerIncludes, TestsTierIsUnrestricted)
     EXPECT_EQ(run.exit_code, 0) << run.output;
 }
 
+TEST(AnalyzerIncludes, SupervisionLayeringShape)
+{
+    // The crash-isolation split's include shape: the serve-layer
+    // supervisor may reach down to util (subprocess spawning, fault
+    // hooks), but the util-layer subprocess helper must never know
+    // about the supervisor above it.
+    FixtureTree tree("layersuper");
+    tree.write("src/util/subprocess.hh",
+               "#pragma once\nint spawn_f();\n");
+    tree.write("src/util/fault.hh", "#pragma once\nvoid crash_f();\n");
+    tree.write("src/serve/supervisor.hh",
+               "#pragma once\n"
+               "#include \"util/subprocess.hh\"\n"
+               "#include \"util/fault.hh\"\n"
+               "int pool_f();\n");
+    tree.write("src/serve/supervisor.cc",
+               "#include \"serve/supervisor.hh\"\n"
+               "int pool_f() { return spawn_f(); }\n");
+    const AnalyzeRun clean = runAnalyze(tree.rootArg());
+    EXPECT_EQ(clean.exit_code, 0) << clean.output;
+
+    // Add one upward edge: util reaching into serve must fire SL012
+    // (a serve header with no downward includes, so no SL011 cycle
+    // confuses the verdict).
+    tree.write("src/serve/health.hh",
+               "#pragma once\nint health_f();\n");
+    tree.write("src/util/subprocess.hh",
+               "#pragma once\n"
+               "#include \"serve/health.hh\"\n"
+               "int spawn_f();\n");
+    const AnalyzeRun bad = runAnalyze(tree.rootArg());
+    EXPECT_EQ(bad.exit_code, 1) << bad.output;
+    EXPECT_NE(bad.output.find("[SL012 "), std::string::npos)
+        << bad.output;
+    EXPECT_NE(bad.output.find("subprocess.hh"), std::string::npos)
+        << bad.output;
+}
+
 TEST(AnalyzerIncludes, LayeringAllowSuppresses)
 {
     FixtureTree tree("layerallow");

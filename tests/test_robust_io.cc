@@ -10,6 +10,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <csignal>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
@@ -23,6 +24,7 @@
 #include "nn/conv.hh"
 #include "nn/models/model_zoo.hh"
 #include "nn/serialize.hh"
+#include "util/fault.hh"
 #include "util/io.hh"
 #include "util/random.hh"
 #include "util/status.hh"
@@ -738,4 +740,57 @@ TEST(FaultInject, CacheReadFaultDegradesToMissThenRecovers)
     ASSERT_TRUE(loadModeResult(path, out));
     expectModeEqual(res, out);
     fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------
+// Crash faults: SNAPEA_FAULT=crash:worker:<nth> kills the process at
+// the nth crash checkpoint, and the manner of death cycles with the
+// hit ordinal (SIGSEGV, SIGABRT, _exit(42)) so one spec exercises a
+// wild pointer, a tripped assertion, and a silent exit.  The
+// DeathTest suffix makes gtest run these first, in forked children.
+
+TEST(FaultInjectDeathTest, CrashSpecParsing)
+{
+    EXPECT_TRUE(setFaultSpec("crash:worker:1").ok());
+    EXPECT_TRUE(setFaultSpec("crash:worker:*").ok());
+    EXPECT_FALSE(setFaultSpec("crash:explode:1").ok());
+    EXPECT_FALSE(setFaultSpec("crash:worker:0").ok());
+    EXPECT_TRUE(setFaultSpec("").ok());
+}
+
+TEST(FaultInjectDeathTest, OrdinalsCycleSegvAbortExit)
+{
+    // Each spec arms exactly one ordinal; the ordinal picks the death.
+    EXPECT_EXIT({
+        FaultGuard guard("crash:worker:1");
+        faultCrashPoint("worker");
+    }, testing::KilledBySignal(SIGSEGV), "");
+    EXPECT_EXIT({
+        FaultGuard guard("crash:worker:2");
+        faultCrashPoint("worker");  // hit 1: counted no-op
+        faultCrashPoint("worker");  // hit 2: dies
+    }, testing::KilledBySignal(SIGABRT), "");
+    EXPECT_EXIT({
+        FaultGuard guard("crash:worker:3");
+        faultCrashPoint("worker");
+        faultCrashPoint("worker");
+        faultCrashPoint("worker");
+    }, testing::ExitedWithCode(42), "");
+}
+
+TEST(FaultInjectDeathTest, OrdinalsAreConsumedPerSiteOnly)
+{
+    ASSERT_TRUE(setFaultSpec("crash:worker:2").ok());
+    // Unknown sites neither fire nor advance the armed counter.
+    faultCrashPoint("elsewhere");
+    faultCrashPoint("elsewhere");
+    // Hit 1 of the armed site is below the ordinal: still alive.
+    faultCrashPoint("worker");
+    // Hit 2 matches.  The death happens in the EXPECT_EXIT child, but
+    // the parent's counter was spent by the fork, so disarm before
+    // touching the checkpoint again.
+    EXPECT_EXIT(faultCrashPoint("worker"),
+                testing::KilledBySignal(SIGABRT), "");
+    ASSERT_TRUE(setFaultSpec("").ok());
+    faultCrashPoint("worker");  // disarmed: a free pass-through
 }

@@ -1,10 +1,13 @@
 /**
  * @file
- * Tests for the statistics helpers.
+ * Tests for the statistics helpers and the serving-side counters
+ * (ServeStats), including the shadow-audit sliding window that backs
+ * the predictive-veto guardrail.
  */
 
 #include <gtest/gtest.h>
 
+#include "serve/stats.hh"
 #include "util/stats.hh"
 
 using namespace snapea;
@@ -77,4 +80,65 @@ TEST(Stats, RunningStatEmpty)
     EXPECT_EQ(rs.count(), 0u);
     EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
     EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+}
+
+// ---------------------------------------------------------------
+// ServeStats shadow-audit window
+
+TEST(ServeStatsAudit, WindowRateNeedsMinSamples)
+{
+    serve::ServeStats stats;
+    EXPECT_DOUBLE_EQ(stats.auditWindowRate(1), -1.0);
+    stats.recordAuditSample(true);
+    stats.recordAuditSample(false);
+    // Two samples: enough for min 2, not for min 3.
+    EXPECT_DOUBLE_EQ(stats.auditWindowRate(3), -1.0);
+    EXPECT_DOUBLE_EQ(stats.auditWindowRate(2), 0.5);
+    EXPECT_EQ(stats.auditSamplesTotal(), 2u);
+    EXPECT_EQ(stats.auditDivergentTotal(), 1u);
+}
+
+TEST(ServeStatsAudit, WindowSlidesOldVerdictsOut)
+{
+    serve::ServeStats stats;
+    // Fill the whole window with divergences...
+    for (int i = 0; i < 64; ++i)
+        stats.recordAuditSample(true);
+    EXPECT_DOUBLE_EQ(stats.auditWindowRate(1), 1.0);
+    // ...then overwrite it with clean verdicts: the rate must follow
+    // the window, not the lifetime counters.
+    for (int i = 0; i < 64; ++i)
+        stats.recordAuditSample(false);
+    EXPECT_DOUBLE_EQ(stats.auditWindowRate(1), 0.0);
+    EXPECT_EQ(stats.auditSamplesTotal(), 128u);
+    EXPECT_EQ(stats.auditDivergentTotal(), 64u);
+}
+
+TEST(ServeStatsAudit, ResetForgetsWindowButNotLifetime)
+{
+    serve::ServeStats stats;
+    for (int i = 0; i < 8; ++i)
+        stats.recordAuditSample(i % 2 == 0);
+    ASSERT_DOUBLE_EQ(stats.auditWindowRate(4), 0.5);
+    stats.resetAuditWindow();
+    EXPECT_DOUBLE_EQ(stats.auditWindowRate(1), -1.0);
+    EXPECT_EQ(stats.auditSamplesTotal(), 8u);
+    EXPECT_EQ(stats.auditDivergentTotal(), 4u);
+    // The window works again after a reset.
+    stats.recordAuditSample(true);
+    EXPECT_DOUBLE_EQ(stats.auditWindowRate(1), 1.0);
+}
+
+TEST(ServeStatsAudit, WorkerLostIsItsOwnOutcome)
+{
+    serve::ServeStats stats;
+    stats.recordWorkerLost();
+    stats.recordWorkerLost();
+    stats.recordFailed();
+    EXPECT_EQ(stats.workerLostTotal(), 2u);
+    EXPECT_EQ(stats.failedTotal(), 1u);
+    const std::string json = stats.toJson(
+        0, 64, serve::ServeLevel::Exact, {}, {}, true);
+    EXPECT_NE(json.find("\"worker_lost\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"audit\""), std::string::npos);
 }

@@ -24,10 +24,15 @@
 #      SNAPEA_SIMD=scalar forced, proving the dispatch override and
 #      the bitwise-equivalence contract both hold on this machine.
 #   5. A serving smoke: snapea_serve boots with an injected sporadic
-#      stall (slow:task under a tight watchdog), bench_serving drives
-#      closed-loop traffic at it for a couple of seconds asserting
-#      every reply is well-formed, and SIGTERM must produce a clean
-#      drain (exit 0, lock released).
+#      stall (slow:task in the worker processes, under a tight
+#      watchdog), bench_serving drives closed-loop traffic at it for
+#      a couple of seconds asserting every reply is well-formed, and
+#      SIGTERM must produce a clean drain (exit 0, lock released).
+#   6. A crash-isolation smoke: the daemon boots its supervised
+#      worker-process pool with --worker-fault crash:worker:3 (every
+#      worker dies on its 3rd request, cycling SIGSEGV/SIGABRT/
+#      _exit), the smoke client pounds it, and the daemon itself must
+#      stay up throughout and still drain cleanly on SIGTERM.
 #
 # Usage: tools/check.sh [--sanitize thread|address] [--labels REGEX]
 #                       [--list-allows] [build-dir-prefix]
@@ -155,14 +160,14 @@ if [ "$LIST_ALLOWS" -eq 1 ]; then
          --list-allows
 fi
 
-step "[1/7] configure + build, hardened warnings as errors"
+step "[1/8] configure + build, hardened warnings as errors"
 cmake -B "$ROOT/$PREFIX" -S "$ROOT" \
       -DSNAPEA_WERROR=ON -DSNAPEA_LINT=ON \
     || fail "configure ($PREFIX)"
 cmake --build "$ROOT/$PREFIX" -j "$JOBS" \
     || fail "-Werror build (warnings present or compile error)"
 
-step "[2/7] snapea_analyze over src/ tools/ bench/ tests/ + allow() baseline"
+step "[2/8] snapea_analyze over src/ tools/ bench/ tests/ + allow() baseline"
 "$ROOT/$PREFIX/tools/snapea_analyze" --root "$ROOT" \
     || fail "snapea_analyze found violations"
 # Gate the escape hatches: every allow() site must already be in the
@@ -188,17 +193,17 @@ fi
 rm -f "$ALLOWS_NOW"
 
 if [ -n "$LABELS" ]; then
-    step "[3/7] test suite, labels matching '$LABELS'"
+    step "[3/8] test suite, labels matching '$LABELS'"
     run_ctest --test-dir "$ROOT/$PREFIX" -L "$LABELS" -j "$JOBS" \
               --output-on-failure \
         || fail "labeled test suite ($LABELS)"
 else
-    step "[3/7] default test suite"
+    step "[3/8] default test suite"
     run_ctest --test-dir "$ROOT/$PREFIX" -j "$JOBS" --output-on-failure \
         || fail "default test suite"
 fi
 
-step "[4/7] scalar-vs-SIMD kernel equality (ctest -L simd, both dispatch modes)"
+step "[4/8] scalar-vs-SIMD kernel equality (ctest -L simd, both dispatch modes)"
 run_ctest --test-dir "$ROOT/$PREFIX" -L simd --output-on-failure \
     || fail "simd equality suite (dispatched kernels diverge from scalar)"
 (
@@ -207,16 +212,18 @@ run_ctest --test-dir "$ROOT/$PREFIX" -L simd --output-on-failure \
     run_ctest --test-dir "$ROOT/$PREFIX" -L simd --output-on-failure
 ) || fail "simd equality suite under forced SNAPEA_SIMD=scalar"
 
-step "[5/7] serving smoke: daemon boot under injected stalls, loaded client, clean SIGTERM drain"
+step "[5/8] serving smoke: daemon boot under injected stalls, loaded client, clean SIGTERM drain"
 SERVE_DIR=$(mktemp -d) || fail "mktemp for the serving smoke"
 # A sporadic injected stall plus a tight watchdog exercises the whole
 # degradation path (stall -> watchdog cut -> retry) while the smoke
 # client is pounding the daemon; the drain at the end must still be
-# clean (exit 0) with every reply well-formed.
+# clean (exit 0) with every reply well-formed.  The stall is armed
+# with --worker-fault so it lands in the worker processes, where the
+# compute (and its watchdog/retry path) actually runs.
 SNAPEA_WATCHDOG_MS=100 "$ROOT/$PREFIX/tools/snapea_serve" \
     --port 0 --port-file "$SERVE_DIR/port" \
     --lock "$SERVE_DIR/lock" --workers 1 --threads 1 \
-    --fault "slow:task:5" --retries 3 \
+    --worker-fault "slow:task:5" --retries 3 \
     > "$SERVE_DIR/daemon.log" 2>&1 &
 SERVE_PID=$!
 i=0
@@ -237,7 +244,43 @@ SERVE_STATUS=$?
     || fail "snapea_serve exited $SERVE_STATUS on SIGTERM (expected a clean drain; see $SERVE_DIR/daemon.log)"
 rm -rf "$SERVE_DIR"
 
-step "[6/7] configure + build with SNAPEA_CHECK_INVARIANTS=ON${SANITIZE:+ + SNAPEA_SANITIZE=$SANITIZE}"
+step "[6/8] crash-isolation smoke: workers dying under load, daemon must hold and drain clean"
+CRASH_DIR=$(mktemp -d) || fail "mktemp for the crash smoke"
+# Every worker process dies on its 3rd request (the death manner
+# cycles SIGSEGV/SIGABRT/_exit), so the supervisor restarts workers
+# continuously while the client drives traffic.  The daemon must
+# never die, the client must keep getting well-formed replies
+# (re-dispatch makes the deaths invisible), and SIGTERM must still
+# produce a clean drain.  storm-restarts is raised so the sustained
+# churn is treated as weather, not a breaker-tripping storm.
+"$ROOT/$PREFIX/tools/snapea_serve" \
+    --port 0 --port-file "$CRASH_DIR/port" \
+    --lock "$CRASH_DIR/lock" --workers 2 --threads 1 \
+    --worker-fault "crash:worker:3" \
+    --restart-backoff-ms 1 --storm-restarts 100000 \
+    > "$CRASH_DIR/daemon.log" 2>&1 &
+CRASH_PID=$!
+i=0
+while [ ! -s "$CRASH_DIR/port" ] && [ "$i" -lt 600 ]; do
+    kill -0 "$CRASH_PID" 2>/dev/null \
+        || fail "snapea_serve died at boot (see $CRASH_DIR/daemon.log)"
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -s "$CRASH_DIR/port" ] || fail "snapea_serve never published its port"
+"$ROOT/$PREFIX/bench/bench_serving" \
+    --connect "$(cat "$CRASH_DIR/port")" --smoke --duration 2 \
+    || fail "crash smoke client (replies lost while workers crashed)"
+kill -0 "$CRASH_PID" 2>/dev/null \
+    || fail "snapea_serve died during the crash smoke (isolation failed; see $CRASH_DIR/daemon.log)"
+kill -TERM "$CRASH_PID" || fail "signalling snapea_serve"
+wait "$CRASH_PID"
+CRASH_STATUS=$?
+[ "$CRASH_STATUS" -eq 0 ] \
+    || fail "snapea_serve exited $CRASH_STATUS on SIGTERM after the crash smoke (see $CRASH_DIR/daemon.log)"
+rm -rf "$CRASH_DIR"
+
+step "[7/8] configure + build with SNAPEA_CHECK_INVARIANTS=ON${SANITIZE:+ + SNAPEA_SANITIZE=$SANITIZE}"
 cmake -B "$ROOT/$PREFIX-checked" -S "$ROOT" \
       -DSNAPEA_WERROR=ON -DSNAPEA_CHECK_INVARIANTS=ON \
       -DSNAPEA_SANITIZE="$SANITIZE" \
@@ -245,7 +288,7 @@ cmake -B "$ROOT/$PREFIX-checked" -S "$ROOT" \
 cmake --build "$ROOT/$PREFIX-checked" -j "$JOBS" \
     || fail "checked build"
 
-step "[7/7] full test suite under runtime invariant checks (ctest -L checked)"
+step "[8/8] full test suite under runtime invariant checks (ctest -L checked)"
 run_ctest --test-dir "$ROOT/$PREFIX-checked" -L checked -j "$JOBS" \
           --output-on-failure \
     || fail "checked test suite (an invariant fired or a test broke)"

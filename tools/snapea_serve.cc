@@ -32,10 +32,36 @@
  *                       starts (chaos testing: boot stays clean, the
  *                       request path sees the faults)
  *
+ * Crash isolation (DESIGN.md §5g).  By default the daemon serves
+ * through a supervised pool of worker *processes* (this same binary
+ * re-exec'd with --worker-fd), so an inference crash kills a child
+ * and the supervisor re-dispatches, instead of taking the daemon
+ * down:
+ *   --in-process            inference in the daemon process (the
+ *                           crash-fragile baseline; unit tests and the
+ *                           bench baseline arm use this)
+ *   --worker-fault <spec>   fault spec armed inside each worker after
+ *                           its boot (e.g. crash:worker:5)
+ *   --restart-backoff-ms <n>  first worker respawn delay (default 50)
+ *   --storm-restarts <n>    breaker threshold: more deaths than this
+ *                           inside --storm-window-ms opens the
+ *                           crash-storm breaker (default 5)
+ *   --storm-window-ms <n>   breaker window (default 10000)
+ *   --audit-rate <n>        shadow-audit every n-th predictive Ok
+ *                           reply in exact mode; 0 disables (default;
+ *                           env SNAPEA_AUDIT_RATE)
+ *   --audit-budget <x>      divergence-rate budget before Predictive
+ *                           is vetoed (default 0.05; env
+ *                           SNAPEA_AUDIT_BUDGET)
+ *   --worker-fd <n>         run as a pool worker on command-stream fd
+ *                           <n> (internal; spawned by the supervisor)
+ *
  * Exit status: 0 on a clean signal-initiated drain; 1 when the server
  * fails to start (port in use, lock held, model build failure); 2 on
- * usage errors.
+ * usage errors.  Worker mode exits 0 on a clean supervisor EOF.
  */
+
+#include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
@@ -83,7 +109,15 @@ printUsage(FILE *to)
         "  --lock <path>      daemon lock file\n"
         "  --no-ladder        freeze degradation at Exact\n"
         "  --threads <n>      engine threads per forward\n"
-        "  --fault <spec>     arm fault injection after boot\n");
+        "  --fault <spec>     arm fault injection after boot\n"
+        "  --in-process       no worker pool (crash-fragile)\n"
+        "  --worker-fault <spec>      worker-side fault spec\n"
+        "  --restart-backoff-ms <n>   first respawn delay (50)\n"
+        "  --storm-restarts <n>       breaker threshold (5)\n"
+        "  --storm-window-ms <n>      breaker window (10000)\n"
+        "  --audit-rate <n>   audit every n-th predictive reply\n"
+        "  --audit-budget <x> divergence budget (0.05)\n"
+        "  --worker-fd <n>    run as a pool worker (internal)\n");
 }
 
 [[noreturn]] void
@@ -139,6 +173,19 @@ main(int argc, char **argv)
     ServerConfig cfg;
     std::string port_file;
     std::string fault_spec;
+    std::string worker_fault;
+    bool in_process = false;
+    int worker_fd = -1;
+    int threads = 0;
+
+    // Environment defaults for the audit guardrail; flags override.
+    if (const char *env = std::getenv("SNAPEA_AUDIT_RATE")) {
+        cfg.audit_rate = static_cast<int>(
+            parseInt("SNAPEA_AUDIT_RATE", env, 0, 1 << 20));
+    }
+    if (const char *env = std::getenv("SNAPEA_AUDIT_BUDGET")) {
+        cfg.audit_budget = parseDouble("SNAPEA_AUDIT_BUDGET", env);
+    }
 
     std::vector<std::string> args(argv + 1, argv + argc);
     for (size_t i = 0; i < args.size(); ++i) {
@@ -194,11 +241,79 @@ main(int argc, char **argv)
             cfg.ladder_enabled = false;
         } else if (arg == "--fault") {
             fault_spec = flagValue("--fault");
+        } else if (arg == "--in-process") {
+            in_process = true;
+        } else if (arg == "--worker-fault") {
+            worker_fault = flagValue("--worker-fault");
+        } else if (arg == "--restart-backoff-ms") {
+            cfg.restart_backoff_ms = static_cast<int>(
+                parseInt("--restart-backoff-ms",
+                         flagValue("--restart-backoff-ms"), 0, 60000));
+        } else if (arg == "--storm-restarts") {
+            cfg.storm_restarts = static_cast<int>(
+                parseInt("--storm-restarts",
+                         flagValue("--storm-restarts"), 1, 1 << 20));
+        } else if (arg == "--storm-window-ms") {
+            cfg.storm_window_ms = static_cast<int>(
+                parseInt("--storm-window-ms",
+                         flagValue("--storm-window-ms"), 1, 86400000));
+        } else if (arg == "--audit-rate") {
+            cfg.audit_rate = static_cast<int>(parseInt(
+                "--audit-rate", flagValue("--audit-rate"), 0, 1 << 20));
+        } else if (arg == "--audit-budget") {
+            cfg.audit_budget = parseDouble(
+                "--audit-budget", flagValue("--audit-budget"));
+        } else if (arg == "--worker-fd") {
+            worker_fd = static_cast<int>(parseInt(
+                "--worker-fd", flagValue("--worker-fd"), 3, 1 << 16));
         } else if (arg == "--threads") {
-            util::setThreadCount(static_cast<int>(parseInt(
-                "--threads", flagValue("--threads"), 1, 1024)));
+            threads = static_cast<int>(parseInt(
+                "--threads", flagValue("--threads"), 1, 1024));
+            util::setThreadCount(threads);
         } else {
             usageError("unknown option '%s'", arg.c_str());
+        }
+    }
+
+    // Worker mode: this process is one slot of a supervisor's pool.
+    // Build the engines, handshake on the command stream, and serve
+    // until the supervisor closes it.  The daemon-only flags parsed
+    // above are simply unused here.
+    if (worker_fd >= 0) {
+        WorkerMainConfig wcfg;
+        wcfg.fd = worker_fd;
+        wcfg.model = cfg.model;
+        wcfg.retry_attempts = cfg.retry_attempts;
+        wcfg.retry_backoff_ms = cfg.retry_backoff_ms;
+        wcfg.fault_spec = fault_spec;
+        return runWorkerMain(wcfg);
+    }
+
+    if (in_process && !worker_fault.empty()) {
+        usageError(
+            "--worker-fault needs the worker pool (drop --in-process)");
+    }
+
+    // Default serving mode is crash-isolated: re-exec ourselves as
+    // the pool workers.  /proc/self/exe survives argv[0] being a bare
+    // name looked up through PATH.
+    if (!in_process) {
+        char exe[4096];
+        const ssize_t n =
+            ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+        if (n > 0) {
+            exe[n] = '\0';
+            cfg.worker_exe = exe;
+        } else {
+            cfg.worker_exe = argv[0];
+        }
+        if (threads > 0) {
+            cfg.worker_extra_args.push_back("--threads");
+            cfg.worker_extra_args.push_back(std::to_string(threads));
+        }
+        if (!worker_fault.empty()) {
+            cfg.worker_extra_args.push_back("--fault");
+            cfg.worker_extra_args.push_back(worker_fault);
         }
     }
 
